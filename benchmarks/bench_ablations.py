@@ -1,0 +1,51 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.bench import ablations
+
+
+def test_abl_partial_alignment(benchmark, record_table):
+    result = run_once(benchmark, ablations.partial_alignment)
+    record_table("abl_partial_alignment", ablations.describe("partial alignment", result))
+    totals = result["totals"]
+    # Partial alignment replays strictly fewer tape entries.
+    assert totals["partial_alignment"]["replays"] <= totals["full_alignment"]["replays"]
+
+
+def test_abl_head_dropping(benchmark, record_table):
+    result = run_once(benchmark, ablations.head_dropping)
+    record_table("abl_head_dropping", ablations.describe("head dropping", result))
+    totals = result["totals"]
+    # Dropping heads halves chunk footprints: fewer storage-pressure drops.
+    assert totals["cold"]["peak_storage"] <= totals["off"]["peak_storage"] + 1
+
+
+def test_abl_mapset_choice(benchmark, record_table):
+    result = run_once(benchmark, ablations.mapset_choice)
+    record_table("abl_mapset_choice", ablations.describe("map-set choice", result))
+    totals = result["totals"]
+    # The self-organizing histogram beats blindly taking the first predicate.
+    assert totals["histogram"]["model_ms"] < totals["first_predicate"]["model_ms"]
+
+
+def test_abl_crack_kernels(benchmark, record_table):
+    result = run_once(benchmark, ablations.crack_kernels)
+    record_table("abl_crack_kernels", ablations.describe("crack kernels", result))
+    totals = result["totals"]
+    # One three-way pass touches fewer elements than two two-way passes.
+    assert (totals["crack_in_three"]["touches"]
+            < totals["two_crack_in_two"]["touches"])
+    # Both end with the same partitioning knowledge.
+    assert totals["crack_in_three"]["pieces"] == totals["two_crack_in_two"]["pieces"]
+
+
+def test_abl_chunk_size_enforcement(benchmark, record_table):
+    result = run_once(benchmark, ablations.chunk_size_enforcement)
+    record_table("abl_chunk_size",
+                 ablations.describe("chunk-size enforcement", result))
+    totals = result["totals"]
+    # Bounded chunks cut the per-query peak (no giant chunk creations)...
+    assert totals["enforced"]["peak_query_ms"] < totals["unbounded"]["peak_query_ms"]
+    # ...at the price of more chunk creations.
+    assert totals["enforced"]["chunks"] >= totals["unbounded"]["chunks"]

@@ -1,0 +1,16 @@
+"""Fig. 4(a) + the Tot/TR/Sel breakdown table (Exp1)."""
+
+from conftest import run_once
+
+from repro.bench import exp01_tuple_reconstruction as exp01
+
+
+def test_exp01_tuple_reconstruction(benchmark, record_table):
+    result = run_once(benchmark, exp01.run)
+    record_table("exp01_fig4a", exp01.describe(result))
+    # Paper shape: presorted and sideways far cheaper than selection
+    # cracking and plain MonetDB at 8 reconstructions (model cost).
+    model = result["model_ms"]
+    assert model["presorted"][8] < model["monetdb"][8]
+    assert model["sideways"][8] < model["monetdb"][8]
+    assert model["monetdb"][8] < model["selection_cracking"][8]

@@ -1,0 +1,14 @@
+"""Fig. 4(b): varying selectivity (Exp2)."""
+
+from conftest import run_once
+
+from repro.bench import exp02_selectivity as exp02
+
+
+def test_exp02_selectivity(benchmark, record_table):
+    result = run_once(benchmark, exp02.run)
+    record_table("exp02_fig4b", exp02.describe(result))
+    # Paper shape: after convergence sideways runs below MonetDB (model).
+    for label, series in result["relative_model"].items():
+        tail = series[-20:]
+        assert sum(tail) / len(tail) < 1.0, label

@@ -1,0 +1,17 @@
+"""Exp3: reordering intermediate results."""
+
+from conftest import run_once
+
+from repro.bench import exp03_reordering as exp03
+
+
+def test_exp03_reordering(benchmark, record_table):
+    result = run_once(benchmark, exp03.run)
+    record_table("exp03_reordering", exp03.describe(result))
+    model = result["model_ms"]
+    # The reordering investment pays off only with enough projections.
+    assert model["sort"][1] > model["unordered"][1]
+    assert model["radix"][1] > model["unordered"][1]
+    assert model["radix"][8] < model["unordered"][8]
+    # Ordered (plain MonetDB) reconstruction is the floor.
+    assert model["ordered"][8] < model["unordered"][8]

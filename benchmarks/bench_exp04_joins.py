@@ -1,0 +1,17 @@
+"""Fig. 5: join queries with multiple selections and reconstructions (Exp4)."""
+
+from conftest import run_once
+
+from repro.bench import exp04_joins as exp04
+
+
+def test_exp04_joins(benchmark, record_table):
+    result = run_once(benchmark, exp04.run)
+    record_table("exp04_fig5", exp04.describe(result))
+    model = result["model_total_ms"]
+    # Paper shape: sideways converges toward presorted, well under the
+    # non-clustering systems (steady state = last third of the sequence).
+    third = len(model["monetdb"]) // 3
+    steady = {s: sum(v[-third:]) for s, v in model.items()}
+    assert steady["sideways"] < steady["monetdb"]
+    assert steady["presorted"] < steady["monetdb"]

@@ -1,0 +1,13 @@
+"""Fig. 6: skewed workload (Exp5)."""
+
+from conftest import run_once
+
+from repro.bench import exp05_skew as exp05
+
+
+def test_exp05_skew(benchmark, record_table):
+    result = run_once(benchmark, exp05.run)
+    record_table("exp05_fig6", exp05.describe(result))
+    model = result["model_ms"]
+    third = len(model["monetdb"]) // 3
+    assert sum(model["sideways"][-third:]) < sum(model["monetdb"][-third:])

@@ -1,0 +1,23 @@
+"""Fig. 9: storage restrictions, full vs partial maps (Exp7)."""
+
+from conftest import run_once
+
+from repro.bench import exp07_storage as exp07
+from repro.bench.exp07_storage import batch_stats
+from repro.bench.partial_common import FULL, PARTIAL
+
+
+def test_exp07_storage(benchmark, record_table):
+    result = run_once(benchmark, exp07.run)
+    record_table("exp07_fig9", exp07.describe(result))
+    batch = result["batch"]
+    # Paper shape: under the tightest threshold, full maps' per-batch peaks
+    # dwarf partial maps' (drop + recreate vs chunk-wise adaptation).
+    # Model series: wall-clock peaks can be OS-noise outliers.
+    tight = result["per_query_model_ms"]["T=2R"]
+    full_peak = max(mx for mx, _ in batch_stats(tight[FULL], batch)[1:])
+    partial_peak = max(mx for mx, _ in batch_stats(tight[PARTIAL], batch)[1:])
+    assert full_peak > 2 * partial_peak
+    # Storage stays within the threshold for partial maps.
+    rows = result["rows"]
+    assert max(result["storage_tuples"]["T=2R"][PARTIAL]) <= 2.05 * rows

@@ -1,0 +1,17 @@
+"""Fig. 10: workload adaptation with partial maps (Exp8)."""
+
+from conftest import run_once
+
+from repro.bench import exp08_adaptation as exp08
+from repro.bench.partial_common import FULL, PARTIAL
+
+
+def test_exp08_adaptation(benchmark, record_table):
+    result = run_once(benchmark, exp08.run)
+    record_table("exp08_fig10", exp08.describe(result))
+    # Partial maps materialize a fraction of what full maps allocate when
+    # queries are selective or skewed.
+    for case in exp08.VARIANTS:
+        full_storage = max(result["storage_tuples"][case][FULL])
+        partial_storage = max(result["storage_tuples"][case][PARTIAL])
+        assert partial_storage < full_storage

@@ -1,0 +1,19 @@
+"""Fig. 11: total query-sequence cost, full vs partial (Exp9)."""
+
+from conftest import run_once
+
+from repro.bench import exp09_cumulative as exp09
+from repro.bench.partial_common import FULL, PARTIAL
+
+
+def test_exp09_cumulative(benchmark, record_table):
+    result = run_once(benchmark, exp09.run)
+    record_table("exp09_fig11", exp09.describe(result))
+    totals = result["totals_seconds"]
+    # Paper shape: selective queries favor partial maps outright.
+    selective = totals["S=0.001 noT"]
+    assert selective[PARTIAL] < selective[FULL]
+    # At 30% selectivity the two are comparable (within 2x either way).
+    broad = totals["S=0.3 noT"]
+    ratio = broad[PARTIAL] / broad[FULL]
+    assert 0.4 < ratio < 2.5

@@ -1,0 +1,18 @@
+"""Fig. 12: cost vs workload-change rate (Exp10)."""
+
+from conftest import run_once
+
+from repro.bench import exp10_change_rate as exp10
+from repro.bench.partial_common import FULL, PARTIAL
+
+
+def test_exp10_change_rate(benchmark, record_table):
+    result = run_once(benchmark, exp10.run)
+    record_table("exp10_fig12", exp10.describe(result))
+    totals = result["totals_seconds"]
+    rates = sorted(totals)
+    # Full maps degrade with change frequency; partial maps stay stable
+    # enough that the full/partial ratio grows.
+    slow = totals[rates[0]][FULL] / totals[rates[0]][PARTIAL]
+    fast = totals[rates[-1]][FULL] / totals[rates[-1]][PARTIAL]
+    assert fast > 2 * slow

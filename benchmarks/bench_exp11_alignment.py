@@ -1,0 +1,24 @@
+"""Fig. 13: alignment cost, full vs partial maps (Exp11)."""
+
+from conftest import run_once
+
+from repro.bench import exp11_alignment as exp11
+from repro.bench.exp07_storage import batch_stats
+from repro.bench.partial_common import FULL, PARTIAL
+
+
+def test_exp11_alignment(benchmark, record_table):
+    result = run_once(benchmark, exp11.run)
+    record_table("exp11_fig13", exp11.describe(result))
+    # Paper shape: the longer the batch, the taller full maps' alignment
+    # peak at the workload change; partial maps avoid those peaks.  The
+    # model series is used — wall-clock peaks are noisy at these sizes.
+    per_query = result["per_query_model_ms"]
+    for change_every, systems in per_query.items():
+        stats_full = batch_stats(systems[FULL], change_every)
+        stats_partial = batch_stats(systems[PARTIAL], change_every)
+        if len(stats_full) < 2:
+            continue
+        full_peak = max(mx for mx, _ in stats_full[1:])
+        partial_peak = max(mx for mx, _ in stats_partial[1:])
+        assert full_peak > partial_peak, change_every

@@ -1,0 +1,19 @@
+"""Fig. 14 + the SiCr/PrMo improvement table: TPC-H sequences (Exp12)."""
+
+from conftest import run_once
+
+from repro.bench import exp12_tpch as exp12
+
+
+def test_exp12_tpch(benchmark, record_table):
+    result = run_once(benchmark, exp12.run)
+    record_table("exp12_fig14", exp12.describe(result))
+    # Paper shape (steady state): sideways cracking beats plain MonetDB on
+    # the selective multi-reconstruction queries once maps are cracked in.
+    model = result["model_ms"]
+    wins = 0
+    for query_id, systems in model.items():
+        third = max(1, len(systems["monetdb"]) // 3)
+        if sum(systems["sideways"][-third:]) < sum(systems["monetdb"][-third:]):
+            wins += 1
+    assert wins >= 8, f"sideways steady-state wins on only {wins}/12 queries"

@@ -1,0 +1,16 @@
+"""Section 5's mixed TPC-H workload (Exp13)."""
+
+from conftest import run_once
+
+from repro.bench import exp13_tpch_mixed as exp13
+
+
+def test_exp13_tpch_mixed(benchmark, record_table):
+    result = run_once(benchmark, exp13.run)
+    record_table("exp13_tpch_mixed", exp13.describe(result))
+    # Cross-query reuse: the last batch runs cheaper relative to MonetDB
+    # than the first batch (model cost).
+    rel = result["relative_model"]
+    first_batch = rel[:12]
+    last_batch = rel[-12:]
+    assert sum(last_batch) < sum(first_batch)

@@ -1,0 +1,36 @@
+"""Future-work extensions: piece-exploiting max, cracker joins, row cracking."""
+
+from conftest import run_once
+
+from repro.bench import extensions
+
+
+def test_ext_piece_max(benchmark, record_table):
+    result = run_once(benchmark, extensions.piece_max)
+    record_table("ext_piece_max", extensions.describe("piece-exploiting max", result))
+    totals = result["totals"]
+    assert (totals["piece_exploiting"]["answers_checksum"]
+            == totals["area_scan"]["answers_checksum"])
+    assert (totals["piece_exploiting"]["model_ms"]
+            < totals["area_scan"]["model_ms"])
+
+
+def test_ext_cracker_join(benchmark, record_table):
+    result = run_once(benchmark, extensions.join_strategies)
+    record_table("ext_cracker_join", extensions.describe("cracker join", result))
+    totals = result["totals"]
+    assert totals["cracker_join"]["matches"] == totals["hash_join"]["matches"]
+    assert totals["cracker_join"]["model_ms"] < totals["hash_join"]["model_ms"]
+
+
+def test_ext_row_vs_column(benchmark, record_table):
+    result = run_once(benchmark, extensions.row_vs_column)
+    record_table("ext_row_vs_column",
+                 extensions.describe("row vs column cracking", result))
+    totals = result["totals"]
+    # Row cracking's cost is projection-independent; sideways pays per map.
+    row_growth = (totals["row_cracking k=6"]["model_ms"]
+                  / totals["row_cracking k=1"]["model_ms"])
+    col_growth = (totals["sideways k=6"]["model_ms"]
+                  / totals["sideways k=1"]["model_ms"])
+    assert col_growth > row_growth

@@ -1,0 +1,31 @@
+"""Benchmark harness glue.
+
+Each benchmark runs one experiment driver exactly once (the drivers run
+whole query sequences internally; repeating them would re-measure cold
+caches) and writes the regenerated paper table/figure data to
+``benchmarks/results/<name>.txt`` for inspection and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Write an experiment's rendered table to the results directory."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment driver once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

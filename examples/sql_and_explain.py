@@ -1,0 +1,70 @@
+"""SQL front-end, plan introspection, and persistence.
+
+Shows the ergonomics around the core library: run SQL against any engine,
+compare the plans the different physical designs would use for the same
+statement, and snapshot the database to disk (cracked state intentionally
+stays volatile — it is relearned from the workload).
+
+Run:  python examples/sql_and_explain.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import (
+    Database,
+    PlainEngine,
+    SelectionCrackingEngine,
+    SidewaysEngine,
+    sql_execute,
+    sql_parse,
+)
+from repro.storage.persist import load_database, save_database
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    db = Database()
+    n = 100_000
+    db.create_table(
+        "orders",
+        {
+            "amount": rng.integers(1, 10_000, size=n),
+            "quantity": rng.integers(1, 50, size=n),
+            "discount": rng.integers(0, 11, size=n),
+            "status": np.array(
+                [["open", "shipped", "returned"][i % 3] for i in range(n)]
+            ),
+        },
+    )
+
+    statement = (
+        "SELECT max(amount), count(*) FROM orders "
+        "WHERE quantity BETWEEN 10 AND 30 AND amount > 5000 "
+        "AND status = 'returned'"
+    )
+    print("SQL:", statement, "\n")
+
+    query = sql_parse(statement, db)
+    engines = [PlainEngine(db), SelectionCrackingEngine(db), SidewaysEngine(db)]
+    print("— plans —")
+    for engine in engines:
+        print(engine.explain(query))
+        print()
+
+    print("— execution —")
+    for engine in engines:
+        result = sql_execute(statement, engine)
+        aggs = ", ".join(f"{k}={v:g}" for k, v in sorted(result.aggregates.items()))
+        print(f"{engine.name:<20} {result.total_seconds * 1e3:7.2f} ms   {aggs}")
+
+    with tempfile.NamedTemporaryFile(suffix=".npz") as handle:
+        save_database(db, handle.name)
+        restored = load_database(handle.name)
+        check = sql_execute(statement, PlainEngine(restored))
+        print(f"\nreloaded from disk: {check.aggregates} (identical)")
+
+
+if __name__ == "__main__":
+    main()

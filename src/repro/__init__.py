@@ -1,0 +1,80 @@
+"""repro — self-organizing tuple reconstruction in column-stores.
+
+A from-scratch Python/NumPy reproduction of Idreos, Kersten & Manegold,
+*Self-organizing Tuple Reconstruction in Column-stores* (SIGMOD 2009):
+**sideways cracking** and **partial sideways cracking** on a MonetDB-like
+column-store substrate, with the paper's baselines (plain scans, presorted
+copies, selection cracking, a row store) and its full experiment suite.
+
+Quick start::
+
+    import numpy as np
+    from repro import Database, Interval, Predicate, Query, SidewaysEngine
+
+    db = Database()
+    rng = np.random.default_rng(0)
+    db.create_table("R", {c: rng.integers(1, 10**7, 10**5) for c in "ABCD"})
+
+    engine = SidewaysEngine(db)            # partial=True for partial maps
+    query = Query(
+        "R",
+        predicates=(Predicate("A", Interval.open(1000, 500_000)),),
+        projections=("B", "C"),
+    )
+    result = engine.run(query)             # cracks + aligns as a side effect
+    result.columns["B"], result.stats      # values + access-pattern tally
+"""
+
+from repro.core.map import CrackerMap
+from repro.core.mapset import FullMapStorage, MapSet
+from repro.core.partial import (
+    Chunk,
+    ChunkMap,
+    ChunkStorage,
+    PartialConfig,
+    PartialMap,
+    PartialSidewaysCracker,
+)
+from repro.core.sideways import SidewaysCracker
+from repro.core.tape import CrackerTape
+from repro.cracking import Bound, CrackerColumn, CrackerIndex, Interval, Side
+from repro.engine import (
+    Database,
+    JoinQuery,
+    JoinSide,
+    PlainEngine,
+    Predicate,
+    PresortedEngine,
+    Query,
+    QueryResult,
+    RowStoreEngine,
+    SelectionCrackingEngine,
+    SidewaysEngine,
+)
+from repro.sql import execute as sql_execute
+from repro.sql import parse as sql_parse
+from repro.stats import AccessStats, MemoryModel, StatsRecorder
+from repro.storage import BAT, Catalog, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # storage substrate
+    "BAT", "Relation", "Catalog",
+    # selection cracking
+    "Bound", "Side", "Interval", "CrackerIndex", "CrackerColumn",
+    # sideways cracking core
+    "CrackerTape", "CrackerMap", "MapSet", "FullMapStorage", "SidewaysCracker",
+    # partial sideways cracking
+    "Chunk", "ChunkMap", "PartialMap", "ChunkStorage", "PartialConfig",
+    "PartialSidewaysCracker",
+    # engines
+    "Database", "Query", "JoinQuery", "JoinSide", "Predicate", "QueryResult",
+    "PlainEngine", "PresortedEngine", "SelectionCrackingEngine",
+    "SidewaysEngine", "RowStoreEngine",
+    # SQL front-end
+    "sql_parse", "sql_execute",
+    # instrumentation
+    "AccessStats", "StatsRecorder", "MemoryModel",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Benchmark drivers that regenerate every table and figure of the paper.
+
+Each ``repro.bench.expN_*`` module exposes ``run(scale=...) -> dict`` with
+the series/rows the corresponding paper artifact reports, plus a
+``describe()`` string.  The ``benchmarks/`` pytest files are thin wrappers
+around these drivers; ``examples/`` and ``EXPERIMENTS.md`` use them too.
+
+Scaling: the paper uses 10^7-row tables (Section 3) and 10^6-row tables
+(Section 4); pure Python cannot do that interactively, so every driver takes
+a ``scale`` factor applied to rows, result sizes, and storage thresholds
+alike — the *shapes* (who wins, crossovers) are scale-stable because every
+cracking cost is proportional to the touched piece.
+"""
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+
+__all__ = ["SequenceRunner", "SystemSetup", "default_scale"]

@@ -1,0 +1,93 @@
+"""Exp1 (Fig. 4a + cost-breakdown table): varying tuple reconstructions.
+
+``select max(A2), max(A3), ... from R where v1 < A1 < v2`` with 2/4/8
+attributes in the select clause; 100 queries of 20% selectivity at random
+locations; report the cost of the 100th query per system, plus the
+Tot/TR/Sel breakdown for the 8-reconstruction case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+from repro.bench.report import format_table
+from repro.workloads.synthetic import SyntheticTable, projection_query, random_range
+
+SYSTEMS = ("presorted", "sideways", "selection_cracking", "monetdb")
+RECONSTRUCTIONS = (2, 4, 8)
+QUERIES = 100
+SELECTIVITY = 0.2
+
+
+def run(scale: float | None = None, seed: int = 11) -> dict:
+    scale = scale if scale is not None else default_scale()
+    rows = max(10_000, int(100_000 * scale))
+    table = SyntheticTable(rows=rows, domain=rows * 100, seed=seed)
+    arrays = table.arrays()
+
+    figure: dict[str, dict[int, float]] = {}
+    model: dict[str, dict[int, float]] = {}
+    breakdown: dict[str, dict[str, float]] = {}
+    presort_seconds: dict[int, float] = {}
+
+    for system in SYSTEMS:
+        figure[system] = {}
+        model[system] = {}
+        for k in RECONSTRUCTIONS:
+            setup = SystemSetup(system, {"R": arrays})
+            if system == "presorted":
+                presort_seconds[k] = setup.engine.prepare("R", ["A1"])
+            runner = SequenceRunner(setup)
+            rng = np.random.default_rng(seed)
+            projections = [f"A{i}" for i in range(2, 2 + k)]
+            for _ in range(QUERIES):
+                interval = random_range(rng, table.domain, SELECTIVITY)
+                runner.run(projection_query("R", "A1", interval, projections))
+            last = runner.costs[-1]
+            figure[system][k] = last.seconds * 1000.0
+            model[system][k] = last.model_ms
+            if k == 8:
+                select = last.phase_seconds.get("select", 0.0)
+                reconstruct = last.phase_seconds.get("reconstruct", 0.0)
+                breakdown[system] = {
+                    "total_ms": last.seconds * 1000.0,
+                    "tr_ms": reconstruct * 1000.0,
+                    "sel_ms": select * 1000.0,
+                    "model_total_ms": last.model_ms,
+                }
+
+    return {
+        "rows": rows,
+        "figure_ms": figure,
+        "model_ms": model,
+        "breakdown": breakdown,
+        "presort_seconds": presort_seconds,
+    }
+
+
+def describe(result: dict) -> str:
+    headers = ["system"] + [f"k={k} (ms)" for k in RECONSTRUCTIONS] + [
+        f"k={k} model" for k in RECONSTRUCTIONS
+    ]
+    rows = []
+    for system in SYSTEMS:
+        rows.append(
+            [system]
+            + [result["figure_ms"][system][k] for k in RECONSTRUCTIONS]
+            + [result["model_ms"][system][k] for k in RECONSTRUCTIONS]
+        )
+    table1 = format_table(headers, rows, "Fig 4(a): cost of 100th query")
+    headers2 = ["system", "Tot (ms)", "TR (ms)", "Sel (ms)", "model Tot (ms)"]
+    rows2 = [
+        [
+            system,
+            result["breakdown"][system]["total_ms"],
+            result["breakdown"][system]["tr_ms"],
+            result["breakdown"][system]["sel_ms"],
+            result["breakdown"][system]["model_total_ms"],
+        ]
+        for system in SYSTEMS
+    ]
+    table2 = format_table(headers2, rows2, "Cost breakdown, 8 reconstructions")
+    return table1 + "\n\n" + table2

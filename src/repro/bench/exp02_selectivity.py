@@ -1,0 +1,72 @@
+"""Exp2 (Fig. 4b): varying selectivity.
+
+Two tuple reconstructions, selectivity from point queries up to 90%;
+a sequence of queries per selectivity; response time of sideways cracking
+relative to plain MonetDB (per query position).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+from repro.bench.report import format_table, series_summary
+from repro.workloads.synthetic import SyntheticTable, projection_query, random_range
+
+SELECTIVITIES = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9)
+LABELS = {0.0: "point", 0.1: "10%", 0.3: "30%", 0.5: "50%", 0.7: "70%", 0.9: "90%"}
+
+
+def run(scale: float | None = None, queries: int = 200, seed: int = 23) -> dict:
+    scale = scale if scale is not None else default_scale()
+    rows = max(10_000, int(100_000 * scale))
+    table = SyntheticTable(rows=rows, domain=rows * 100, seed=seed)
+    arrays = table.arrays()
+
+    relative: dict[str, list[float]] = {}
+    relative_model: dict[str, list[float]] = {}
+    for selectivity in SELECTIVITIES:
+        rng = np.random.default_rng(seed + int(selectivity * 100))
+        intervals = [random_range(rng, table.domain, selectivity) for _ in range(queries)]
+        workload = [
+            projection_query("R", "A1", iv, ["A2", "A3"]) for iv in intervals
+        ]
+        side = SequenceRunner(SystemSetup("sideways", {"R": arrays}))
+        mone = SequenceRunner(SystemSetup("monetdb", {"R": arrays}))
+        side.run_all(workload)
+        mone.run_all(workload)
+        label = LABELS[selectivity]
+        relative[label] = [
+            s / m if m > 0 else float("nan")
+            for s, m in zip(side.seconds, mone.seconds)
+        ]
+        relative_model[label] = [
+            s / m if m > 0 else float("nan")
+            for s, m in zip(side.model_ms, mone.model_ms)
+        ]
+    return {
+        "rows": rows,
+        "queries": queries,
+        "relative_wallclock": relative,
+        "relative_model": relative_model,
+    }
+
+
+def describe(result: dict) -> str:
+    points = 8
+    headers = ["selectivity"] + [f"q~{i}" for i in range(1, points + 1)]
+    rows_wall = [
+        [label] + [round(v, 3) for v in series_summary(series, points)]
+        for label, series in result["relative_wallclock"].items()
+    ]
+    rows_model = [
+        [label] + [round(v, 3) for v in series_summary(series, points)]
+        for label, series in result["relative_model"].items()
+    ]
+    return (
+        format_table(headers, rows_wall,
+                     "Fig 4(b): sideways / MonetDB response (wall-clock, sampled)")
+        + "\n\n"
+        + format_table(headers, rows_model,
+                       "Fig 4(b): sideways / MonetDB response (model, sampled)")
+    )

@@ -1,0 +1,96 @@
+"""Exp3 (inline graph): reordering intermediate results.
+
+After a selection-cracking select returns unordered keys, compare the cost
+of reconstructing 1/2/4/8 projection columns with:
+
+* plain MonetDB-style ordered reconstruction (the reference),
+* selection cracking's unordered reconstruction,
+* sort + ordered reconstruction,
+* radix-cluster + cache-clustered reconstruction.
+
+The paper's shape: clustering pays off from ~4 projections, sorting from
+~8; with few projections the reordering investment is wasted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import SystemSetup, default_scale
+from repro.bench.report import format_table
+from repro.engine.reorder import (
+    reconstruct_radix,
+    reconstruct_sorted,
+    reconstruct_unordered,
+)
+from repro.stats.memory_model import DEFAULT_MODEL
+from repro.workloads.synthetic import SyntheticTable, random_range
+
+STRATEGIES = ("ordered", "unordered", "sort", "radix")
+RECONSTRUCTIONS = (1, 2, 4, 8)
+SELECTIVITY = 0.2
+
+
+def run(scale: float | None = None, seed: int = 31, warm_queries: int = 20) -> dict:
+    scale = scale if scale is not None else default_scale()
+    rows = max(10_000, int(100_000 * scale))
+    table = SyntheticTable(rows=rows, domain=rows * 100, seed=seed)
+    arrays = table.arrays()
+
+    setup = SystemSetup("selection_cracking", {"R": arrays})
+    db = setup.db
+    rng = np.random.default_rng(seed)
+    cracker = db.cracker_column("R", "A1")
+    for _ in range(warm_queries):
+        cracker.select(random_range(rng, table.domain, SELECTIVITY))
+    interval = random_range(rng, table.domain, SELECTIVITY)
+    keys = cracker.select(interval)
+    ordered_keys = np.sort(keys)
+    model = DEFAULT_MODEL
+
+    wall: dict[str, dict[int, float]] = {s: {} for s in STRATEGIES}
+    modeled: dict[str, dict[int, float]] = {s: {} for s in STRATEGIES}
+    for k in RECONSTRUCTIONS:
+        columns = [db.table("R").values(f"A{i}") for i in range(2, 2 + k)]
+        runs = {
+            "ordered": lambda: [c[ordered_keys] for c in columns],
+            "unordered": lambda: reconstruct_unordered(columns, keys, db.recorder),
+            "sort": lambda: reconstruct_sorted(columns, keys, db.recorder),
+            "radix": lambda: reconstruct_radix(
+                columns, keys, db.recorder.cache_elements, db.recorder
+            ),
+        }
+        for name, fn in runs.items():
+            with db.recorder.frame() as stats:
+                start = time.perf_counter()
+                if name == "ordered":
+                    # Charge the reference's ordered gathers explicitly.
+                    for c in columns:
+                        db.recorder.ordered(len(ordered_keys), len(c))
+                fn()
+                wall[name][k] = (time.perf_counter() - start) * 1000.0
+            modeled[name][k] = model.cost_ms(stats)
+
+    return {
+        "rows": rows,
+        "result_size": len(keys),
+        "wall_ms": wall,
+        "model_ms": modeled,
+    }
+
+
+def describe(result: dict) -> str:
+    headers = ["strategy"] + [f"k={k} wall" for k in RECONSTRUCTIONS] + [
+        f"k={k} model" for k in RECONSTRUCTIONS
+    ]
+    rows = [
+        [s]
+        + [result["wall_ms"][s][k] for k in RECONSTRUCTIONS]
+        + [result["model_ms"][s][k] for k in RECONSTRUCTIONS]
+        for s in STRATEGIES
+    ]
+    return format_table(
+        headers, rows, f"Exp3: TR cost (ms), |result|={result['result_size']}"
+    )

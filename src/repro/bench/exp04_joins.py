@@ -1,0 +1,106 @@
+"""Exp4 (Fig. 5): join queries with multiple selections and reconstructions.
+
+q2: two 7-attribute tables, three conjunctive selections per table (50%,
+30%, 20% selectivity), join on R7 = S7, max aggregates over two projected
+attributes per side.  Reports per-query total cost plus the select+TR cost
+before the join and the TR cost after the join, per system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+from repro.bench.report import format_table, series_summary
+from repro.engine.query import JoinQuery, JoinSide, Predicate
+from repro.workloads.synthetic import make_table_arrays, random_range
+
+SYSTEMS = ("presorted", "sideways", "selection_cracking", "monetdb")
+SELECTIVITIES = (0.5, 0.3, 0.2)
+
+
+def _make_query(rng: np.random.Generator, domain: int) -> JoinQuery:
+    def side(table: str, prefix: str) -> JoinSide:
+        preds = tuple(
+            Predicate(f"{prefix}{i + 3}", random_range(rng, domain, sel))
+            for i, sel in enumerate(SELECTIVITIES)
+        )
+        return JoinSide(
+            table,
+            join_attr=f"{prefix}7",
+            predicates=preds,
+            post_join_columns=(f"{prefix}1", f"{prefix}2"),
+        )
+
+    left = side("R", "R")
+    right = side("S", "S")
+    return JoinQuery(
+        left=left,
+        right=right,
+        aggregates=(("max", "R1"), ("max", "R2"), ("max", "S1"), ("max", "S2")),
+    )
+
+
+def run(scale: float | None = None, queries: int = 60, seed: int = 37) -> dict:
+    scale = scale if scale is not None else default_scale()
+    rows = max(10_000, int(50_000 * scale))
+    domain = rows * 20
+    r_arrays = make_table_arrays(rows, [f"R{i}" for i in range(1, 8)], domain, seed)
+    s_arrays = make_table_arrays(rows, [f"S{i}" for i in range(1, 8)], domain, seed + 1)
+    # Join attributes draw from a smaller domain so the equi-join matches.
+    join_rng = np.random.default_rng(seed + 2)
+    r_arrays["R7"] = join_rng.integers(1, rows + 1, size=rows).astype(np.int64)
+    s_arrays["S7"] = join_rng.integers(1, rows + 1, size=rows).astype(np.int64)
+    tables = {"R": r_arrays, "S": s_arrays}
+
+    totals: dict[str, list[float]] = {}
+    before: dict[str, list[float]] = {}
+    after: dict[str, list[float]] = {}
+    model_totals: dict[str, list[float]] = {}
+    presort_seconds = 0.0
+    for system in SYSTEMS:
+        setup = SystemSetup(system, tables)
+        if system == "presorted":
+            presort_seconds = setup.engine.prepare("R", ["R3", "R4", "R5"])
+            presort_seconds += setup.engine.prepare("S", ["S3", "S4", "S5"])
+        runner = SequenceRunner(setup)
+        rng = np.random.default_rng(seed)
+        for _ in range(queries):
+            runner.run(_make_query(rng, domain))
+        totals[system] = [c.seconds * 1000 for c in runner.costs]
+        before[system] = [
+            (c.phase_seconds.get("select", 0.0) + c.phase_seconds.get("tr_before", 0.0))
+            * 1000
+            for c in runner.costs
+        ]
+        after[system] = [
+            c.phase_seconds.get("tr_after", 0.0) * 1000 for c in runner.costs
+        ]
+        model_totals[system] = runner.model_ms
+    return {
+        "rows": rows,
+        "queries": queries,
+        "total_ms": totals,
+        "before_join_ms": before,
+        "after_join_ms": after,
+        "model_total_ms": model_totals,
+        "presort_seconds": presort_seconds,
+    }
+
+
+def describe(result: dict) -> str:
+    points = 8
+    blocks = []
+    for key, title in (
+        ("total_ms", "Fig 5(a): total cost (ms, sampled)"),
+        ("before_join_ms", "Fig 5(b): select + TR before join (ms, sampled)"),
+        ("after_join_ms", "Fig 5(c): TR after join (ms, sampled)"),
+        ("model_total_ms", "model total (ms, sampled)"),
+    ):
+        headers = ["system"] + [f"q~{i}" for i in range(1, points + 1)]
+        rows = [
+            [s] + [round(v, 3) for v in series_summary(result[key][s], points)]
+            for s in SYSTEMS
+        ]
+        blocks.append(format_table(headers, rows, title))
+    return "\n\n".join(blocks)

@@ -1,0 +1,67 @@
+"""Exp5 (Fig. 6): skewed workload.
+
+q3 over a three-attribute table: ``select max(B), max(C) from R where
+v1 < A < v2`` with 20% selectivity; 9/10 queries hit the first half of the
+domain.  Sideways cracking should converge fast on the hot set, with peaks
+every ~10 queries when a cold-range query arrives, and the peaks shrinking
+as the cold range gets cracked too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+from repro.bench.report import format_table, series_summary
+from repro.workloads.synthetic import (
+    SyntheticTable,
+    projection_query,
+    skewed_range,
+)
+
+SYSTEMS = ("presorted", "sideways", "selection_cracking", "monetdb")
+SELECTIVITY = 0.2
+
+
+def run(scale: float | None = None, queries: int = 200, seed: int = 41) -> dict:
+    scale = scale if scale is not None else default_scale()
+    rows = max(10_000, int(100_000 * scale))
+    table = SyntheticTable(
+        rows=rows, attributes=("A", "B", "C"), domain=rows * 100, seed=seed
+    )
+    arrays = table.arrays()
+    rng = np.random.default_rng(seed)
+    intervals = [
+        skewed_range(rng, table.domain, SELECTIVITY, hot_fraction=0.5)
+        for _ in range(queries)
+    ]
+    workload = [projection_query("R", "A", iv, ["B", "C"]) for iv in intervals]
+
+    series: dict[str, list[float]] = {}
+    model_series: dict[str, list[float]] = {}
+    presort_seconds = 0.0
+    for system in SYSTEMS:
+        setup = SystemSetup(system, {"R": arrays})
+        if system == "presorted":
+            presort_seconds = setup.engine.prepare("R", ["A"])
+        runner = SequenceRunner(setup)
+        runner.run_all(workload)
+        series[system] = [s * 1e6 for s in runner.seconds]  # microseconds
+        model_series[system] = runner.model_ms
+    return {
+        "rows": rows,
+        "queries": queries,
+        "microseconds": series,
+        "model_ms": model_series,
+        "presort_seconds": presort_seconds,
+    }
+
+
+def describe(result: dict) -> str:
+    points = 10
+    headers = ["system"] + [f"q~{i}" for i in range(1, points + 1)]
+    rows = [
+        [s] + [round(v) for v in series_summary(result["microseconds"][s], points)]
+        for s in result["microseconds"]
+    ]
+    return format_table(headers, rows, "Fig 6: skewed workload (µs, sampled)")

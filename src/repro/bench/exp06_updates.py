@@ -1,0 +1,98 @@
+"""Exp6 (Fig. 7): effect of updates.
+
+q3 queries with random ranges, interleaved with random updates:
+
+* HFLV — high frequency, low volume: 10 updates every 10 queries;
+* LFHV — low frequency, high volume: a large batch at sparse intervals
+  (scaled from the paper's 10^3 updates per 10^3 queries).
+
+Systems: MonetDB, selection cracking, sideways cracking (presorted data is
+excluded, as in the paper — no efficient way to maintain sorted copies).
+An update is a deletion plus an insertion, applied lazily on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+from repro.bench.report import format_table, series_summary
+from repro.workloads.synthetic import (
+    SyntheticTable,
+    UpdateStream,
+    projection_query,
+    random_range,
+)
+
+SYSTEMS = ("monetdb", "selection_cracking", "sideways")
+SELECTIVITY = 0.2
+
+
+def _scenario(
+    system: str,
+    arrays: dict[str, np.ndarray],
+    domain: int,
+    queries: int,
+    update_every: int,
+    update_count: int,
+    seed: int,
+) -> SequenceRunner:
+    setup = SystemSetup(system, {"R": dict(arrays)})
+    runner = SequenceRunner(setup)
+    rng = np.random.default_rng(seed)
+    stream = UpdateStream(domain=domain, seed=seed + 1)
+    attrs = ["A", "B", "C"]
+    # Warm the cracking structures so pending updates have someone to land on.
+    if system in ("selection_cracking", "sideways"):
+        if system == "sideways":
+            setup.db.sideways("R")
+        else:
+            setup.db.cracker_column("R", "A")
+    for q in range(queries):
+        if q and q % update_every == 0:
+            rows = stream.insert_batch(attrs, update_count)
+            setup.db.insert("R", rows)
+            tombstones = setup.db.tombstones("R")
+            live = np.flatnonzero(~tombstones)
+            victims = stream.delete_keys(live, update_count)
+            setup.db.delete("R", victims)
+        interval = random_range(rng, domain, SELECTIVITY)
+        runner.run(projection_query("R", "A", interval, ["B", "C"]))
+    return runner
+
+
+def run(scale: float | None = None, queries: int = 300, seed: int = 43) -> dict:
+    scale = scale if scale is not None else default_scale()
+    rows = max(10_000, int(100_000 * scale))
+    table = SyntheticTable(
+        rows=rows, attributes=("A", "B", "C"), domain=rows * 100, seed=seed
+    )
+    arrays = table.arrays()
+    scenarios = {
+        # high frequency, low volume: 10 updates every 10 queries
+        "HFLV": dict(update_every=10, update_count=10),
+        # low frequency, high volume: a tenth of the sequence length at once
+        "LFHV": dict(update_every=max(2, queries // 3), update_count=queries),
+    }
+    out: dict[str, dict[str, list[float]]] = {}
+    for label, params in scenarios.items():
+        out[label] = {}
+        for system in SYSTEMS:
+            runner = _scenario(
+                system, arrays, table.domain, queries, seed=seed, **params
+            )
+            out[label][system] = [s * 1e6 for s in runner.seconds]
+    return {"rows": rows, "queries": queries, "series_us": out}
+
+
+def describe(result: dict) -> str:
+    blocks = []
+    points = 10
+    for label, systems in result["series_us"].items():
+        headers = ["system"] + [f"q~{i}" for i in range(1, points + 1)]
+        rows = [
+            [s] + [round(v) for v in series_summary(series, points)]
+            for s, series in systems.items()
+        ]
+        blocks.append(format_table(headers, rows, f"Fig 7 {label} (µs, sampled)"))
+    return "\n\n".join(blocks)

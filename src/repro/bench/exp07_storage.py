@@ -1,0 +1,83 @@
+"""Exp7 (Fig. 9): handling storage restrictions with partial maps.
+
+Five query types in batches of 100 over an 11-attribute table; result size
+S = 1% of the rows (the paper's S=10^4 of 10^6); storage thresholds
+∞ / 6.5·rows / 2·rows tuples.  Full maps pay tall per-query peaks at every
+workload change (map creation + full alignment, worse once maps must be
+dropped and recreated); partial maps spread the cost, at a slightly higher
+floor.  Fig. 9(d): storage actually used over the sequence.
+"""
+
+from __future__ import annotations
+
+from repro.bench.partial_common import FULL, PARTIAL, make_workload, run_sequence
+from repro.bench.report import format_table, series_summary
+
+THRESHOLDS = {"noT": None, "T=6.5R": 6.5, "T=2R": 2.0}
+
+
+def run(scale: float | None = None, queries: int = 500, batch: int = 50,
+        seed: int = 53) -> dict:
+    # queries / batch defaults cover the five query types twice, so the
+    # second cycle exercises map reuse (no T) vs. recreation (limited T).
+    workload = make_workload(scale, seed)
+    result_rows = max(50, workload.rows // 100)
+    sequence = workload.sequence(queries, batch, result_rows)
+
+    per_query: dict[str, dict[str, list[float]]] = {}
+    per_query_model: dict[str, dict[str, list[float]]] = {}
+    storage: dict[str, dict[str, list[float]]] = {}
+    for label, factor in THRESHOLDS.items():
+        budget = None if factor is None else factor * workload.rows
+        per_query[label] = {}
+        per_query_model[label] = {}
+        storage[label] = {}
+        for system in (FULL, PARTIAL):
+            runner = run_sequence(workload, sequence, system, budget)
+            per_query[label][system] = [s * 1e6 for s in runner.seconds]
+            per_query_model[label][system] = runner.model_ms
+            storage[label][system] = runner.storage_samples
+    return {
+        "rows": workload.rows,
+        "queries": queries,
+        "batch": batch,
+        "result_rows": result_rows,
+        "per_query_us": per_query,
+        "per_query_model_ms": per_query_model,
+        "storage_tuples": storage,
+    }
+
+
+def batch_stats(series: list[float], batch: int) -> list[tuple[float, float]]:
+    """(max, mean) per batch — the paper's peaks-vs-smooth signature."""
+    out = []
+    for start in range(0, len(series), batch):
+        seg = series[start:start + batch]
+        out.append((max(seg), sum(seg) / len(seg)))
+    return out
+
+
+def describe(result: dict) -> str:
+    blocks = []
+    batch = result["batch"]
+    for label, systems in result["per_query_us"].items():
+        stats = {s: batch_stats(series, batch) for s, series in systems.items()}
+        n_batches = len(next(iter(stats.values())))
+        headers = ["system"] + [f"b{i} max/mean" for i in range(1, n_batches + 1)]
+        rows = [
+            [("full" if s == FULL else "partial")]
+            + [f"{round(mx)}/{round(mn)}" for mx, mn in stats[s]]
+            for s in systems
+        ]
+        blocks.append(
+            format_table(headers, rows, f"Fig 9 {label} (µs per batch: peak/mean)")
+        )
+    points = 10
+    headers = ["system/T"] + [f"q~{i}" for i in range(1, points + 1)]
+    rows = []
+    for label, systems in result["storage_tuples"].items():
+        for s, series in systems.items():
+            name = ("F" if s == FULL else "P") + f", {label}"
+            rows.append([name] + [round(v) for v in series_summary(series, points)])
+    blocks.append(format_table(headers, rows, "Fig 9(d): storage used (tuples)"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,68 @@
+"""Exp8 (Fig. 10): workload adaptation with partial maps.
+
+Re-runs the batch workload with (a) much more selective queries (S = 0.1%
+of rows, uniform) and (b) a skewed workload (S = 1%, 9/10 queries in 20% of
+the domain), both under T = 6.5·rows.  Partial maps materialize only the
+touched chunks, so they stay far below the threshold while full maps hit it
+and churn; Fig. 10(c) compares the storage footprints.
+"""
+
+from __future__ import annotations
+
+from repro.bench.exp07_storage import batch_stats
+from repro.bench.partial_common import FULL, PARTIAL, make_workload, run_sequence
+from repro.bench.report import format_table, series_summary
+
+VARIANTS = ("selective", "skewed")
+
+
+def run(scale: float | None = None, queries: int = 500, batch: int = 50,
+        seed: int = 59) -> dict:
+    workload = make_workload(scale, seed)
+    budget = 6.5 * workload.rows
+    cases = {
+        "selective": dict(result_rows=max(20, workload.rows // 1000), skewed=False),
+        "skewed": dict(result_rows=max(50, workload.rows // 100), skewed=True),
+    }
+    per_query: dict[str, dict[str, list[float]]] = {}
+    storage: dict[str, dict[str, list[float]]] = {}
+    for label, params in cases.items():
+        sequence = workload.sequence(queries, batch, **params)
+        per_query[label] = {}
+        storage[label] = {}
+        for system in (FULL, PARTIAL):
+            runner = run_sequence(workload, sequence, system, budget)
+            per_query[label][system] = [s * 1e6 for s in runner.seconds]
+            storage[label][system] = runner.storage_samples
+    return {
+        "rows": workload.rows,
+        "batch": batch,
+        "per_query_us": per_query,
+        "storage_tuples": storage,
+    }
+
+
+def describe(result: dict) -> str:
+    blocks = []
+    batch = result["batch"]
+    for label, systems in result["per_query_us"].items():
+        stats = {s: batch_stats(series, batch) for s, series in systems.items()}
+        n_batches = len(next(iter(stats.values())))
+        headers = ["system"] + [f"b{i} max/mean" for i in range(1, n_batches + 1)]
+        rows = [
+            [("full" if s == FULL else "partial")]
+            + [f"{round(mx)}/{round(mn)}" for mx, mn in stats[s]]
+            for s in systems
+        ]
+        blocks.append(
+            format_table(headers, rows, f"Fig 10 ({label}) µs per batch: peak/mean")
+        )
+    points = 10
+    headers = ["case/system"] + [f"q~{i}" for i in range(1, points + 1)]
+    rows = []
+    for label, systems in result["storage_tuples"].items():
+        for s, series in systems.items():
+            name = ("F" if s == FULL else "P") + f", {label}"
+            rows.append([name] + [round(v) for v in series_summary(series, points)])
+    blocks.append(format_table(headers, rows, "Fig 10(c): storage used (tuples)"))
+    return "\n\n".join(blocks)

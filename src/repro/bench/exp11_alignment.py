@@ -1,0 +1,60 @@
+"""Exp11 (Fig. 13): improving alignment with partial maps.
+
+Two query types only, no storage limit, workload changing every 10 / 100 /
+200 queries.  Full maps pay the whole accumulated alignment backlog at each
+change (the longer the batch, the taller the peak); partial maps align only
+the chunks a query touches, and only as far as needed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.exp07_storage import batch_stats
+from repro.bench.partial_common import FULL, PARTIAL, make_workload, run_sequence
+from repro.bench.report import format_table
+
+CHANGE_EVERY = (10, 100, 200)
+
+
+def run(scale: float | None = None, queries: int = 400, seed: int = 71) -> dict:
+    workload = make_workload(scale, seed)
+    workload.n_types = 2
+    result_rows = max(50, workload.rows // 100)
+    per_query: dict[int, dict[str, list[float]]] = {}
+    per_query_model: dict[int, dict[str, list[float]]] = {}
+    for batch in CHANGE_EVERY:
+        sequence = workload.sequence(queries, batch, result_rows)
+        per_query[batch] = {}
+        per_query_model[batch] = {}
+        for system in (FULL, PARTIAL):
+            runner = run_sequence(workload, sequence, system, None)
+            per_query[batch][system] = [s * 1e6 for s in runner.seconds]
+            per_query_model[batch][system] = runner.model_ms
+    return {
+        "rows": workload.rows,
+        "queries": queries,
+        "per_query_us": per_query,
+        "per_query_model_ms": per_query_model,
+    }
+
+
+def describe(result: dict) -> str:
+    blocks = []
+    for batch in result["per_query_us"]:
+        wall = result["per_query_us"][batch]
+        model = result["per_query_model_ms"][batch]
+        headers = ["system", "peak µs", "mean µs", "peak model ms", "mean model ms"]
+        rows = []
+        for s in wall:
+            wall_stats = batch_stats(wall[s], batch)
+            model_stats = batch_stats(model[s], batch)
+            rows.append([
+                ("full" if s == FULL else "partial"),
+                round(max(mx for mx, _ in wall_stats)),
+                round(sum(mn for _, mn in wall_stats) / len(wall_stats)),
+                round(max(mx for mx, _ in model_stats), 2),
+                round(sum(mn for _, mn in model_stats) / len(model_stats), 3),
+            ])
+        blocks.append(
+            format_table(headers, rows, f"Fig 13: change every {batch} queries")
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,93 @@
+"""Exp12 (Fig. 14 + summary table): TPC-H query sequences.
+
+For each of the twelve queries: 30 parameter variations against MonetDB,
+presorted MonetDB, selection cracking, sideways cracking, and a presorted
+row store ("MySQL"), each on a fresh database.  Reports the per-variation
+cost series, the presorting cost paid by the presorted systems, and the
+paper's summary table: % improvement of sideways cracking (SiCr) and
+presorted MonetDB (PrMo) over plain MonetDB.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import default_scale
+from repro.bench.report import format_table, series_summary
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.queries import QUERIES
+from repro.workloads.tpch.runner import run_query_sequence
+
+SYSTEMS = (
+    "monetdb", "presorted", "selection_cracking", "sideways", "rowstore_presorted"
+)
+
+
+def run(scale: float | None = None, variations: int = 30, seed: int = 101) -> dict:
+    scale = scale if scale is not None else default_scale()
+    data = generate(scale_factor=0.02 * scale, seed=seed)
+    series: dict[int, dict[str, list[float]]] = {}
+    model: dict[int, dict[str, list[float]]] = {}
+    presort: dict[int, float] = {}
+    for query_id in sorted(QUERIES):
+        series[query_id] = {}
+        model[query_id] = {}
+        for system in SYSTEMS:
+            run_ = run_query_sequence(
+                data, system, query_id, variations=variations, seed=seed
+            )
+            series[query_id][system] = [s * 1000 for s in run_.seconds]
+            model[query_id][system] = run_.model_ms
+            if system == "presorted":
+                presort[query_id] = run_.presort_seconds
+    summary = _summary(series)
+    summary_model = _summary(model)
+    return {
+        "lineitem_rows": data.row_counts()["lineitem"],
+        "variations": variations,
+        "series_ms": series,
+        "model_ms": model,
+        "presort_seconds": presort,
+        "summary_wallclock": summary,
+        "summary_model": summary_model,
+    }
+
+
+def _summary(series: dict[int, dict[str, list[float]]]) -> dict[int, dict[str, float]]:
+    """% improvement over plain MonetDB across the whole sequence."""
+    out: dict[int, dict[str, float]] = {}
+    for query_id, systems in series.items():
+        base = sum(systems["monetdb"])
+        out[query_id] = {
+            "SiCr": 100.0 * (base - sum(systems["sideways"])) / base if base else 0.0,
+            "PrMo": 100.0 * (base - sum(systems["presorted"])) / base if base else 0.0,
+        }
+    return out
+
+
+def describe(result: dict) -> str:
+    blocks = []
+    headers = ["Q", "SiCr % (wall)", "PrMo % (wall)", "SiCr % (model)",
+               "PrMo % (model)", "presort (s)"]
+    rows = []
+    for query_id in sorted(result["summary_wallclock"]):
+        wall = result["summary_wallclock"][query_id]
+        model = result["summary_model"][query_id]
+        rows.append([
+            query_id, round(wall["SiCr"]), round(wall["PrMo"]),
+            round(model["SiCr"]), round(model["PrMo"]),
+            round(result["presort_seconds"][query_id], 3),
+        ])
+    blocks.append(format_table(
+        headers, rows, "TPC-H summary: % improvement over plain MonetDB"
+    ))
+    points = 6
+    headers = ["Q/system"] + [f"v~{i}" for i in range(1, points + 1)]
+    rows = []
+    for query_id in sorted(result["series_ms"]):
+        for system in SYSTEMS:
+            rows.append(
+                [f"Q{query_id} {system}"]
+                + [round(v, 2) for v in
+                   series_summary(result["series_ms"][query_id][system], points)]
+            )
+    blocks.append(format_table(headers, rows, "Fig 14: per-variation cost (ms)"))
+    return "\n\n".join(blocks)

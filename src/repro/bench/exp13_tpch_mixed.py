@@ -1,0 +1,50 @@
+"""Exp13 (Section 5's final figure): the mixed TPC-H workload.
+
+Five sequential batches of the twelve queries with varying parameters, all
+against one shared database per system, so queries reuse maps and
+partitioning information created by *different* queries over the same
+attributes.  Reports sideways cracking's cost relative to plain MonetDB per
+query position.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import default_scale
+from repro.bench.report import format_table, series_summary
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.runner import run_mixed_workload
+
+
+def run(scale: float | None = None, batches: int = 5, seed: int = 211) -> dict:
+    scale = scale if scale is not None else default_scale()
+    data = generate(scale_factor=0.02 * scale, seed=seed)
+    sideways = run_mixed_workload(data, "sideways", batches=batches, seed=seed)
+    monetdb = run_mixed_workload(data, "monetdb", batches=batches, seed=seed)
+    relative = [
+        s / m if m > 0 else float("nan")
+        for s, m in zip(sideways.seconds, monetdb.seconds)
+    ]
+    relative_model = [
+        s / m if m > 0 else float("nan")
+        for s, m in zip(sideways.model_ms, monetdb.model_ms)
+    ]
+    return {
+        "batches": batches,
+        "queries": len(relative),
+        "relative_wallclock": relative,
+        "relative_model": relative_model,
+    }
+
+
+def describe(result: dict) -> str:
+    points = 12
+    headers = ["metric"] + [f"q~{i}" for i in range(1, points + 1)]
+    rows = [
+        ["wall-clock"] + [round(v, 2) for v in
+                          series_summary(result["relative_wallclock"], points)],
+        ["model"] + [round(v, 2) for v in
+                     series_summary(result["relative_model"], points)],
+    ]
+    return format_table(
+        headers, rows, "Mixed TPC-H workload: sideways / MonetDB (sampled)"
+    )

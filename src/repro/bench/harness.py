@@ -1,0 +1,132 @@
+"""Shared benchmark machinery: system construction and sequence running."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partial.engine import PartialConfig
+from repro.engine.base import Engine
+from repro.engine.database import Database
+from repro.engine.presorted import PresortedEngine
+from repro.engine.query import JoinQuery, Query, QueryResult
+from repro.engine.rowstore import RowStoreEngine
+from repro.engine.scan import PlainEngine
+from repro.engine.selection_cracking import SelectionCrackingEngine
+from repro.engine.sideways_engine import SidewaysEngine
+from repro.stats.counters import StatsRecorder
+from repro.stats.memory_model import DEFAULT_MODEL, MemoryModel
+
+
+def default_scale() -> float:
+    """Benchmark scale factor; override with the ``REPRO_SCALE`` env var."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+ENGINE_FACTORIES = {
+    "monetdb": PlainEngine,
+    "presorted": PresortedEngine,
+    "selection_cracking": SelectionCrackingEngine,
+    "sideways": lambda db: SidewaysEngine(db, partial=False),
+    "partial_sideways": lambda db: SidewaysEngine(db, partial=True),
+    "rowstore": RowStoreEngine,
+    "rowstore_presorted": lambda db: RowStoreEngine(db, presorted=True),
+}
+
+
+@dataclass
+class SystemSetup:
+    """A fresh database + engine for one system under test.
+
+    Every system gets its own :class:`Database` so cracking structures never
+    leak between systems, while the *data* is identical (same arrays).
+    """
+
+    system: str
+    tables: dict[str, dict[str, np.ndarray]]
+    full_map_budget: int | None = None
+    chunk_budget: int | None = None
+    partial_config: PartialConfig | None = None
+    memory_model: MemoryModel = DEFAULT_MODEL
+
+    db: Database = field(init=False)
+    engine: Engine = field(init=False)
+
+    def __post_init__(self) -> None:
+        recorder = StatsRecorder(cache_elements=self.memory_model.cache_elements)
+        self.db = Database(
+            recorder=recorder,
+            full_map_budget=self.full_map_budget,
+            chunk_budget=self.chunk_budget,
+            partial_config=self.partial_config,
+        )
+        for name, arrays in self.tables.items():
+            self.db.create_table(name, arrays)
+        self.engine = ENGINE_FACTORIES[self.system](self.db)
+
+
+@dataclass
+class QueryCost:
+    """Per-query cost sample: wall-clock plus model-priced access tally."""
+
+    seconds: float
+    model_ms: float
+    phase_seconds: dict[str, float]
+    row_count: int
+
+    @classmethod
+    def from_result(cls, result: QueryResult, model: MemoryModel) -> "QueryCost":
+        return cls(
+            seconds=result.total_seconds,
+            model_ms=model.cost_ms(result.stats),
+            phase_seconds=dict(result.timer.totals),
+            row_count=result.row_count,
+        )
+
+
+class SequenceRunner:
+    """Runs a query sequence against one system, collecting per-query costs."""
+
+    def __init__(self, setup: SystemSetup) -> None:
+        self.setup = setup
+        self.costs: list[QueryCost] = []
+        self.storage_samples: list[float] = []
+
+    def run(self, query: "Query | JoinQuery") -> QueryResult:
+        engine = self.setup.engine
+        if isinstance(query, JoinQuery):
+            result = engine.run_join(query)
+        else:
+            result = engine.run(query)
+        self.costs.append(QueryCost.from_result(result, self.setup.memory_model))
+        self.storage_samples.append(self._storage_tuples())
+        return result
+
+    def run_all(self, queries: list) -> list[QueryCost]:
+        for query in queries:
+            self.run(query)
+        return self.costs
+
+    def _storage_tuples(self) -> float:
+        db = self.setup.db
+        tuples = float(db.full_map_storage.used_tuples)
+        tuples += float(db.chunk_storage.used_tuples)
+        return tuples
+
+    # -- summaries -----------------------------------------------------------------
+
+    @property
+    def seconds(self) -> list[float]:
+        return [c.seconds for c in self.costs]
+
+    @property
+    def model_ms(self) -> list[float]:
+        return [c.model_ms for c in self.costs]
+
+    def cumulative_seconds(self) -> float:
+        return float(sum(c.seconds for c in self.costs))
+
+    def cumulative_model_ms(self) -> float:
+        return float(sum(c.model_ms for c in self.costs))

@@ -1,0 +1,41 @@
+"""Shared machinery for the Section 4 (partial maps) experiments.
+
+All of them run the batch workload (five two-selection query types sharing
+head attribute A) against *full maps* vs *partial maps* under various
+storage thresholds, selectivities, and batch lengths.  Thresholds scale with
+the table: the paper's 10^6-row table used T ∈ {∞, 6.5M, 2M} tuples, i.e.
+{∞, 6.5, 2.0} × rows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SequenceRunner, SystemSetup, default_scale
+from repro.workloads.synthetic import BatchWorkload
+
+FULL = "sideways"
+PARTIAL = "partial_sideways"
+
+
+def make_workload(scale: float | None, seed: int = 53) -> BatchWorkload:
+    scale = scale if scale is not None else default_scale()
+    rows = max(20_000, int(100_000 * scale))
+    return BatchWorkload(rows=rows, domain=rows * 100, seed=seed)
+
+
+def run_sequence(
+    workload: BatchWorkload,
+    queries: list,
+    system: str,
+    budget_tuples: float | None,
+) -> SequenceRunner:
+    """Run ``queries`` on a fresh database under the given storage budget."""
+    budget = None if budget_tuples is None else int(budget_tuples)
+    setup = SystemSetup(
+        system,
+        {workload.table: workload.arrays()},
+        full_map_budget=budget if system == FULL else None,
+        chunk_budget=budget if system == PARTIAL else None,
+    )
+    runner = SequenceRunner(setup)
+    runner.run_all(queries)
+    return runner

@@ -1,0 +1,147 @@
+"""Command-line interface: run paper experiments and sanity checks.
+
+Usage::
+
+    python -m repro list                      # all experiments + ablations
+    python -m repro run exp01 [--scale 2.0]   # run one, print its tables
+    python -m repro run all --scale 0.5
+    python -m repro verify                    # TPC-H cross-system agreement
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = {
+    "exp01": ("exp01_tuple_reconstruction", "Fig 4(a) + Tot/TR/Sel table"),
+    "exp02": ("exp02_selectivity", "Fig 4(b) varying selectivity"),
+    "exp03": ("exp03_reordering", "Exp3 reordering intermediate results"),
+    "exp04": ("exp04_joins", "Fig 5 join queries"),
+    "exp05": ("exp05_skew", "Fig 6 skewed workload"),
+    "exp06": ("exp06_updates", "Fig 7 updates (HFLV/LFHV)"),
+    "exp07": ("exp07_storage", "Fig 9 storage restrictions"),
+    "exp08": ("exp08_adaptation", "Fig 10 workload adaptation"),
+    "exp09": ("exp09_cumulative", "Fig 11 cumulative sequence cost"),
+    "exp10": ("exp10_change_rate", "Fig 12 workload change rate"),
+    "exp11": ("exp11_alignment", "Fig 13 alignment cost"),
+    "exp12": ("exp12_tpch", "Fig 14 + TPC-H summary table"),
+    "exp13": ("exp13_tpch_mixed", "Section 5 mixed TPC-H workload"),
+}
+
+ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
+             "crack_kernels", "chunk_size_enforcement")
+EXTENSIONS = ("piece_max", "join_strategies", "row_vs_column")
+
+
+def _run_experiment(name: str, scale: float | None) -> None:
+    module_name, _ = EXPERIMENTS[name]
+    module = importlib.import_module(f"repro.bench.{module_name}")
+    start = time.perf_counter()
+    result = module.run(scale=scale)
+    elapsed = time.perf_counter() - start
+    print(f"== {name} ({elapsed:.1f}s) ==")
+    print(module.describe(result))
+    print()
+
+
+def _run_named(kind: str, name: str, scale: float | None) -> None:
+    module = importlib.import_module(f"repro.bench.{kind}")
+    fn = getattr(module, name)
+    start = time.perf_counter()
+    result = fn(scale=scale)
+    elapsed = time.perf_counter() - start
+    print(f"== {kind}.{name} ({elapsed:.1f}s) ==")
+    print(module.describe(name, result))
+    print()
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments (paper tables & figures):")
+    for name, (_, blurb) in EXPERIMENTS.items():
+        print(f"  {name:<8} {blurb}")
+    print("ablations:")
+    for name in ABLATIONS:
+        print(f"  abl:{name}")
+    print("extensions (paper future work):")
+    for name in EXTENSIONS:
+        print(f"  ext:{name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    target = args.experiment
+    if target == "all":
+        for name in EXPERIMENTS:
+            _run_experiment(name, args.scale)
+        for name in ABLATIONS:
+            _run_named("ablations", name, args.scale)
+        for name in EXTENSIONS:
+            _run_named("extensions", name, args.scale)
+        return 0
+    if target in EXPERIMENTS:
+        _run_experiment(target, args.scale)
+        return 0
+    if target.startswith("abl:") and target[4:] in ABLATIONS:
+        _run_named("ablations", target[4:], args.scale)
+        return 0
+    if target.startswith("ext:") and target[4:] in EXTENSIONS:
+        _run_named("extensions", target[4:], args.scale)
+        return 0
+    print(f"unknown experiment {target!r}; try `python -m repro list`",
+          file=sys.stderr)
+    return 2
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.workloads.tpch.datagen import generate
+    from repro.workloads.tpch.runner import verify_modes_agree
+
+    data = generate(scale_factor=0.005 * (args.scale or 1.0), seed=17)
+    modes = ["monetdb", "presorted", "selection_cracking", "sideways",
+             "partial_sideways"]
+    verify_modes_agree(data, modes, variations=args.variations)
+    print(
+        f"OK: {len(modes)} systems agree on all 22 TPC-H queries "
+        f"({args.variations} parameter variations each)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Self-organizing Tuple Reconstruction "
+                    "in Column-stores' (SIGMOD 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list runnable experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="expNN, abl:<name>, ext:<name>, or all")
+    run.add_argument("--scale", type=float, default=None,
+                     help="scale factor for rows/thresholds (default 1.0)")
+    run.set_defaults(func=cmd_run)
+
+    verify = sub.add_parser(
+        "verify", help="check all systems agree on TPC-H results"
+    )
+    verify.add_argument("--scale", type=float, default=1.0)
+    verify.add_argument("--variations", type=int, default=2)
+    verify.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

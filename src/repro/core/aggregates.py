@@ -1,0 +1,92 @@
+"""Piece-exploiting aggregates (a paper §3.4 future-work item).
+
+"Potentially, many operators can exploit the clustering information in the
+maps, e.g., a max can consider only the last piece of a map" — this module
+implements that idea for ``max``/``min`` over a selection's qualifying area:
+
+The qualifying area ``w`` of a cracked map is itself partitioned into pieces
+whose *value ranges* are known from the cracker index.  For a ``max`` over
+the head attribute, only the last piece of ``w`` can contain the maximum;
+for a ``min``, only the first.  The scan shrinks from ``|w|`` to the size of
+one piece — and keeps shrinking as the workload cracks further.
+
+Tail aggregates cannot exploit head clustering (tail values are unordered
+within pieces), so they fall back to a full scan of ``w``.
+"""
+
+from __future__ import annotations
+
+from repro.core.map import CrackerMap
+from repro.cracking.bounds import Interval
+from repro.stats.counters import StatsRecorder, global_recorder
+
+
+def head_max(
+    cmap: CrackerMap,
+    lo: int,
+    hi: int,
+    recorder: StatsRecorder | None = None,
+) -> float:
+    """``max`` of the head attribute over the qualifying area ``[lo, hi)``.
+
+    Scans only the last non-empty piece inside the area; correctness follows
+    from the piece invariant (every piece's values dominate every earlier
+    piece's values up to the boundary predicate).
+    """
+    recorder = recorder or global_recorder()
+    if hi <= lo:
+        return float("nan")
+    last_piece = None
+    for piece in cmap.index.pieces(len(cmap)):
+        if piece.hi_pos <= lo or piece.lo_pos >= hi:
+            continue
+        clipped = (max(piece.lo_pos, lo), min(piece.hi_pos, hi))
+        if clipped[1] > clipped[0]:
+            last_piece = clipped
+    assert last_piece is not None
+    recorder.sequential(last_piece[1] - last_piece[0])
+    return float(cmap.head[last_piece[0]:last_piece[1]].max())
+
+
+def head_min(
+    cmap: CrackerMap,
+    lo: int,
+    hi: int,
+    recorder: StatsRecorder | None = None,
+) -> float:
+    """``min`` of the head attribute over ``[lo, hi)``: first piece only."""
+    recorder = recorder or global_recorder()
+    if hi <= lo:
+        return float("nan")
+    for piece in cmap.index.pieces(len(cmap)):
+        if piece.hi_pos <= lo or piece.lo_pos >= hi:
+            continue
+        clip_lo = max(piece.lo_pos, lo)
+        clip_hi = min(piece.hi_pos, hi)
+        if clip_hi > clip_lo:
+            recorder.sequential(clip_hi - clip_lo)
+            return float(cmap.head[clip_lo:clip_hi].min())
+    return float("nan")
+
+
+def selection_max(
+    cracker, head_attr: str, interval: Interval, recorder: StatsRecorder | None = None
+) -> float:
+    """``select max(head_attr) from R where interval(head_attr)``.
+
+    Uses (and cracks) the set's key map, then reads only the last piece.
+    The fallback scan over ``w`` would touch ``hi - lo`` elements; this
+    touches one piece.
+    """
+    mapset = cracker.set_for(head_attr)
+    cmap, lo, hi = mapset.select("@key", interval)
+    return head_max(cmap, lo, hi, recorder)
+
+
+def selection_min(
+    cracker, head_attr: str, interval: Interval, recorder: StatsRecorder | None = None
+) -> float:
+    """``select min(head_attr) from R where interval(head_attr)``."""
+    mapset = cracker.set_for(head_attr)
+    cmap, lo, hi = mapset.select("@key", interval)
+    return head_min(cmap, lo, hi, recorder)

@@ -1,0 +1,43 @@
+"""Bit vectors for multi-selection plans.
+
+A thin, intention-revealing wrapper over a NumPy boolean array.  Conjunctive
+plans allocate a vector the size of the aligned candidate area; disjunctive
+plans allocate one the size of the whole map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitVector:
+    """A fixed-length vector of qualification bits."""
+
+    def __init__(self, size: int, initial: bool = False) -> None:
+        self.bits = np.full(size, initial, dtype=bool)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "BitVector":
+        bv = cls(len(mask))
+        bv.bits = mask.astype(bool, copy=True)
+        return bv
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def refine_and(self, mask: np.ndarray) -> None:
+        """Clear bits whose tuples fail an additional conjunctive predicate."""
+        self.bits &= mask
+
+    def refine_or(self, mask: np.ndarray) -> None:
+        """Set bits whose tuples pass an additional disjunctive predicate."""
+        self.bits |= mask
+
+    def set_range(self, lo: int, hi: int) -> None:
+        self.bits[lo:hi] = True
+
+    def count(self) -> int:
+        return int(self.bits.sum())
+
+    def positions(self) -> np.ndarray:
+        return np.flatnonzero(self.bits)

@@ -1,0 +1,272 @@
+"""Map sets ``S_A``: all cracker maps headed by one attribute.
+
+The set owns the cracker tape, the base snapshot that new maps are created
+from, the pending-update buffers, and the special ``M_Akey`` map used to
+locate deletions.  *Adaptive alignment* lives here: a map is brought up to
+date by replaying tape entries from its cursor, only when a query actually
+needs it.
+
+Snapshot discipline (what makes late map creation correct): the set freezes
+its view of the base table at creation time — ``snapshot_rows`` rows minus
+any keys already deleted.  Rows inserted later reach maps only through
+``InsertEntry`` replay, never through the snapshot, so every map starts from
+the identical start state and deterministic replay yields identical
+permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.map import CrackerMap
+from repro.core.tape import CrackerTape, DeleteEntry, InsertEntry
+from repro.cracking.bounds import Interval
+from repro.cracking.pending import PendingUpdates
+from repro.cracking.ripple import locate_deletions
+from repro.errors import AlignmentError, CatalogError
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.relation import Relation
+
+KEY_TAIL = "@key"
+
+
+class MapSet:
+    """The map set of one head attribute of one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        head_attr: str,
+        recorder: StatsRecorder | None = None,
+        storage: "FullMapStorage | None" = None,
+    ) -> None:
+        self.relation = relation
+        self.head_attr = head_attr
+        self.tape = CrackerTape()
+        self.maps: dict[str, CrackerMap] = {}
+        self.pending = PendingUpdates(n_tails=1)  # tail = keys
+        self._recorder = recorder or global_recorder()
+        self._storage = storage
+        # Freeze the snapshot: current rows, minus nothing (deletions that
+        # happened before this set existed were already applied physically by
+        # the Database facade or never seen by it).
+        self.snapshot_rows = len(relation)
+        self._snapshot_excluded: np.ndarray = np.empty(0, dtype=np.int64)
+
+    # -- snapshot --------------------------------------------------------------
+
+    def exclude_from_snapshot(self, keys: np.ndarray) -> None:
+        """Mark keys that must not appear in newly created maps.
+
+        Used by the Database facade when tombstones predate this set.
+        """
+        if len(self.maps):
+            raise AlignmentError("cannot change the snapshot once maps exist")
+        self._snapshot_excluded = np.union1d(self._snapshot_excluded, keys)
+
+    def _snapshot_mask(self) -> np.ndarray | None:
+        if len(self._snapshot_excluded) == 0:
+            return None
+        keys = np.arange(self.snapshot_rows, dtype=np.int64)
+        return ~np.isin(keys, self._snapshot_excluded)
+
+    def _snapshot_arrays(self, tail_attr: str) -> tuple[np.ndarray, np.ndarray]:
+        head = self.relation.values(self.head_attr)[: self.snapshot_rows]
+        if tail_attr == KEY_TAIL:
+            tail = np.arange(self.snapshot_rows, dtype=np.int64)
+        else:
+            tail = self.relation.values(tail_attr)[: self.snapshot_rows]
+        mask = self._snapshot_mask()
+        if mask is not None:
+            return head[mask].copy(), tail[mask].copy()
+        return head.copy(), tail.copy()
+
+    def _fetch_tail_fn(self, tail_attr: str):
+        if tail_attr == KEY_TAIL:
+            return lambda keys: np.asarray(keys, dtype=np.int64).copy()
+
+        def fetch(keys: np.ndarray) -> np.ndarray:
+            # Resolve the column at call time: appends replace the BAT object.
+            column = self.relation.column(tail_attr)
+            self._recorder.random(len(keys), len(column))
+            return column.values[np.asarray(keys, dtype=np.int64)]
+
+        return fetch
+
+    # -- map lifecycle -------------------------------------------------------------
+
+    def has_map(self, tail_attr: str) -> bool:
+        return tail_attr in self.maps
+
+    def get_map(self, tail_attr: str, align: bool = False) -> CrackerMap:
+        """The map ``M_{A,tail}``, creating it from the snapshot on demand."""
+        if tail_attr != KEY_TAIL and tail_attr not in self.relation:
+            raise CatalogError(
+                f"relation {self.relation.name!r} has no attribute {tail_attr!r}"
+            )
+        cmap = self.maps.get(tail_attr)
+        if cmap is None:
+            if self._storage is not None:
+                self._storage.ensure_room(self._map_size_estimate())
+            head, tail = self._snapshot_arrays(tail_attr)
+            cmap = CrackerMap(
+                self.head_attr, tail_attr, head, tail,
+                self._fetch_tail_fn(tail_attr), self._recorder,
+            )
+            self.maps[tail_attr] = cmap
+            if self._storage is not None:
+                self._storage.register(self, tail_attr, cmap)
+        if align:
+            self.align(cmap)
+        return cmap
+
+    def _map_size_estimate(self) -> int:
+        mask = self._snapshot_mask()
+        return self.snapshot_rows if mask is None else int(mask.sum())
+
+    def drop_map(self, tail_attr: str) -> None:
+        """Drop a map entirely (storage pressure); the tape is retained, so a
+        recreated map pays a full replay to realign."""
+        if tail_attr == KEY_TAIL and self.pending.deletion_count:
+            raise AlignmentError("cannot drop M_Akey while deletions are pending")
+        self.maps.pop(tail_attr, None)
+        self._recorder.event("chunk_drops")
+
+    # -- alignment -------------------------------------------------------------------
+
+    def align(self, cmap: CrackerMap, upto: int | None = None) -> None:
+        """Replay tape entries from ``cmap``'s cursor to ``upto`` (default end)."""
+        end = len(self.tape) if upto is None else upto
+        if cmap.cursor > end:
+            raise AlignmentError(
+                f"map cursor {cmap.cursor} already past requested position {end}"
+            )
+        while cmap.cursor < end:
+            entry = self.tape[cmap.cursor]
+            if isinstance(entry, DeleteEntry) and entry.positions is None:
+                self._locate_delete(cmap.cursor)
+            cmap.replay_entry(entry)
+
+    def _locate_delete(self, entry_idx: int) -> None:
+        """Fill in a delete entry's victim positions via ``M_Akey``.
+
+        ``M_Akey`` is aligned to just before the entry, victims are located
+        by scanning the pieces their old head values map to, and the
+        positions are cached on the entry for every later replay.
+        """
+        entry = self.tape[entry_idx]
+        assert isinstance(entry, DeleteEntry)
+        key_map = self.get_map(KEY_TAIL)
+        self.align(key_map, upto=entry_idx)
+        if key_map.cursor != entry_idx:
+            raise AlignmentError(
+                "M_Akey overtook a delete entry whose positions were never located"
+            )
+        entry.positions = locate_deletions(
+            key_map.index, key_map.head, key_map.tail,
+            entry.values, entry.keys, self._recorder,
+        )
+
+    # -- pending updates ------------------------------------------------------------------
+
+    def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self.pending.add_insertions(np.asarray(values), [np.asarray(keys, np.int64)])
+
+    def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self.pending.add_deletions(values, keys)
+
+    def merge_pending(self, interval: Interval | None = None) -> None:
+        """Turn pending updates in ``interval`` into tape entries.
+
+        The entries are *not* applied here — callers align their maps
+        afterwards, which replays them in order.
+        """
+        if not self.pending.has_pending(interval):
+            return
+        ins_values, ins_tails = self.pending.take_insertions(interval)
+        if len(ins_values):
+            self.tape.append(InsertEntry(ins_values, ins_tails[0]))
+        del_values, del_keys = self.pending.take_deletions(interval)
+        if len(del_values):
+            self.tape.append(DeleteEntry(del_values, del_keys))
+
+    # -- the sideways.select core ------------------------------------------------------------
+
+    def select(self, tail_attr: str, interval: Interval) -> tuple[CrackerMap, int, int]:
+        """Steps 1-8 of ``sideways.select``: create, align, crack, log.
+
+        Returns the map and the qualifying area ``[lo, hi)``; the tail slice
+        of that area is the (non-materialized view of the) result.
+        """
+        cmap = self.get_map(tail_attr)
+        self.merge_pending(interval)
+        self.align(cmap)
+        lo, hi = cmap.crack(interval)
+        self.tape.append_crack(interval)
+        cmap.cursor = len(self.tape)
+        return cmap, lo, hi
+
+    # -- introspection --------------------------------------------------------------------------
+
+    def alignment_distance(self, tail_attr: str) -> int | None:
+        """Tape entries the map still has to replay; ``None`` if absent."""
+        cmap = self.maps.get(tail_attr)
+        if cmap is None:
+            return None
+        return len(self.tape) - cmap.cursor
+
+    def most_aligned_map(self) -> CrackerMap | None:
+        """The map with the smallest alignment distance (histogram source)."""
+        best: CrackerMap | None = None
+        for cmap in self.maps.values():
+            if best is None or cmap.cursor > best.cursor:
+                best = cmap
+        return best
+
+    def storage_tuples(self) -> int:
+        return sum(m.storage_tuples for m in self.maps.values())
+
+
+class FullMapStorage:
+    """Least-frequently-accessed eviction of whole maps under a tuple budget.
+
+    This is the storage policy the paper uses for *full* maps: "existing maps
+    are only dropped if there is not sufficient storage for newly requested
+    maps.  We always drop the least frequently accessed map(s)."
+    """
+
+    def __init__(self, budget_tuples: int | None, recorder: StatsRecorder | None = None) -> None:
+        self.budget_tuples = budget_tuples
+        self._recorder = recorder or global_recorder()
+        self._registry: dict[tuple[int, str], tuple[MapSet, str, CrackerMap]] = {}
+        self._pinned: set[tuple[str, str]] = set()
+
+    def register(self, mapset: MapSet, tail_attr: str, cmap: CrackerMap) -> None:
+        self._registry[(id(mapset), tail_attr)] = (mapset, tail_attr, cmap)
+
+    @property
+    def used_tuples(self) -> int:
+        return sum(m.storage_tuples for _, _, m in self._registry.values())
+
+    def pin(self, pairs: "set[tuple[str, str]]") -> None:
+        """Protect maps ``(head_attr, tail_attr)`` of the running query."""
+        self._pinned = set(pairs)
+
+    def unpin(self) -> None:
+        self._pinned = set()
+
+    def ensure_room(self, new_tuples: int) -> None:
+        """Drop least-frequently-accessed unpinned maps until it fits."""
+        if self.budget_tuples is None:
+            return
+        while self.used_tuples + new_tuples > self.budget_tuples:
+            victims = [
+                (cmap.accesses, key)
+                for key, (mapset, attr, cmap) in self._registry.items()
+                if (mapset.head_attr, attr) not in self._pinned
+            ]
+            if not victims:
+                return  # nothing evictable; allow overshoot rather than fail
+            _, victim_key = min(victims)
+            mapset, tail_attr, _ = self._registry.pop(victim_key)
+            mapset.drop_map(tail_attr)

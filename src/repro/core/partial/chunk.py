@@ -1,0 +1,221 @@
+"""One materialized chunk of a partial map.
+
+A chunk is a self-contained two-column table over one fetched chunk-map
+area: head values of the set's attribute, tail values of the map's
+attribute, a *local* cracker index (positions relative to the chunk), and a
+cursor into the area's tape.
+
+Head dropping (Section 4.1): the head column may be discarded to halve the
+chunk's footprint, at the cost of losing the ability to crack.  When a later
+query does need to crack, the head is *recovered* — preferably from a
+sibling chunk of the same area that still holds one and is not aligned past
+this chunk, else from the chunk map — by replaying the tape on the head
+alone.  Every tape event's permutation is a function of head values only
+(stable kernels), so head-only replay reproduces the exact permutation this
+chunk's tail went through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tape import (
+    CrackEntry,
+    CrackerTape,
+    DeleteEntry,
+    InsertEntry,
+    SortEntry,
+    TapeEntry,
+)
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Bound, Interval
+from repro.cracking.crack import crack_into
+from repro.cracking.kernels import sort_piece
+from repro.cracking.ripple import delete_positions, merge_insertions
+from repro.errors import AlignmentError
+from repro.stats.counters import StatsRecorder, global_recorder
+
+
+class Chunk:
+    """A chunk of one partial map over one area."""
+
+    def __init__(
+        self,
+        area_id: int,
+        head: np.ndarray,
+        tail: np.ndarray,
+        fetch_tail,
+        recorder: StatsRecorder | None = None,
+    ) -> None:
+        self.area_id = area_id
+        self.head: np.ndarray | None = head
+        self.tail = tail
+        self.index = CrackerIndex()
+        self.cursor = 0
+        self.accesses = 0
+        self.cracks_seen = 0
+        self.last_crack_access = 0
+        self._fetch_tail = fetch_tail
+        self._recorder = recorder or global_recorder()
+        self._recorder.event("chunk_creations")
+
+    def __len__(self) -> int:
+        return len(self.tail)
+
+    @property
+    def head_dropped(self) -> bool:
+        return self.head is None
+
+    @property
+    def storage_cells(self) -> int:
+        return len(self.tail) * (1 if self.head_dropped else 2)
+
+    def touch(self) -> None:
+        self.accesses += 1
+
+    # -- cracking ---------------------------------------------------------------
+
+    def crack(self, interval: Interval) -> tuple[int, int]:
+        """Crack on the (clipped) head predicate; needs the head column."""
+        if self.head is None:
+            raise AlignmentError("chunk head was dropped; recover it before cracking")
+        self.cracks_seen += 1
+        self.last_crack_access = self.accesses
+        return crack_into(self.index, self.head, [self.tail], interval, self._recorder)
+
+    def bounds_present(self, bounds: list[Bound]) -> bool:
+        return all(self.index.position_of(b) is not None for b in bounds)
+
+    def area_between(self, lower: Bound | None, upper: Bound | None) -> tuple[int, int]:
+        """Positions of the qualifying slice between two existing boundaries."""
+        lo = 0 if lower is None else self.index.position_of(lower)
+        hi = len(self.tail) if upper is None else self.index.position_of(upper)
+        if lo is None or hi is None:
+            raise AlignmentError("requested slice bounds are not chunk boundaries")
+        return lo, hi
+
+    # -- tape replay -------------------------------------------------------------------
+
+    def replay_entry(self, entry: TapeEntry) -> None:
+        """Apply one area-tape entry; delete entries must carry positions."""
+        if self.head is None:
+            raise AlignmentError("cannot replay tape entries on a head-dropped chunk")
+        self._recorder.event("alignment_replays")
+        if isinstance(entry, CrackEntry):
+            crack_into(self.index, self.head, [self.tail], entry.interval, self._recorder)
+        elif isinstance(entry, InsertEntry):
+            tail_values = self._fetch_tail(entry.keys)
+            self.head, tails = merge_insertions(
+                self.index, self.head, [self.tail], entry.values, [tail_values],
+                self._recorder,
+            )
+            self.tail = tails[0]
+        elif isinstance(entry, DeleteEntry):
+            if entry.positions is None:
+                raise AlignmentError("delete entry has no located positions")
+            self.head, tails = delete_positions(
+                self.index, self.head, [self.tail], entry.positions, self._recorder
+            )
+            self.tail = tails[0]
+        elif isinstance(entry, SortEntry):
+            lo = 0 if entry.lo_bound is None else self.index.position_of(entry.lo_bound)
+            hi = (
+                len(self.tail)
+                if entry.hi_bound is None
+                else self.index.position_of(entry.hi_bound)
+            )
+            if lo is None or hi is None:
+                raise AlignmentError("sort entry references unknown piece bounds")
+            sort_piece(self.head, [self.tail], lo, hi)
+            self._recorder.sequential(2 * (hi - lo))
+            self._recorder.write(2 * (hi - lo))
+        else:  # pragma: no cover
+            raise AlignmentError(f"unknown tape entry {entry!r}")
+        self.cursor += 1
+
+    # -- head dropping & recovery -----------------------------------------------------------
+
+    def drop_head(self) -> None:
+        self.head = None
+
+    def sort_all_pieces(self, tape: CrackerTape) -> None:
+        """Stable-sort every piece, logging :class:`SortEntry` events.
+
+        Called before a cache-fitting head drop so future cracks of the
+        (recovered) head are binary-search cheap; logging keeps siblings
+        aligned.  The chunk must be aligned to the tape end.
+        """
+        if self.head is None:
+            raise AlignmentError("cannot sort pieces without a head")
+        if self.cursor != len(tape):
+            raise AlignmentError("sort_all_pieces requires full alignment first")
+        for piece in list(self.index.pieces(len(self.tail))):
+            if piece.size <= 1:
+                continue
+            tape.append(SortEntry(piece.lo_bound, piece.hi_bound))
+            sort_piece(self.head, [self.tail], piece.lo_pos, piece.hi_pos)
+            self._recorder.sequential(2 * piece.size)
+            self._recorder.write(2 * piece.size)
+            self.cursor += 1
+
+    def recover_head(
+        self,
+        tape: CrackerTape,
+        source_head: np.ndarray,
+        source_index: CrackerIndex,
+        source_cursor: int,
+    ) -> None:
+        """Rebuild the dropped head from a source state at ``source_cursor``.
+
+        The source is either a sibling chunk's head (``source_cursor`` =
+        sibling's cursor, must be ``<= self.cursor``) or the chunk map's
+        frozen area slice (``source_cursor == 0``).  Entries between the two
+        cursors are replayed on the head alone; every kernel's permutation
+        depends only on head values, so the rebuilt head lands exactly
+        aligned with this chunk's tail.
+        """
+        if source_cursor > self.cursor:
+            raise AlignmentError(
+                "head recovery source is aligned past this chunk"
+            )
+        head = source_head.copy()
+        index = source_index.clone()
+        self._recorder.sequential(len(head))
+        self._recorder.write(len(head))
+        for i in range(source_cursor, self.cursor):
+            entry = tape[i]
+            if isinstance(entry, CrackEntry):
+                crack_into(index, head, [], entry.interval, self._recorder)
+            elif isinstance(entry, InsertEntry):
+                head, _ = merge_insertions(
+                    index, head, [], entry.values, [], self._recorder
+                )
+            elif isinstance(entry, DeleteEntry):
+                if entry.positions is None:
+                    raise AlignmentError("delete entry has no located positions")
+                head, _ = delete_positions(index, head, [], entry.positions, self._recorder)
+            elif isinstance(entry, SortEntry):
+                lo = 0 if entry.lo_bound is None else index.position_of(entry.lo_bound)
+                hi = len(head) if entry.hi_bound is None else index.position_of(entry.hi_bound)
+                if lo is None or hi is None:
+                    raise AlignmentError("sort entry references unknown piece bounds")
+                sort_piece(head, [], lo, hi)
+        if len(head) != len(self.tail):
+            raise AlignmentError("recovered head does not match tail length")
+        self.head = head
+        self.index = index
+
+    # -- invariants ------------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        if self.head is None:
+            return
+        self.index.validate(len(self.head))
+        for piece in self.index.pieces(len(self.head)):
+            seg = self.head[piece.lo_pos:piece.hi_pos]
+            if len(seg) == 0:
+                continue
+            if piece.lo_bound is not None:
+                assert not piece.lo_bound.below_mask(seg).any()
+            if piece.hi_bound is not None:
+                assert piece.hi_bound.below_mask(seg).all()

@@ -1,0 +1,290 @@
+"""Chunk maps ``H_A`` and their areas.
+
+The chunk map stores ``(A, key)`` pairs for the whole snapshot and serves as
+the source partial maps fetch chunks from.  Its cracker index partitions it
+into *areas*:
+
+* an **unfetched** area may still be cracked inside ``H_A`` (to isolate
+  exactly the value range a query needs before fetching it);
+* a **fetched** area is frozen in ``H_A`` — cracking it further would break
+  the alignment of chunks already created from it — and carries its own
+  cracker tape plus the set of partial maps referencing it.
+
+Area edges are crack boundaries of ``H_A``'s index, so area positions are
+always read from the index (they shift automatically when updates grow or
+shrink ``H_A``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tape import CrackerTape
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Bound, Interval, Side
+from repro.cracking.crack import crack_bound
+from repro.errors import CrackError
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.relation import Relation
+
+_area_ids = itertools.count()
+
+
+@dataclass
+class Area:
+    """One value-range area of a chunk map.
+
+    ``lo_bound``/``hi_bound`` are ``H_A`` index boundaries (``None`` at the
+    extremes).  ``tape`` and ``refs`` exist only while the area is fetched.
+    """
+
+    lo_bound: Bound | None
+    hi_bound: Bound | None
+    fetched: bool = False
+    tape: CrackerTape | None = None
+    refs: set[str] = field(default_factory=set)
+    area_id: int = field(default_factory=lambda: next(_area_ids))
+    pin_count: int = 0
+
+    def overlaps(self, lower: Bound | None, upper: Bound | None) -> bool:
+        """Does this area overlap the boundary range ``[lower, upper)``?"""
+        if upper is not None and self.lo_bound is not None and upper <= self.lo_bound:
+            return False
+        if lower is not None and self.hi_bound is not None and self.hi_bound <= lower:
+            return False
+        return True
+
+    def contains_strictly(self, bound: Bound) -> bool:
+        """Is ``bound`` strictly inside this area (not at an edge)?"""
+        lo_ok = self.lo_bound is None or self.lo_bound < bound
+        hi_ok = self.hi_bound is None or bound < self.hi_bound
+        return lo_ok and hi_ok
+
+    def clip(self, interval: Interval) -> tuple[Bound | None, Bound | None]:
+        """The interval's bounds that fall strictly inside this area.
+
+        Returns ``(lower, upper)`` where a ``None`` entry means the area edge
+        already isolates that side (no chunk-level crack needed).
+        """
+        lower = interval.lower_bound()
+        upper = interval.upper_bound()
+        lo = lower if lower is not None and self.contains_strictly(lower) else None
+        hi = upper if upper is not None and self.contains_strictly(upper) else None
+        return lo, hi
+
+
+class ChunkMap:
+    """The ``(A, key)`` chunk map of one map set."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        head_attr: str,
+        snapshot_rows: int,
+        recorder: StatsRecorder | None = None,
+        excluded_keys: np.ndarray | None = None,
+    ) -> None:
+        self.relation = relation
+        self.head_attr = head_attr
+        self._recorder = recorder or global_recorder()
+        self.head: np.ndarray = relation.values(head_attr)[:snapshot_rows].copy()
+        self.keys: np.ndarray = np.arange(snapshot_rows, dtype=np.int64)
+        if excluded_keys is not None and len(excluded_keys):
+            keep = ~np.isin(self.keys, np.asarray(excluded_keys, dtype=np.int64))
+            self.head = self.head[keep]
+            self.keys = self.keys[keep]
+        self.index = CrackerIndex()
+        self.areas: list[Area] = [Area(lo_bound=None, hi_bound=None)]
+        self._recorder.sequential(2 * snapshot_rows)
+        self._recorder.write(2 * snapshot_rows)
+        self._recorder.event("map_creations")
+
+    def __len__(self) -> int:
+        return len(self.head)
+
+    @property
+    def storage_cells(self) -> int:
+        return 2 * len(self.head)
+
+    # -- positions -------------------------------------------------------------
+
+    def position_of(self, bound: Bound | None, default: int) -> int:
+        if bound is None:
+            return default
+        pos = self.index.position_of(bound)
+        if pos is None:
+            raise CrackError(f"area edge {bound} is not an H_A boundary")
+        return pos
+
+    def area_positions(self, area: Area) -> tuple[int, int]:
+        lo = self.position_of(area.lo_bound, 0)
+        hi = self.position_of(area.hi_bound, len(self.head))
+        return lo, hi
+
+    def area_size(self, area: Area) -> int:
+        lo, hi = self.area_positions(area)
+        return hi - lo
+
+    def area_slice(self, area: Area) -> tuple[np.ndarray, np.ndarray]:
+        """The frozen ``(A values, keys)`` content of an area."""
+        lo, hi = self.area_positions(area)
+        self._recorder.sequential(2 * (hi - lo))
+        return self.head[lo:hi], self.keys[lo:hi]
+
+    def area_of_id(self, area_id: int) -> Area:
+        for area in self.areas:
+            if area.area_id == area_id:
+                return area
+        raise CrackError(f"no area with id {area_id}")
+
+    # -- covering a predicate ------------------------------------------------------
+
+    def cover(self, interval: Interval, max_area_tuples: int | None = None) -> list[Area]:
+        """Fetched areas covering ``interval``, fetching/cracking as needed.
+
+        Boundary predicates falling inside *unfetched* areas crack ``H_A``
+        first so only the relevant sub-range is fetched; bounds inside
+        *fetched* areas are left to chunk-level cracking.
+
+        ``max_area_tuples`` enables cache-conscious chunk-size enforcement
+        (paper §7 future work): an unfetched area about to be fetched is
+        first median-split until every resulting area fits the budget, so no
+        chunk ever exceeds it.
+        """
+        lower = interval.lower_bound()
+        upper = interval.upper_bound()
+        for bound in (lower, upper):
+            if bound is None:
+                continue
+            area = self._unfetched_area_containing(bound)
+            if area is not None:
+                self._split_unfetched(area, bound)
+
+        out: list[Area] = []
+        index = 0
+        while index < len(self.areas):
+            area = self.areas[index]
+            if not area.overlaps(lower, upper):
+                index += 1
+                continue
+            if not area.fetched:
+                if max_area_tuples is not None and self._median_split(
+                    area, max_area_tuples
+                ):
+                    continue  # re-examine the two halves at this index
+                self._fetch(area)
+            out.append(area)
+            index += 1
+        return out
+
+    def _median_split(self, area: Area, max_tuples: int) -> bool:
+        """Split an oversized unfetched area at its median value.
+
+        Returns True when a split happened (the caller re-examines the
+        halves).  Degenerate value distributions (median equal to an edge)
+        stop the recursion rather than looping.
+        """
+        lo, hi = self.area_positions(area)
+        if hi - lo <= max_tuples:
+            return False
+        segment = self.head[lo:hi]
+        median = Bound(float(np.median(segment)), Side.LE)
+        if not area.contains_strictly(median):
+            alt = Bound(float(np.median(segment)), Side.LT)
+            if not area.contains_strictly(alt):
+                return False
+            median = alt
+        self._split_unfetched(area, median)
+        return True
+
+    def _unfetched_area_containing(self, bound: Bound) -> Area | None:
+        for area in self.areas:
+            if not area.fetched and area.contains_strictly(bound):
+                return area
+        return None
+
+    def _split_unfetched(self, area: Area, bound: Bound) -> None:
+        """Crack ``H_A`` at ``bound``, splitting an unfetched area in two."""
+        crack_bound(self.index, self.head, [self.keys], bound, self._recorder)
+        idx = self.areas.index(area)
+        left = Area(lo_bound=area.lo_bound, hi_bound=bound)
+        right = Area(lo_bound=bound, hi_bound=area.hi_bound)
+        self.areas[idx:idx + 1] = [left, right]
+
+    def _fetch(self, area: Area) -> None:
+        area.fetched = True
+        area.tape = CrackerTape()
+        area.refs = set()
+
+    # -- reference bookkeeping ----------------------------------------------------------
+
+    def add_ref(self, area: Area, map_name: str) -> None:
+        area.refs.add(map_name)
+
+    def drop_ref(self, area: Area, map_name: str) -> None:
+        """Drop a partial map's reference; unfetch the area when none remain.
+
+        An unfetched area's tape is discarded, but any net updates it carried
+        (insert/delete entries) are folded back into ``H_A`` first so no
+        primary information is lost.
+        """
+        area.refs.discard(map_name)
+        if area.refs or area.pin_count > 0:
+            # Keep the fetched state (and tape) while a query is using the
+            # area, even if no chunk currently materializes it.
+            return
+        self._fold_tape_into_region(area)
+        area.fetched = False
+        area.tape = None
+
+    def _fold_tape_into_region(self, area: Area) -> None:
+        """Materialize an area tape's insert/delete effects into ``H_A``."""
+        assert area.tape is not None
+        from repro.core.tape import DeleteEntry, InsertEntry
+
+        has_updates = any(
+            isinstance(e, (InsertEntry, DeleteEntry)) for e in area.tape.entries
+        )
+        if not has_updates:
+            return
+        lo, hi = self.area_positions(area)
+        head = self.head[lo:hi].copy()
+        keys = self.keys[lo:hi].copy()
+        for entry in area.tape.entries:
+            if isinstance(entry, InsertEntry):
+                head = np.concatenate([head, entry.values])
+                keys = np.concatenate([keys, entry.keys])
+            elif isinstance(entry, DeleteEntry):
+                keep = ~np.isin(keys, entry.keys)
+                head, keys = head[keep], keys[keep]
+        delta = len(head) - (hi - lo)
+        self.head = np.concatenate([self.head[:lo], head, self.head[hi:]])
+        self.keys = np.concatenate([self.keys[:lo], keys, self.keys[hi:]])
+        if delta:
+            self.index.apply_shifts([(hi, delta)])
+        self._recorder.sequential(2 * len(head))
+        self._recorder.write(2 * len(head))
+
+    # -- invariants -------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        self.index.validate(len(self.head))
+        prev_hi: Bound | None = None
+        for i, area in enumerate(self.areas):
+            if i == 0:
+                assert area.lo_bound is None, "first area must be unbounded below"
+            else:
+                assert area.lo_bound == prev_hi, "areas must be contiguous"
+            prev_hi = area.hi_bound
+            lo, hi = self.area_positions(area)
+            assert lo <= hi, f"area {area.area_id} has inverted positions"
+            seg = self.head[lo:hi]
+            if len(seg):
+                if area.lo_bound is not None:
+                    assert not area.lo_bound.below_mask(seg).any()
+                if area.hi_bound is not None:
+                    assert area.hi_bound.below_mask(seg).all()
+        assert prev_hi is None, "last area must be unbounded above"

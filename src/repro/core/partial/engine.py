@@ -1,0 +1,612 @@
+"""Partial sideways cracking: the query-level facade.
+
+Mirrors :class:`repro.core.sideways.SidewaysCracker` but materializes maps
+chunk-wise.  Key behaviors from Section 4:
+
+* **chunk-wise processing** — every operator handles one area at a time:
+  load/create the chunk, align it, crack it if it is a boundary chunk, run
+  the operator over it;
+* **partial alignment** — chunks that will not be cracked are aligned only
+  up to the maximum cursor of the sibling chunks used by the same query,
+  not to the tape end;
+* **monitored alignment** — a boundary chunk replays its tape only until the
+  needed bound appears; cracking (and hence full alignment) happens only if
+  the bound was never cracked before;
+* **storage management** — chunk creation goes through a budgeted LFU
+  storage manager; head columns can be dropped and recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitvector import BitVector
+from repro.core.histogram import estimate_result_size
+from repro.core.partial.chunk import Chunk
+from repro.core.partial.chunkmap import Area, ChunkMap
+from repro.core.partial.partial_map import KEY_TAIL, PartialMap
+from repro.core.partial.storage import ChunkStorage
+from repro.core.tape import DeleteEntry, InsertEntry
+from repro.cracking.bounds import Bound, Interval, interval_from_bounds
+from repro.cracking.pending import PendingUpdates
+from repro.cracking.ripple import (
+    delete_positions,
+    locate_deletions,
+    merge_insertions,
+)
+from repro.errors import PlanError
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class PartialConfig:
+    """Tuning knobs for partial sideways cracking.
+
+    ``partial_alignment=False`` degrades every alignment to a full replay
+    (the ablation baseline).  ``head_drop_mode`` is ``"off"``, ``"cold"``
+    (drop heads of chunks not cracked for ``cold_threshold`` accesses), or
+    ``"cache"`` (sort-then-drop once every piece fits ``cache_piece_tuples``).
+    """
+
+    partial_alignment: bool = True
+    head_drop_mode: str = "off"
+    cold_threshold: int = 8
+    cache_piece_tuples: int = 4096
+    max_chunk_tuples: int | None = None
+
+
+class PartialMapSet:
+    """The partial map set of one head attribute: chunk map + partial maps."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        head_attr: str,
+        storage: ChunkStorage,
+        config: PartialConfig,
+        recorder: StatsRecorder | None = None,
+        excluded_keys: np.ndarray | None = None,
+    ) -> None:
+        self.relation = relation
+        self.head_attr = head_attr
+        self.storage = storage
+        self.config = config
+        self._recorder = recorder or global_recorder()
+        self.snapshot_rows = len(relation)
+        self._excluded_keys = excluded_keys
+        self.chunkmap: ChunkMap | None = None
+        self.maps: dict[str, PartialMap] = {}
+        self.pending = PendingUpdates(n_tails=1)
+
+    # -- lazy construction --------------------------------------------------------
+
+    def _chunkmap(self) -> ChunkMap:
+        if self.chunkmap is None:
+            self.chunkmap = ChunkMap(
+                self.relation, self.head_attr, self.snapshot_rows,
+                self._recorder, self._excluded_keys,
+            )
+            self.storage.register_chunkmap(self.chunkmap)
+        return self.chunkmap
+
+    def map_for(self, tail_attr: str) -> PartialMap:
+        pmap = self.maps.get(tail_attr)
+        if pmap is None:
+            pmap = PartialMap(self._chunkmap(), tail_attr, self._recorder)
+            self.maps[tail_attr] = pmap
+            self.storage.register_map(pmap)
+        return pmap
+
+    # -- pending updates --------------------------------------------------------------
+
+    def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self.pending.add_insertions(np.asarray(values), [np.asarray(keys, np.int64)])
+
+    def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self.pending.add_deletions(values, keys)
+
+    def merge_pending(self, interval: Interval | None = None) -> None:
+        """Route pending updates: physical merges into unfetched ``H_A``
+        regions, tape entries for fetched areas."""
+        if not self.pending.has_pending(interval):
+            return
+        cmap = self._chunkmap()
+        ins_values, ins_tails = self.pending.take_insertions(interval)
+        if len(ins_values):
+            self._route_insertions(cmap, ins_values, ins_tails[0])
+        del_values, del_keys = self.pending.take_deletions(interval)
+        if len(del_values):
+            self._route_deletions(cmap, del_values, del_keys)
+
+    def _area_membership(self, cmap: ChunkMap, values: np.ndarray) -> list[np.ndarray]:
+        """Boolean masks grouping ``values`` by the area they belong to."""
+        masks = []
+        for area in cmap.areas:
+            iv = interval_from_bounds(area.lo_bound, area.hi_bound)
+            masks.append(iv.mask(values))
+        return masks
+
+    def _route_insertions(
+        self, cmap: ChunkMap, values: np.ndarray, keys: np.ndarray
+    ) -> None:
+        unfetched_mask = np.zeros(len(values), dtype=bool)
+        for area, mask in zip(cmap.areas, self._area_membership(cmap, values)):
+            if not mask.any():
+                continue
+            if area.fetched:
+                assert area.tape is not None
+                area.tape.append(InsertEntry(values[mask], keys[mask]))
+            else:
+                unfetched_mask |= mask
+        if unfetched_mask.any():
+            cmap.head, tails = merge_insertions(
+                cmap.index, cmap.head, [cmap.keys],
+                values[unfetched_mask], [keys[unfetched_mask]], self._recorder,
+            )
+            cmap.keys = tails[0]
+
+    def _route_deletions(
+        self, cmap: ChunkMap, values: np.ndarray, keys: np.ndarray
+    ) -> None:
+        unfetched_mask = np.zeros(len(values), dtype=bool)
+        for area, mask in zip(cmap.areas, self._area_membership(cmap, values)):
+            if not mask.any():
+                continue
+            if area.fetched:
+                assert area.tape is not None
+                area.tape.append(DeleteEntry(values[mask], keys[mask]))
+            else:
+                unfetched_mask |= mask
+        if unfetched_mask.any():
+            positions = locate_deletions(
+                cmap.index, cmap.head, cmap.keys,
+                values[unfetched_mask], keys[unfetched_mask], self._recorder,
+            )
+            cmap.head, tails = delete_positions(
+                cmap.index, cmap.head, [cmap.keys], positions, self._recorder
+            )
+            cmap.keys = tails[0]
+
+    # -- delete-entry location ----------------------------------------------------------
+
+    def _ensure_located(self, area: Area, upto: int) -> None:
+        """Locate victim positions for delete entries in ``[0, upto)``.
+
+        Location runs over the area's key chunk (``M_Akey`` materialized
+        chunk-wise), aligned to just before each entry; positions are cached
+        on the entries as with full maps.
+        """
+        assert area.tape is not None
+        pending_idx = [
+            i for i in range(upto)
+            if isinstance(area.tape[i], DeleteEntry) and area.tape[i].positions is None
+        ]
+        if not pending_idx:
+            return
+        key_pmap = self.map_for(KEY_TAIL)
+        chunk = key_pmap.get_chunk(area)
+        if chunk is None:
+            chunk = self._create_chunk(key_pmap, area)
+        for idx in pending_idx:
+            entry = area.tape[idx]
+            assert isinstance(entry, DeleteEntry)
+            self._bring_to(key_pmap, chunk, area, idx)
+            entry.positions = locate_deletions(
+                chunk.index, chunk.head, chunk.tail,
+                entry.values, entry.keys, self._recorder,
+            )
+            chunk.replay_entry(entry)
+
+    # -- chunk management ------------------------------------------------------------------
+
+    def _create_chunk(self, pmap: PartialMap, area: Area) -> Chunk:
+        cmap = self._chunkmap()
+        self.storage.ensure_room(cmap.area_size(area))
+        chunk = pmap.create_chunk(area)
+        self.storage.pin(pmap, area.area_id)
+        return chunk
+
+    def acquire_chunk(self, tail_attr: str, area: Area) -> tuple[PartialMap, Chunk]:
+        pmap = self.map_for(tail_attr)
+        chunk = pmap.get_chunk(area)
+        if chunk is None:
+            chunk = self._create_chunk(pmap, area)
+        else:
+            self.storage.pin(pmap, area.area_id)
+        chunk.touch()
+        return pmap, chunk
+
+    def _bring_to(self, pmap: PartialMap, chunk: Chunk, area: Area, target: int) -> None:
+        """Align a chunk to tape position ``target``, recovering its head
+        and pre-locating delete positions as needed."""
+        assert area.tape is not None
+        if chunk.cursor >= target:
+            return
+        self._ensure_located(area, target)
+        if chunk.head_dropped:
+            self._recover_head(pmap, chunk, area)
+        pmap.align_chunk(chunk, area, upto=target)
+
+    def _recover_head(self, pmap: PartialMap, chunk: Chunk, area: Area) -> None:
+        """Rebuild a dropped head from the best source (Section 4.1)."""
+        assert area.tape is not None
+        best: Chunk | None = None
+        for sibling_map in self.maps.values():
+            sibling = sibling_map.get_chunk(area)
+            if (
+                sibling is not None
+                and sibling is not chunk
+                and not sibling.head_dropped
+                and sibling.cursor <= chunk.cursor
+                and (best is None or sibling.cursor > best.cursor)
+            ):
+                best = sibling
+        if best is not None:
+            chunk.recover_head(area.tape, best.head, best.index, best.cursor)
+        else:
+            head_slice, _ = self._chunkmap().area_slice(area)
+            from repro.cracking.avl import CrackerIndex
+
+            chunk.recover_head(area.tape, head_slice, CrackerIndex(), 0)
+
+    # -- the per-area preparation core -------------------------------------------------------
+
+    def prepare_area(
+        self, area: Area, interval: Interval, tail_attrs: list[str]
+    ) -> dict[str, tuple[Chunk, int, int]]:
+        """Align/crack the chunks of ``tail_attrs`` for one area and return
+        each chunk with its qualifying slice ``[lo, hi)``.
+
+        Implements monitored + partial alignment: the first chunk replays
+        entries only until the needed bounds appear (or cracks at the tape
+        end); every other chunk aligns to exactly the cursor the first one
+        reached.
+        """
+        assert area.tape is not None
+        lower, upper = area.clip(interval)
+        needed = [b for b in (lower, upper) if b is not None]
+        ordered = list(tail_attrs)
+        chunks: dict[str, tuple[PartialMap, Chunk]] = {}
+        for attr in ordered:
+            chunks[attr] = self.acquire_chunk(attr, area)
+
+        baseline = max(chunk.cursor for _, chunk in chunks.values())
+        # Never stop short of merged updates: membership must be current.
+        baseline = max(baseline, area.tape.min_safe_cursor)
+        if not self.config.partial_alignment:
+            baseline = len(area.tape)
+
+        first_map, first_chunk = chunks[ordered[0]]
+        if needed:
+            target = self._align_and_crack(first_map, first_chunk, area, needed,
+                                           lower, upper, baseline)
+        else:
+            target = baseline
+            self._bring_to(first_map, first_chunk, area, target)
+        for attr in ordered[1:]:
+            pmap, chunk = chunks[attr]
+            self._bring_to(pmap, chunk, area, target)
+
+        out: dict[str, tuple[Chunk, int, int]] = {}
+        for attr in ordered:
+            _, chunk = chunks[attr]
+            lo, hi = chunk.area_between(lower, upper)
+            out[attr] = (chunk, lo, hi)
+        return out
+
+    def _align_and_crack(
+        self,
+        pmap: PartialMap,
+        chunk: Chunk,
+        area: Area,
+        needed: list[Bound],
+        lower: Bound | None,
+        upper: Bound | None,
+        baseline: int,
+    ) -> int:
+        """Monitored alignment of a boundary chunk; returns the common cursor."""
+        assert area.tape is not None
+        self._bring_to(pmap, chunk, area, baseline)
+        if self.config.partial_alignment:
+            # Full alignment only while the bound is still missing; stop the
+            # moment it shows up among the replayed cracks.
+            while not chunk.bounds_present(needed) and chunk.cursor < len(area.tape):
+                self._bring_to(pmap, chunk, area, chunk.cursor + 1)
+        else:
+            self._bring_to(pmap, chunk, area, len(area.tape))
+        if chunk.bounds_present(needed):
+            return chunk.cursor
+        # Still missing: full alignment, then crack and log.
+        self._bring_to(pmap, chunk, area, len(area.tape))
+        if chunk.head_dropped:
+            self._recover_head(pmap, chunk, area)
+        clipped = interval_from_bounds(lower, upper)
+        chunk.crack(clipped)
+        area.tape.append_crack(clipped)
+        chunk.cursor = len(area.tape)
+        return chunk.cursor
+
+    # -- planning --------------------------------------------------------------------------------
+
+    def plan(self, interval: Interval) -> list[Area]:
+        """Merge relevant pending updates and cover ``interval`` with areas.
+
+        The returned areas are pinned (they stay fetched even if eviction
+        drops all their chunks mid-query); callers must :meth:`release` them.
+        """
+        cmap = self._chunkmap()
+        self.merge_pending(interval)
+        areas = cmap.cover(interval, self.config.max_chunk_tuples)
+        for area in areas:
+            area.pin_count += 1
+        return areas
+
+    def release(self, areas: list[Area]) -> None:
+        for area in areas:
+            area.pin_count -= 1
+
+    # -- head-drop policy ---------------------------------------------------------------------------
+
+    def apply_head_drop_policy(self, used: list[tuple[str, Area]]) -> None:
+        mode = self.config.head_drop_mode
+        if mode == "off":
+            return
+        for attr, area in used:
+            pmap = self.maps.get(attr)
+            chunk = pmap.get_chunk(area) if pmap else None
+            if chunk is None or chunk.head_dropped:
+                continue
+            if mode == "cold":
+                # Never-cracked chunks are used "as is" and qualify too.
+                idle = chunk.accesses - chunk.last_crack_access
+                if idle >= self.config.cold_threshold:
+                    chunk.drop_head()
+            elif mode == "cache":
+                assert area.tape is not None
+                if chunk.cursor != len(area.tape):
+                    continue
+                pieces = list(chunk.index.pieces(len(chunk)))
+                if pieces and max(p.size for p in pieces) <= self.config.cache_piece_tuples:
+                    chunk.sort_all_pieces(area.tape)
+                    chunk.drop_head()
+
+    def storage_cells(self) -> int:
+        cells = sum(p.storage_cells for p in self.maps.values())
+        if self.chunkmap is not None:
+            cells += self.chunkmap.storage_cells
+        return cells
+
+
+class PartialSidewaysCracker:
+    """Partial sideways cracking over one relation (public facade)."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        budget_tuples: int | None = None,
+        config: PartialConfig | None = None,
+        recorder: StatsRecorder | None = None,
+        storage: ChunkStorage | None = None,
+        tombstone_keys=None,
+    ) -> None:
+        self.relation = relation
+        self.config = config or PartialConfig()
+        self._recorder = recorder or global_recorder()
+        self.storage = storage or ChunkStorage(budget_tuples, self._recorder)
+        self._tombstone_keys = tombstone_keys
+        self.sets: dict[str, PartialMapSet] = {}
+        self._domain_cache: dict[str, tuple[float, float]] = {}
+
+    def set_for(self, head_attr: str) -> PartialMapSet:
+        pset = self.sets.get(head_attr)
+        if pset is None:
+            dead = None
+            if self._tombstone_keys is not None:
+                dead = np.asarray(self._tombstone_keys(), dtype=np.int64)
+            pset = PartialMapSet(
+                self.relation, head_attr, self.storage, self.config,
+                self._recorder, excluded_keys=dead,
+            )
+            self.sets[head_attr] = pset
+        return pset
+
+    # -- updates ----------------------------------------------------------------------
+
+    def notify_insertions(self, rows: dict[str, np.ndarray], keys: np.ndarray) -> None:
+        for head_attr, pset in self.sets.items():
+            pset.add_insertions(np.asarray(rows[head_attr]), keys)
+
+    def notify_deletions(self, values_by_attr: dict[str, np.ndarray], keys: np.ndarray) -> None:
+        for head_attr, pset in self.sets.items():
+            pset.add_deletions(np.asarray(values_by_attr[head_attr]), keys)
+
+    # -- estimation ---------------------------------------------------------------------
+
+    def _domain(self, attr: str) -> tuple[float, float]:
+        cached = self._domain_cache.get(attr)
+        if cached is None:
+            values = self.relation.values(attr)
+            self._recorder.sequential(len(values))
+            cached = (float(values.min()), float(values.max())) if len(values) else (0.0, 0.0)
+            self._domain_cache[attr] = cached
+        return cached
+
+    def estimate_count(self, attr: str, interval: Interval) -> float:
+        lo, hi = self._domain(attr)
+        pset = self.sets.get(attr)
+        if pset is not None and pset.chunkmap is not None and len(pset.chunkmap.index):
+            cmap = pset.chunkmap
+            return estimate_result_size(cmap.index, len(cmap), interval, lo, hi).value
+        n = len(self.relation)
+        span = hi - lo
+        if span <= 0:
+            return float(n)
+        plo = lo if interval.lo is None else max(lo, min(hi, interval.lo))
+        phi = hi if interval.hi is None else max(lo, min(hi, interval.hi))
+        return max(0.0, (phi - plo) / span * n)
+
+    def choose_head(self, predicates: dict[str, Interval], conjunctive: bool = True) -> str:
+        if not predicates:
+            raise PlanError("a multi-selection plan needs at least one predicate")
+        scored = sorted(
+            (self.estimate_count(attr, iv), attr) for attr, iv in predicates.items()
+        )
+        return scored[0][1] if conjunctive else scored[-1][1]
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def select_project(
+        self, head_attr: str, interval: Interval, projections: list[str]
+    ) -> dict[str, np.ndarray]:
+        """Single selection, chunk-wise multi-projection."""
+        pset = self.set_for(head_attr)
+        areas = pset.plan(interval)
+        try:
+            parts: dict[str, list[np.ndarray]] = {attr: [] for attr in projections}
+            used: list[tuple[str, Area]] = []
+            for area in areas:
+                prepared = pset.prepare_area(area, interval, projections)
+                for attr in projections:
+                    chunk, lo, hi = prepared[attr]
+                    self._recorder.sequential(hi - lo)
+                    parts[attr].append(chunk.tail[lo:hi])
+                    used.append((attr, area))
+            out = {attr: _concat(parts[attr]) for attr in projections}
+            pset.apply_head_drop_policy(used)
+            return out
+        finally:
+            pset.release(areas)
+            self.storage.unpin_all()
+
+    def query(
+        self,
+        predicates: dict[str, Interval],
+        projections: list[str],
+        conjunctive: bool = True,
+        head_attr: str | None = None,
+    ) -> dict[str, np.ndarray]:
+        if head_attr is None:
+            head_attr = self.choose_head(predicates, conjunctive)
+        if head_attr not in predicates:
+            raise PlanError(f"head attribute {head_attr!r} has no predicate")
+        if conjunctive:
+            return self._conjunctive(head_attr, predicates, projections)
+        return self._disjunctive(head_attr, predicates, projections)
+
+    def _conjunctive(
+        self, head_attr: str, predicates: dict[str, Interval], projections: list[str]
+    ) -> dict[str, np.ndarray]:
+        pset = self.set_for(head_attr)
+        head_interval = predicates[head_attr]
+        others = [(a, iv) for a, iv in predicates.items() if a != head_attr]
+        attrs = [a for a, _ in others] + [p for p in projections if p not in
+                                          {a for a, _ in others}]
+        areas = pset.plan(head_interval)
+        try:
+            parts: dict[str, list[np.ndarray]] = {attr: [] for attr in projections}
+            used: list[tuple[str, Area]] = []
+            for area in areas:
+                prepared = pset.prepare_area(area, head_interval, attrs)
+                bv: BitVector | None = None
+                for attr, iv in others:
+                    chunk, lo, hi = prepared[attr]
+                    self._recorder.sequential(hi - lo)
+                    mask = iv.mask(chunk.tail[lo:hi])
+                    if bv is None:
+                        bv = BitVector.from_mask(mask)
+                    else:
+                        bv.refine_and(mask)
+                    used.append((attr, area))
+                for attr in projections:
+                    chunk, lo, hi = prepared[attr]
+                    self._recorder.sequential(hi - lo)
+                    values = chunk.tail[lo:hi]
+                    parts[attr].append(values[bv.bits] if bv is not None else values)
+                    used.append((attr, area))
+            out = {attr: _concat(parts[attr]) for attr in projections}
+            pset.apply_head_drop_policy(used)
+            return out
+        finally:
+            pset.release(areas)
+            self.storage.unpin_all()
+
+    def _disjunctive(
+        self, head_attr: str, predicates: dict[str, Interval], projections: list[str]
+    ) -> dict[str, np.ndarray]:
+        pset = self.set_for(head_attr)
+        head_interval = predicates[head_attr]
+        others = [(a, iv) for a, iv in predicates.items() if a != head_attr]
+        attrs = [a for a, _ in others] + [p for p in projections if p not in
+                                          {a for a, _ in others}]
+        # Disjunctions must inspect the areas outside w, i.e. everything.
+        everything = Interval()
+        areas = pset.plan(everything)
+        try:
+            parts: dict[str, list[np.ndarray]] = {attr: [] for attr in projections}
+            used: list[tuple[str, Area]] = []
+            lower = head_interval.lower_bound()
+            upper = head_interval.upper_bound()
+            for area in areas:
+                effective = head_interval if area.overlaps(lower, upper) else None
+                prepared = pset.prepare_area(
+                    area, effective if effective is not None else everything, attrs
+                )
+                first_chunk, w_lo, w_hi = next(iter(prepared.values()))
+                if effective is None:
+                    w_lo = w_hi = 0
+                bv = BitVector(len(first_chunk))
+                bv.set_range(w_lo, w_hi)
+                for attr, iv in others:
+                    chunk, _, _ = prepared[attr]
+                    self._recorder.sequential(len(chunk) - (w_hi - w_lo))
+                    bv.bits[:w_lo] |= iv.mask(chunk.tail[:w_lo])
+                    bv.bits[w_hi:] |= iv.mask(chunk.tail[w_hi:])
+                    used.append((attr, area))
+                for attr in projections:
+                    chunk, _, _ = prepared[attr]
+                    self._recorder.sequential(len(chunk))
+                    parts[attr].append(chunk.tail[bv.bits])
+                    used.append((attr, area))
+            out = {attr: _concat(parts[attr]) for attr in projections}
+            pset.apply_head_drop_policy(used)
+            return out
+        finally:
+            pset.release(areas)
+            self.storage.unpin_all()
+
+    # -- bookkeeping -----------------------------------------------------------------------------
+
+    def storage_tuples(self) -> float:
+        return sum(s.storage_cells() for s in self.sets.values()) / 2
+
+    def describe_state(self) -> str:
+        """A human-readable summary of the chunk-wise organized state."""
+        lines = [f"partial sideways cracker over {self.relation.name!r}: "
+                 f"{len(self.sets)} map set(s), "
+                 f"{self.storage_tuples():,.0f} tuples of auxiliary storage"]
+        for head, pset in sorted(self.sets.items()):
+            if pset.chunkmap is None:
+                lines.append(f"  set S_{head}: (chunk map not yet created)")
+                continue
+            areas = pset.chunkmap.areas
+            fetched = sum(a.fetched for a in areas)
+            lines.append(
+                f"  set S_{head}: {len(areas)} areas ({fetched} fetched), "
+                f"{len(pset.maps)} partial map(s)"
+            )
+            for tail, pmap in sorted(pset.maps.items()):
+                dropped = sum(c.head_dropped for c in pmap.chunks.values())
+                lines.append(
+                    f"    {pmap.name}: {len(pmap.chunks)} chunk(s), "
+                    f"{len(pmap):,} tuples, {dropped} head-dropped"
+                )
+        return "\n".join(lines)
+
+
+def _concat(parts: list[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)

@@ -1,0 +1,94 @@
+"""The chunk storage manager.
+
+Chunks are auxiliary: any one can be dropped at any time without losing
+primary information.  The manager enforces a tuple budget across all partial
+maps of a database, evicting the least-frequently-accessed unpinned chunk
+when room is needed (the paper drops "based on how often queries access
+them").  By default chunk maps do *not* count against the budget — the
+paper's thresholds are expressed in map tuples (T=2M = "two full maps"),
+with the chunk map treated as backbone; pass ``count_chunkmaps=True`` to
+include them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partial.chunkmap import ChunkMap
+from repro.core.partial.partial_map import PartialMap
+from repro.stats.counters import StatsRecorder, global_recorder
+
+
+@dataclass(frozen=True)
+class _ChunkRef:
+    pmap: PartialMap
+    area_id: int
+
+
+class ChunkStorage:
+    """Budgeted chunk bookkeeping with LFU eviction."""
+
+    def __init__(
+        self,
+        budget_tuples: int | None,
+        recorder: StatsRecorder | None = None,
+        count_chunkmaps: bool = False,
+    ) -> None:
+        self.budget_tuples = budget_tuples
+        self.count_chunkmaps = count_chunkmaps
+        self._recorder = recorder or global_recorder()
+        self._maps: list[PartialMap] = []
+        self._chunkmaps: list[ChunkMap] = []
+        self._pinned: set[tuple[str, int]] = set()
+
+    # -- registration -----------------------------------------------------------
+
+    def register_map(self, pmap: PartialMap) -> None:
+        if pmap not in self._maps:
+            self._maps.append(pmap)
+
+    def register_chunkmap(self, cmap: ChunkMap) -> None:
+        if cmap not in self._chunkmaps:
+            self._chunkmaps.append(cmap)
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def used_cells(self) -> int:
+        cells = sum(p.storage_cells for p in self._maps)
+        if self.count_chunkmaps:
+            cells += sum(c.storage_cells for c in self._chunkmaps)
+        return cells
+
+    @property
+    def used_tuples(self) -> float:
+        """Budget usage in map tuples (one tuple = a head/tail cell pair)."""
+        return self.used_cells / 2
+
+    # -- pinning ------------------------------------------------------------------------
+
+    def pin(self, pmap: PartialMap, area_id: int) -> None:
+        self._pinned.add((pmap.name, area_id))
+
+    def unpin_all(self) -> None:
+        self._pinned.clear()
+
+    # -- eviction -----------------------------------------------------------------------
+
+    def ensure_room(self, new_tuples: int) -> None:
+        """Evict least-frequently-accessed unpinned chunks until it fits."""
+        if self.budget_tuples is None:
+            return
+        while self.used_tuples + new_tuples > self.budget_tuples:
+            victim: tuple[int, PartialMap, int] | None = None
+            for pmap in self._maps:
+                for area_id, chunk in pmap.chunks.items():
+                    if (pmap.name, area_id) in self._pinned:
+                        continue
+                    cand = (chunk.accesses, pmap, area_id)
+                    if victim is None or cand[0] < victim[0]:
+                        victim = cand
+            if victim is None:
+                return  # nothing evictable; allow overshoot rather than fail
+            _, pmap, area_id = victim
+            pmap.drop_chunk(area_id)

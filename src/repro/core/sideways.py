@@ -1,0 +1,265 @@
+"""The sideways-cracking query operators over full maps (Section 3).
+
+:class:`SidewaysCracker` owns the map sets of one relation and implements the
+paper's operator suite:
+
+* ``sideways.select`` — single selection, one projection per map
+  (:meth:`SidewaysCracker.select_project`);
+* ``sideways.select_create_bv`` / ``select_refine_bv`` / ``reconstruct`` —
+  conjunctive multi-selection plans over one *aligned* map set, filtering
+  false candidates with a bit vector (:meth:`SidewaysCracker.query`);
+* the symmetric disjunctive plan;
+* map-set choice driven by the cracker indices acting as self-organizing
+  histograms (most selective predicate for conjunctions, least selective for
+  disjunctions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitvector import BitVector
+from repro.core.histogram import estimate_result_size
+from repro.core.mapset import FullMapStorage, MapSet
+from repro.cracking.bounds import Interval
+from repro.errors import PlanError
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.relation import Relation
+
+
+class SidewaysCracker:
+    """Sideways cracking (full maps) over one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        recorder: StatsRecorder | None = None,
+        storage: FullMapStorage | None = None,
+        tombstone_keys=None,
+    ) -> None:
+        self.relation = relation
+        self._recorder = recorder or global_recorder()
+        self._storage = storage
+        self._tombstone_keys = tombstone_keys
+        self.sets: dict[str, MapSet] = {}
+        self._domain_cache: dict[str, tuple[float, float]] = {}
+
+    # -- map-set management ------------------------------------------------------
+
+    def set_for(self, head_attr: str) -> MapSet:
+        mapset = self.sets.get(head_attr)
+        if mapset is None:
+            mapset = MapSet(self.relation, head_attr, self._recorder, self._storage)
+            if self._tombstone_keys is not None:
+                dead = np.asarray(self._tombstone_keys(), dtype=np.int64)
+                if len(dead):
+                    mapset.exclude_from_snapshot(dead)
+            self.sets[head_attr] = mapset
+        return mapset
+
+    def notify_insertions(self, rows: dict[str, np.ndarray], keys: np.ndarray) -> None:
+        """Register appended tuples as pending insertions with every set."""
+        for head_attr, mapset in self.sets.items():
+            mapset.add_insertions(np.asarray(rows[head_attr]), keys)
+
+    def notify_deletions(self, values_by_attr: dict[str, np.ndarray], keys: np.ndarray) -> None:
+        """Register deleted tuples (old values per attribute) with every set."""
+        for head_attr, mapset in self.sets.items():
+            mapset.add_deletions(np.asarray(values_by_attr[head_attr]), keys)
+
+    # -- selectivity estimation ----------------------------------------------------
+
+    def _domain(self, attr: str) -> tuple[float, float]:
+        cached = self._domain_cache.get(attr)
+        if cached is None:
+            values = self.relation.values(attr)
+            self._recorder.sequential(len(values))
+            cached = (float(values.min()), float(values.max())) if len(values) else (0.0, 0.0)
+            self._domain_cache[attr] = cached
+        return cached
+
+    def estimate_count(self, attr: str, interval: Interval) -> float:
+        """Estimated number of qualifying tuples for a predicate on ``attr``.
+
+        Uses the most-aligned map of ``S_attr`` as a self-organizing
+        histogram; falls back to a uniform assumption over the attribute
+        domain when no map exists yet.
+        """
+        lo, hi = self._domain(attr)
+        n = len(self.relation)
+        mapset = self.sets.get(attr)
+        cmap = mapset.most_aligned_map() if mapset is not None else None
+        if cmap is not None and len(cmap.index):
+            return estimate_result_size(cmap.index, len(cmap), interval, lo, hi).value
+        # Uniform fallback over [lo, hi].
+        span = hi - lo
+        if span <= 0:
+            return float(n)
+        plo = lo if interval.lo is None else max(lo, min(hi, interval.lo))
+        phi = hi if interval.hi is None else max(lo, min(hi, interval.hi))
+        return max(0.0, (phi - plo) / span * n)
+
+    def choose_head(
+        self, predicates: dict[str, Interval], conjunctive: bool = True
+    ) -> str:
+        """Pick the map set for a multi-selection plan.
+
+        Conjunctions want the most selective predicate (smallest bit vector);
+        disjunctions the least selective (smallest area outside ``w``).
+        """
+        if not predicates:
+            raise PlanError("a multi-selection plan needs at least one predicate")
+        scored = sorted(
+            (self.estimate_count(attr, iv), attr) for attr, iv in predicates.items()
+        )
+        return scored[0][1] if conjunctive else scored[-1][1]
+
+    # -- single-selection, multi-projection (Section 3.2) ----------------------------
+
+    def _pin(self, head_attr: str, tail_attrs: list[str]) -> None:
+        """Protect the running plan's maps (and ``M_Akey``) from eviction."""
+        if self._storage is not None:
+            pairs = {(head_attr, attr) for attr in tail_attrs}
+            pairs.add((head_attr, "@key"))
+            self._storage.pin(pairs)
+
+    def _unpin(self) -> None:
+        if self._storage is not None:
+            self._storage.unpin()
+
+    def select_project(
+        self, head_attr: str, interval: Interval, projections: list[str]
+    ) -> dict[str, np.ndarray]:
+        """``select p1, .., pk from R where interval(head_attr)``.
+
+        One ``sideways.select`` per projection; adaptive alignment keeps the
+        result slices positionally aligned across maps.
+        """
+        mapset = self.set_for(head_attr)
+        self._pin(head_attr, projections)
+        try:
+            out: dict[str, np.ndarray] = {}
+            for attr in projections:
+                cmap, lo, hi = mapset.select(attr, interval)
+                self._recorder.sequential(hi - lo)
+                # Copy: the map keeps reorganizing under future queries.
+                out[attr] = cmap.tail[lo:hi].copy()
+            return out
+        finally:
+            self._unpin()
+
+    # -- multi-selection plans (Section 3.3) --------------------------------------------
+
+    def query(
+        self,
+        predicates: dict[str, Interval],
+        projections: list[str],
+        conjunctive: bool = True,
+        head_attr: str | None = None,
+    ) -> dict[str, np.ndarray]:
+        """A full multi-selection / multi-projection sideways plan.
+
+        Returns positionally aligned projection arrays of the qualifying
+        tuples.  ``head_attr`` overrides the histogram-driven map-set choice
+        (used by the ablation benchmarks).
+        """
+        if head_attr is None:
+            head_attr = self.choose_head(predicates, conjunctive)
+        if head_attr not in predicates:
+            raise PlanError(f"head attribute {head_attr!r} has no predicate")
+        tails = [a for a in predicates if a != head_attr] + list(projections)
+        self._pin(head_attr, tails)
+        try:
+            if conjunctive:
+                return self._conjunctive(head_attr, predicates, projections)
+            return self._disjunctive(head_attr, predicates, projections)
+        finally:
+            self._unpin()
+
+    def _conjunctive(
+        self, head_attr: str, predicates: dict[str, Interval], projections: list[str]
+    ) -> dict[str, np.ndarray]:
+        mapset = self.set_for(head_attr)
+        head_interval = predicates[head_attr]
+        others = [(a, iv) for a, iv in predicates.items() if a != head_attr]
+
+        bv: BitVector | None = None
+        area: tuple[int, int] | None = None
+        # select_create_bv on the first non-head predicate, select_refine_bv
+        # on the rest.
+        for attr, iv in others:
+            cmap, lo, hi = mapset.select(attr, head_interval)
+            area = (lo, hi)
+            self._recorder.sequential(hi - lo)
+            mask = iv.mask(cmap.tail[lo:hi])
+            if bv is None:
+                bv = BitVector.from_mask(mask)
+            else:
+                bv.refine_and(mask)
+
+        out: dict[str, np.ndarray] = {}
+        for attr in projections:
+            cmap, lo, hi = mapset.select(attr, head_interval)
+            if area is not None and (lo, hi) != area:
+                raise PlanError("aligned maps disagree on the candidate area")
+            area = (lo, hi)
+            self._recorder.sequential(hi - lo)
+            values = cmap.tail[lo:hi]
+            out[attr] = values[bv.bits] if bv is not None else values.copy()
+        return out
+
+    def _disjunctive(
+        self, head_attr: str, predicates: dict[str, Interval], projections: list[str]
+    ) -> dict[str, np.ndarray]:
+        mapset = self.set_for(head_attr)
+        head_interval = predicates[head_attr]
+        others = [(a, iv) for a, iv in predicates.items() if a != head_attr]
+
+        bv: BitVector | None = None
+        for attr, iv in others:
+            cmap, lo, hi = mapset.select(attr, head_interval)
+            if bv is None:
+                bv = BitVector(len(cmap))
+                bv.set_range(lo, hi)
+            # Only the areas outside w can contain additional qualifiers.
+            self._recorder.sequential(len(cmap) - (hi - lo))
+            bv.bits[:lo] |= iv.mask(cmap.tail[:lo])
+            bv.bits[hi:] |= iv.mask(cmap.tail[hi:])
+
+        out: dict[str, np.ndarray] = {}
+        for attr in projections:
+            cmap, lo, hi = mapset.select(attr, head_interval)
+            if bv is None:
+                # Degenerate: a single-predicate "disjunction".
+                self._recorder.sequential(hi - lo)
+                out[attr] = cmap.tail[lo:hi].copy()
+            else:
+                self._recorder.sequential(len(cmap))
+                out[attr] = cmap.tail[bv.bits]
+        return out
+
+    # -- bookkeeping -----------------------------------------------------------------------
+
+    def storage_tuples(self) -> int:
+        return sum(s.storage_tuples() for s in self.sets.values())
+
+    def describe_state(self) -> str:
+        """A human-readable summary of the self-organized state."""
+        lines = [f"sideways cracker over {self.relation.name!r}: "
+                 f"{len(self.sets)} map set(s), "
+                 f"{self.storage_tuples():,} tuples of auxiliary storage"]
+        for head, mapset in sorted(self.sets.items()):
+            lines.append(
+                f"  set S_{head}: {len(mapset.maps)} map(s), "
+                f"tape length {len(mapset.tape)}, "
+                f"{mapset.pending.insertion_count} pending insert(s), "
+                f"{mapset.pending.deletion_count} pending delete(s)"
+            )
+            for tail, cmap in sorted(mapset.maps.items()):
+                behind = len(mapset.tape) - cmap.cursor
+                lines.append(
+                    f"    M_{head},{tail}: {len(cmap):,} tuples, "
+                    f"{cmap.index.piece_count} pieces, "
+                    f"{cmap.accesses} accesses, {behind} entries behind"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Cracker tapes.
+
+A tape logs, in order of occurrence, every physical-reorganization event on a
+map set (or, for partial maps, on one fetched chunk-map area):
+
+* :class:`CrackEntry` — a range predicate that cracked some map;
+* :class:`InsertEntry` — a batch of pending insertions merged into some map;
+* :class:`DeleteEntry` — a batch of pending deletions applied to some map;
+* :class:`SortEntry` — a piece was stable-sorted (head-drop preparation).
+
+Every map carries a *cursor*: the number of tape entries it has applied.
+Aligning a map means replaying entries from its cursor to the tape's end.
+Because every event is implemented by a deterministic kernel, two maps that
+replayed the same prefix from the same start snapshot are physically aligned.
+
+``DeleteEntry`` caches the victim *positions* once the first map (always via
+the set's ``M_Akey``) locates them: any map aligned to just-before the entry
+has the identical permutation, so the positions are valid for all replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cracking.bounds import Bound, Interval
+
+
+@dataclass
+class CrackEntry:
+    """A selection predicate that triggered cracking."""
+
+    interval: Interval
+
+
+@dataclass
+class InsertEntry:
+    """Insertions merged on demand: head values plus tuple keys.
+
+    Tail values are *not* stored — each map fetches its own tail attribute
+    from the base column via the keys when it replays the entry.
+    """
+
+    values: np.ndarray
+    keys: np.ndarray
+
+
+@dataclass
+class DeleteEntry:
+    """Deletions applied on demand: old head values plus victim keys.
+
+    ``positions`` is filled in by the first applier (via ``M_Akey``) and
+    reused verbatim by every later replay.
+    """
+
+    values: np.ndarray
+    keys: np.ndarray
+    positions: np.ndarray | None = None
+
+
+@dataclass
+class SortEntry:
+    """A piece, identified by its bounding cracks, was stable-sorted."""
+
+    lo_bound: Bound | None
+    hi_bound: Bound | None
+
+
+TapeEntry = CrackEntry | InsertEntry | DeleteEntry | SortEntry
+
+
+@dataclass
+class CrackerTape:
+    """An append-only log of reorganization events.
+
+    ``min_safe_cursor`` is the earliest cursor a *partially aligned* map may
+    stop at: one past the last insert/delete entry.  Crack and sort entries
+    only permute tuples, so maps that are mutually aligned to a common cursor
+    past all updates agree on membership; skipping an update entry would make
+    a map miss (or retain) tuples.
+    """
+
+    entries: list[TapeEntry] = field(default_factory=list)
+    min_safe_cursor: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def append(self, entry: TapeEntry) -> int:
+        """Append ``entry``; returns its index."""
+        self.entries.append(entry)
+        if isinstance(entry, (InsertEntry, DeleteEntry)):
+            self.min_safe_cursor = len(self.entries)
+        return len(self.entries) - 1
+
+    def append_crack(self, interval: Interval) -> int:
+        """Append a crack entry, deduplicating an immediate repeat.
+
+        Consecutive identical predicates arise when one query runs several
+        sideways operators over the same selection; replaying the duplicate
+        would be a no-op, so it is elided.
+        """
+        if self.entries:
+            last = self.entries[-1]
+            if isinstance(last, CrackEntry) and last.interval == interval:
+                return len(self.entries) - 1
+        return self.append(CrackEntry(interval))
+
+    def since(self, cursor: int) -> list[TapeEntry]:
+        """Entries not yet applied by a map whose cursor is ``cursor``."""
+        return self.entries[cursor:]
+
+    def __getitem__(self, idx: int) -> TapeEntry:
+        return self.entries[idx]

@@ -1,0 +1,170 @@
+"""Piece boundaries and range predicates.
+
+A *crack boundary* ``Bound(value, side)`` splits a cracked array at a
+position ``p`` such that
+
+* ``side == Side.LT``: every element before ``p`` satisfies ``x <  value``;
+* ``side == Side.LE``: every element before ``p`` satisfies ``x <= value``;
+
+and every element at or after ``p`` satisfies the complement.  Boundaries are
+totally ordered by ``(value, side)`` with ``LT < LE`` (the set ``x < v`` is a
+subset of ``x <= v``), so sorted boundaries have monotonically non-decreasing
+positions.
+
+An :class:`Interval` is a range predicate ``lo <? A <? hi`` with independent
+endpoint inclusivity; it translates to at most two boundaries:
+
+========================  =======================
+predicate endpoint        boundary isolating it
+========================  =======================
+``A >  lo`` (exclusive)   ``Bound(lo, LE)``
+``A >= lo`` (inclusive)   ``Bound(lo, LT)``
+``A <  hi`` (exclusive)   ``Bound(hi, LT)``
+``A <= hi`` (inclusive)   ``Bound(hi, LE)``
+========================  =======================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PredicateError
+
+
+class Side(enum.IntEnum):
+    """Which comparison the left part of a boundary satisfies."""
+
+    LT = 0
+    LE = 1
+
+
+@dataclass(frozen=True, order=True)
+class Bound:
+    """A crack boundary, ordered by ``(value, side)``."""
+
+    value: float
+    side: Side
+
+    def below_mask(self, arr: np.ndarray) -> np.ndarray:
+        """Boolean mask of elements that belong strictly left of this bound."""
+        if self.side is Side.LT:
+            return arr < self.value
+        return arr <= self.value
+
+    def __repr__(self) -> str:
+        op = "<" if self.side is Side.LT else "<="
+        return f"Bound(x{op}{self.value})"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A one- or two-sided range predicate over one attribute.
+
+    ``lo is None`` / ``hi is None`` denote unbounded sides.  An interval that
+    can never match (e.g. ``5 < A < 5``) raises :class:`PredicateError` —
+    workload generators should not emit empty predicates.
+    """
+
+    lo: float | None = None
+    hi: float | None = None
+    lo_inclusive: bool = False
+    hi_inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None:
+            if self.lo > self.hi:
+                raise PredicateError(f"inverted range: {self}")
+            both_closed = self.lo_inclusive and self.hi_inclusive
+            if self.lo == self.hi and not both_closed:
+                raise PredicateError(f"empty range: {self}")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def open(cls, lo: float, hi: float) -> "Interval":
+        """``lo < A < hi`` (the paper's usual predicate shape)."""
+        return cls(lo, hi, lo_inclusive=False, hi_inclusive=False)
+
+    @classmethod
+    def closed(cls, lo: float, hi: float) -> "Interval":
+        """``lo <= A <= hi``."""
+        return cls(lo, hi, lo_inclusive=True, hi_inclusive=True)
+
+    @classmethod
+    def half_open(cls, lo: float, hi: float) -> "Interval":
+        """``lo <= A < hi``."""
+        return cls(lo, hi, lo_inclusive=True, hi_inclusive=False)
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """``A == value``."""
+        return cls(value, value, lo_inclusive=True, hi_inclusive=True)
+
+    @classmethod
+    def at_least(cls, lo: float, inclusive: bool = True) -> "Interval":
+        return cls(lo=lo, hi=None, lo_inclusive=inclusive)
+
+    @classmethod
+    def at_most(cls, hi: float, inclusive: bool = True) -> "Interval":
+        return cls(lo=None, hi=hi, hi_inclusive=inclusive)
+
+    # -- boundary translation -------------------------------------------------
+
+    def lower_bound(self) -> Bound | None:
+        """The boundary whose right part is exactly the qualifying lower side."""
+        if self.lo is None:
+            return None
+        return Bound(self.lo, Side.LT if self.lo_inclusive else Side.LE)
+
+    def upper_bound(self) -> Bound | None:
+        """The boundary whose left part is exactly the qualifying upper side."""
+        if self.hi is None:
+            return None
+        return Bound(self.hi, Side.LE if self.hi_inclusive else Side.LT)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def mask(self, arr: np.ndarray) -> np.ndarray:
+        """Boolean mask of qualifying elements in ``arr``."""
+        out = np.ones(len(arr), dtype=bool)
+        if self.lo is not None:
+            out &= (arr >= self.lo) if self.lo_inclusive else (arr > self.lo)
+        if self.hi is not None:
+            out &= (arr <= self.hi) if self.hi_inclusive else (arr < self.hi)
+        return out
+
+    def contains(self, value: float) -> bool:
+        lo_ok = (
+            self.lo is None
+            or value > self.lo
+            or (self.lo_inclusive and value == self.lo)
+        )
+        hi_ok = (
+            self.hi is None
+            or value < self.hi
+            or (self.hi_inclusive and value == self.hi)
+        )
+        return lo_ok and hi_ok
+
+    def __repr__(self) -> str:
+        lo_op = "<=" if self.lo_inclusive else "<"
+        hi_op = "<=" if self.hi_inclusive else "<"
+        lo = "-inf" if self.lo is None else f"{self.lo}{lo_op}"
+        hi = "" if self.hi is None else f"{hi_op}{self.hi}"
+        return f"Interval({lo}A{hi})"
+
+
+def interval_from_bounds(lower: Bound | None, upper: Bound | None) -> Interval:
+    """The interval whose qualifying area lies between two crack boundaries.
+
+    Inverse of :meth:`Interval.lower_bound` / :meth:`Interval.upper_bound`:
+    a lower boundary ``(v, LE)`` means "qualifiers have ``A > v``", etc.
+    """
+    lo = None if lower is None else lower.value
+    hi = None if upper is None else upper.value
+    lo_inclusive = lower is not None and lower.side is Side.LT
+    hi_inclusive = upper is not None and upper.side is Side.LE
+    return Interval(lo, hi, lo_inclusive=lo_inclusive, hi_inclusive=hi_inclusive)

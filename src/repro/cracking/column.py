@@ -1,0 +1,107 @@
+"""Cracker columns: selection cracking over one attribute.
+
+The first time an attribute is selected on, a copy of its base column is
+taken (values in the head, tuple keys in the tail).  Every subsequent range
+selection physically reorganizes the copy so the qualifying tuples become a
+contiguous area, registering the new piece boundaries in an AVL cracker
+index.  Results are *keys* in cracked (not insertion) order — the root cause
+of the expensive scattered tuple reconstruction that sideways cracking fixes.
+
+Pending updates are merged on demand, restricted to the value range the
+current query touches (Ripple).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Interval
+from repro.cracking.crack import crack_into
+from repro.cracking.pending import PendingUpdates
+from repro.cracking.ripple import delete_positions, locate_deletions, merge_insertions
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.bat import BAT
+
+
+class CrackerColumn:
+    """The cracked copy of one base column plus its index and pending buffers."""
+
+    def __init__(self, base: BAT, recorder: StatsRecorder | None = None) -> None:
+        self._recorder = recorder or global_recorder()
+        self.head: np.ndarray = base.values.copy()
+        self.keys: np.ndarray = base.materialized_keys().copy()
+        self.index = CrackerIndex()
+        self.pending = PendingUpdates(n_tails=1)
+        # Creating the cracker column costs a full sequential copy.
+        self._recorder.sequential(2 * len(self.head))
+        self._recorder.write(2 * len(self.head))
+
+    def __len__(self) -> int:
+        return len(self.head)
+
+    # -- querying -----------------------------------------------------------------
+
+    def select(self, interval: Interval) -> np.ndarray:
+        """Keys of tuples qualifying ``interval`` (in cracked order).
+
+        Merges relevant pending updates, cracks, and returns a copy of the
+        qualifying tail area.
+        """
+        self.apply_pending(interval)
+        lo, hi = crack_into(self.index, self.head, [self.keys], interval, self._recorder)
+        self._recorder.sequential(hi - lo)
+        return self.keys[lo:hi].copy()
+
+    def select_area(self, interval: Interval) -> tuple[int, int]:
+        """Crack for ``interval`` and return the qualifying area ``[lo, hi)``."""
+        self.apply_pending(interval)
+        return crack_into(self.index, self.head, [self.keys], interval, self._recorder)
+
+    def count(self, interval: Interval) -> int:
+        lo, hi = self.select_area(interval)
+        return hi - lo
+
+    # -- updates --------------------------------------------------------------------
+
+    def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self.pending.add_insertions(np.asarray(values), [np.asarray(keys, dtype=np.int64)])
+
+    def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self.pending.add_deletions(values, keys)
+
+    def apply_pending(self, interval: Interval | None = None) -> None:
+        """Merge pending updates whose values fall inside ``interval``."""
+        if not self.pending.has_pending(interval):
+            return
+        ins_head, ins_tails = self.pending.take_insertions(interval)
+        if len(ins_head):
+            self.head, tails = merge_insertions(
+                self.index, self.head, [self.keys], ins_head, ins_tails, self._recorder
+            )
+            self.keys = tails[0]
+        del_values, del_keys = self.pending.take_deletions(interval)
+        if len(del_values):
+            positions = locate_deletions(
+                self.index, self.head, self.keys, del_values, del_keys, self._recorder
+            )
+            self.head, tails = delete_positions(
+                self.index, self.head, [self.keys], positions, self._recorder
+            )
+            self.keys = tails[0]
+
+    # -- invariants (used by tests) ---------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify every piece respects its boundary predicates."""
+        self.index.validate(len(self.head))
+        for piece in self.index.pieces(len(self.head)):
+            seg = self.head[piece.lo_pos:piece.hi_pos]
+            if piece.lo_bound is not None and len(seg):
+                assert not piece.lo_bound.below_mask(seg).any(), (
+                    f"piece {piece} contains values below its lower bound"
+                )
+            if piece.hi_bound is not None and len(seg):
+                assert piece.hi_bound.below_mask(seg).all(), (
+                    f"piece {piece} contains values above its upper bound"
+                )

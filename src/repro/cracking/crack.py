@@ -1,0 +1,100 @@
+"""The shared range-cracking routine.
+
+``crack_into`` is the single code path through which cracker columns, cracker
+maps, and partial-map chunks physically reorganize themselves.  Having one
+deterministic implementation is what makes tape replay produce identical
+permutations everywhere (see :mod:`repro.cracking.kernels`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Bound, Interval
+from repro.cracking.kernels import crack_three, crack_two
+from repro.stats.counters import StatsRecorder, global_recorder
+
+
+def _account_partition(
+    recorder: StatsRecorder, width: int, n_arrays: int
+) -> None:
+    """Charge a partition pass over ``width`` elements of ``n_arrays`` arrays."""
+    recorder.sequential(width * n_arrays)
+    recorder.write(width * n_arrays)
+    recorder.event("cracks")
+
+
+def crack_bound(
+    index: CrackerIndex,
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    bound: Bound,
+    recorder: StatsRecorder | None = None,
+) -> int:
+    """Ensure ``bound`` is a piece boundary; crack its piece if it is not.
+
+    Returns the boundary's position.
+    """
+    recorder = recorder or global_recorder()
+    recorder.event("index_lookups")
+    pos = index.position_of(bound)
+    if pos is not None:
+        return pos
+    lo, hi = index.enclosing(bound, len(head))
+    split = crack_two(head, tails, lo, hi, bound)
+    _account_partition(recorder, hi - lo, 1 + len(tails))
+    index.insert(bound, split)
+    return split
+
+
+def crack_into(
+    index: CrackerIndex,
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    interval: Interval,
+    recorder: StatsRecorder | None = None,
+) -> tuple[int, int]:
+    """Physically cluster the tuples qualifying ``interval`` into one area.
+
+    Cracks the enclosing piece(s) as needed (crack-in-three when both new
+    bounds fall into the same piece, crack-in-two otherwise) and returns the
+    contiguous qualifying area ``[w_lo, w_hi)``.
+    """
+    recorder = recorder or global_recorder()
+    n = len(head)
+    lower = interval.lower_bound()
+    upper = interval.upper_bound()
+
+    if lower is not None and upper is not None:
+        recorder.event("index_lookups", 2)
+        lo_pos = index.position_of(lower)
+        hi_pos = index.position_of(upper)
+        if lo_pos is None and hi_pos is None:
+            piece_lo_l, piece_hi_l = index.enclosing(lower, n)
+            piece_lo_u, piece_hi_u = index.enclosing(upper, n)
+            if (piece_lo_l, piece_hi_l) == (piece_lo_u, piece_hi_u):
+                p1, p2 = crack_three(
+                    head, tails, piece_lo_l, piece_hi_l, lower, upper
+                )
+                _account_partition(recorder, piece_hi_l - piece_lo_l, 1 + len(tails))
+                index.insert(lower, p1)
+                index.insert(upper, p2)
+                return p1, p2
+        w_lo = lo_pos if lo_pos is not None else crack_bound(
+            index, head, tails, lower, recorder
+        )
+        w_hi = hi_pos if hi_pos is not None else crack_bound(
+            index, head, tails, upper, recorder
+        )
+        return w_lo, w_hi
+
+    w_lo = 0
+    w_hi = n
+    if lower is not None:
+        w_lo = crack_bound(index, head, tails, lower, recorder)
+    if upper is not None:
+        w_hi = crack_bound(index, head, tails, upper, recorder)
+    return w_lo, w_hi

@@ -1,0 +1,100 @@
+"""Vectorized crack kernels.
+
+The original cracking papers use in-place swap-based partitioning; in Python
+that would be orders of magnitude too slow, so we use NumPy *stable*
+partitioning: compute the group of every element, then gather groups in
+order.  Stability matters beyond speed — it makes every kernel a pure
+function of (input order, pivot), i.e. *deterministic*, which is exactly the
+property adaptive alignment relies on: replaying the same tape against the
+same start state reproduces the same permutation on every map of a set.
+
+Each kernel reorders a segment ``[lo, hi)`` of the *head* array and applies
+the identical permutation to any number of *tail* arrays (cracker maps have
+one tail; key-carrying structures may have more).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cracking.bounds import Bound
+from repro.errors import CrackError
+
+
+def _apply_order(
+    head: np.ndarray, tails: Sequence[np.ndarray], lo: int, hi: int, order: np.ndarray
+) -> None:
+    head[lo:hi] = head[lo:hi][order]
+    for tail in tails:
+        tail[lo:hi] = tail[lo:hi][order]
+
+
+def crack_two(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    bound: Bound,
+) -> int:
+    """Stable two-way partition of ``head[lo:hi]`` around ``bound``.
+
+    After the call, elements in ``[lo, split)`` satisfy the bound's left side
+    and elements in ``[split, hi)`` its right side.  Returns ``split``.
+    """
+    if not (0 <= lo <= hi <= len(head)):
+        raise CrackError(f"crack_two range [{lo}, {hi}) outside array of {len(head)}")
+    seg = head[lo:hi]
+    below = bound.below_mask(seg)
+    k = int(below.sum())
+    if k == 0 or k == len(seg):
+        return lo + k
+    order = np.concatenate([np.flatnonzero(below), np.flatnonzero(~below)])
+    _apply_order(head, tails, lo, hi, order)
+    return lo + k
+
+
+def crack_three(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    lower: Bound,
+    upper: Bound,
+) -> tuple[int, int]:
+    """Stable three-way partition around two bounds in one pass.
+
+    Produces ``[lo, p1)`` below ``lower``, ``[p1, p2)`` between the bounds,
+    and ``[p2, hi)`` above ``upper``; returns ``(p1, p2)``.
+    """
+    if not (0 <= lo <= hi <= len(head)):
+        raise CrackError(f"crack_three range [{lo}, {hi}) outside array of {len(head)}")
+    if upper < lower:
+        raise CrackError(f"crack_three bounds out of order: {lower} vs {upper}")
+    seg = head[lo:hi]
+    below_low = lower.below_mask(seg)
+    below_high = upper.below_mask(seg)
+    mid = below_high & ~below_low
+    high = ~below_high
+    k1 = int(below_low.sum())
+    k2 = k1 + int(mid.sum())
+    order = np.concatenate(
+        [np.flatnonzero(below_low), np.flatnonzero(mid), np.flatnonzero(high)]
+    )
+    _apply_order(head, tails, lo, hi, order)
+    return lo + k1, lo + k2
+
+
+def sort_piece(
+    head: np.ndarray, tails: Sequence[np.ndarray], lo: int, hi: int
+) -> None:
+    """Stable-sort ``head[lo:hi]`` and co-reorder the tails.
+
+    Used when the head column of a fully cracked (cache-resident) piece is
+    about to be dropped: sorting makes any future crack of the piece a binary
+    search, and being stable it is deterministic, so it can be logged to a
+    tape and replayed for alignment.
+    """
+    order = np.argsort(head[lo:hi], kind="stable")
+    _apply_order(head, tails, lo, hi, order)

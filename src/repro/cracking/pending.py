@@ -1,0 +1,124 @@
+"""Pending-update buffers.
+
+Updates in a cracking DBMS are not applied immediately: they sit in pending
+buffers and are merged into the cracked structure only when a query actually
+needs the affected value range (Idreos et al., SIGMOD 2007).  An update is a
+deletion plus an insertion.
+
+The buffer is generic over the number of tail columns so the same machinery
+serves cracker columns (tail = keys) and cracker maps (tail = projected
+attribute, plus the set-level ``M_Akey`` map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cracking.bounds import Interval
+from repro.errors import UpdateError
+
+
+def _empty(dtype: np.dtype) -> np.ndarray:
+    return np.empty(0, dtype=dtype)
+
+
+@dataclass
+class PendingUpdates:
+    """Pending insertions and deletions for one cracked structure.
+
+    Insertions are rows ``(head_value, tail_0, tail_1, ...)``; deletions are
+    ``(head_value, key)`` pairs — the head value is retained so the merge can
+    locate the piece holding the victim without scanning the whole structure.
+    """
+
+    n_tails: int = 1
+    ins_head: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
+    ins_tails: list[np.ndarray] = field(default_factory=list)
+    del_values: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
+    del_keys: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
+
+    def __post_init__(self) -> None:
+        if not self.ins_tails:
+            self.ins_tails = [_empty(np.dtype(np.int64)) for _ in range(self.n_tails)]
+
+    # -- enqueue -----------------------------------------------------------------
+
+    def add_insertions(self, head: np.ndarray, tails: list[np.ndarray]) -> None:
+        if len(tails) != self.n_tails:
+            raise UpdateError(f"expected {self.n_tails} tail columns, got {len(tails)}")
+        head = np.asarray(head)
+        if any(len(t) != len(head) for t in tails):
+            raise UpdateError("ragged insertion batch")
+        self.ins_head = np.concatenate([self.ins_head, head]) if len(self.ins_head) else head.copy()
+        for i, t in enumerate(tails):
+            t = np.asarray(t)
+            self.ins_tails[i] = (
+                np.concatenate([self.ins_tails[i], t]) if len(self.ins_tails[i]) else t.copy()
+            )
+
+    def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        values = np.asarray(values)
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(values) != len(keys):
+            raise UpdateError("deletion values and keys differ in length")
+        self.del_values = (
+            np.concatenate([self.del_values, values]) if len(self.del_values) else values.copy()
+        )
+        self.del_keys = (
+            np.concatenate([self.del_keys, keys]) if len(self.del_keys) else keys.copy()
+        )
+
+    # -- drain -------------------------------------------------------------------
+
+    def take_insertions(
+        self, interval: Interval | None = None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Remove and return pending insertions whose head value falls in
+        ``interval`` (all of them when ``interval`` is ``None``)."""
+        if len(self.ins_head) == 0:
+            return self.ins_head, [t for t in self.ins_tails]
+        if interval is None:
+            mask = np.ones(len(self.ins_head), dtype=bool)
+        else:
+            mask = interval.mask(self.ins_head)
+        taken_head = self.ins_head[mask]
+        taken_tails = [t[mask] for t in self.ins_tails]
+        keep = ~mask
+        self.ins_head = self.ins_head[keep]
+        self.ins_tails = [t[keep] for t in self.ins_tails]
+        return taken_head, taken_tails
+
+    def take_deletions(
+        self, interval: Interval | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return pending deletions in ``interval``."""
+        if len(self.del_values) == 0:
+            return self.del_values, self.del_keys
+        if interval is None:
+            mask = np.ones(len(self.del_values), dtype=bool)
+        else:
+            mask = interval.mask(self.del_values)
+        taken = self.del_values[mask], self.del_keys[mask]
+        keep = ~mask
+        self.del_values = self.del_values[keep]
+        self.del_keys = self.del_keys[keep]
+        return taken
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def insertion_count(self) -> int:
+        return len(self.ins_head)
+
+    @property
+    def deletion_count(self) -> int:
+        return len(self.del_values)
+
+    def has_pending(self, interval: Interval | None = None) -> bool:
+        if interval is None:
+            return bool(len(self.ins_head) or len(self.del_values))
+        ins = bool(len(self.ins_head)) and bool(interval.mask(self.ins_head).any())
+        dels = bool(len(self.del_values)) and bool(interval.mask(self.del_values).any())
+        return ins or dels

@@ -1,0 +1,177 @@
+"""Vectorized Ripple merge of pending updates into a cracked structure.
+
+The Ripple algorithm (Idreos et al., SIGMOD 2007) merges pending insertions
+and deletions into a cracked array without destroying the cracker index's
+knowledge.  The original shuffles individual boundary tuples; we implement a
+batch-vectorized equivalent: rows are inserted at the *end* of their target
+piece and the suffix of the array is rebuilt in one pass.  Within a piece
+tuples are unordered, so piece invariants are preserved; appending at the end
+in batch order is deterministic, which lets tape replay apply the same merge
+identically on every map of a set.
+
+Costs are charged for the rebuilt suffix — like Ripple, nothing before the
+first affected piece is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Bound, Side
+from repro.stats.counters import StatsRecorder, global_recorder
+
+
+def _piece_ids(index: CrackerIndex, values: np.ndarray) -> np.ndarray:
+    """The piece index (0-based, in boundary order) each value belongs to.
+
+    A value ``v`` lies left of boundary ``(bv, LT)`` iff ``v < bv`` and left
+    of ``(bv, LE)`` iff ``v <= bv``; its piece is the first boundary it lies
+    left of.
+    """
+    bounds = index.bounds()
+    if not bounds:
+        return np.zeros(len(values), dtype=np.int64)
+    bvals = np.array([b.value for b in bounds])
+    is_lt = np.array([b.side is Side.LT for b in bounds])
+    lt_prefix = np.concatenate([[0], np.cumsum(is_lt)])
+    left = np.searchsorted(bvals, values, side="left")
+    right = np.searchsorted(bvals, values, side="right")
+    # Bounds with bv < v never have v on their left; among bv == v only the
+    # LE-sided ones do.  piece = #bounds strictly left of v's first home.
+    lt_among_equal = lt_prefix[right] - lt_prefix[left]
+    return left + lt_among_equal
+
+
+def merge_insertions(
+    index: CrackerIndex,
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    ins_head: np.ndarray,
+    ins_tails: Sequence[np.ndarray],
+    recorder: StatsRecorder | None = None,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Merge insertion rows; returns the grown ``(head, tails)`` arrays.
+
+    The cracker index's boundary positions are shifted in place.
+    """
+    recorder = recorder or global_recorder()
+    if len(ins_head) == 0:
+        return head, list(tails)
+
+    n = len(head)
+    piece_of = _piece_ids(index, ins_head)
+    boundary_positions = [pos for _, pos in index.inorder()]
+    piece_starts = np.array([0] + boundary_positions, dtype=np.int64)
+    piece_ends = np.array(boundary_positions + [n], dtype=np.int64)
+
+    order = np.argsort(piece_of, kind="stable")
+    piece_of = piece_of[order]
+    ins_head = ins_head[order]
+    ins_tails = [t[order] for t in ins_tails]
+
+    affected, counts = np.unique(piece_of, return_counts=True)
+    first_touched = int(piece_starts[affected[0]])
+
+    new_head_parts: list[np.ndarray] = [head[:first_touched]]
+    new_tail_parts: list[list[np.ndarray]] = [[t[:first_touched]] for t in tails]
+    cursor = first_touched
+    offset = 0
+    shifts: list[tuple[int, int]] = []
+    for piece_id, count in zip(affected, counts):
+        end = int(piece_ends[piece_id])
+        sel = slice(offset, offset + count)
+        new_head_parts.append(head[cursor:end])
+        new_head_parts.append(ins_head[sel])
+        for parts, tail, ins in zip(new_tail_parts, tails, ins_tails):
+            parts.append(tail[cursor:end])
+            parts.append(ins[sel])
+        shifts.append((end, int(count)))
+        cursor = end
+        offset += count
+    new_head_parts.append(head[cursor:])
+    for parts, tail in zip(new_tail_parts, tails):
+        parts.append(tail[cursor:])
+
+    moved = (n - first_touched + len(ins_head)) * (1 + len(tails))
+    recorder.sequential(moved)
+    recorder.write(moved)
+
+    index.apply_shifts(shifts)
+    return (
+        np.concatenate(new_head_parts),
+        [np.concatenate(parts) for parts in new_tail_parts],
+    )
+
+
+def locate_deletions(
+    index: CrackerIndex,
+    head: np.ndarray,
+    key_tail: np.ndarray,
+    del_values: np.ndarray,
+    del_keys: np.ndarray,
+    recorder: StatsRecorder | None = None,
+) -> np.ndarray:
+    """Positions of the tuples to delete.
+
+    Each deletion carries its old head value, so only the piece that value
+    maps to is scanned for the victim key — the Ripple property of touching
+    only relevant ranges.
+    """
+    recorder = recorder or global_recorder()
+    if len(del_values) == 0:
+        return np.empty(0, dtype=np.int64)
+    n = len(head)
+    piece_of = _piece_ids(index, del_values)
+    boundary_positions = [pos for _, pos in index.inorder()]
+    piece_starts = np.array([0] + boundary_positions, dtype=np.int64)
+    piece_ends = np.array(boundary_positions + [n], dtype=np.int64)
+
+    hits: list[np.ndarray] = []
+    for piece_id in np.unique(piece_of):
+        lo = int(piece_starts[piece_id])
+        hi = int(piece_ends[piece_id])
+        keys_here = del_keys[piece_of == piece_id]
+        local = np.flatnonzero(np.isin(key_tail[lo:hi], keys_here))
+        recorder.sequential(hi - lo)
+        hits.append(local + lo)
+    if not hits:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(hits))
+
+
+def delete_positions(
+    index: CrackerIndex,
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    positions: np.ndarray,
+    recorder: StatsRecorder | None = None,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Physically remove ``positions``; returns shrunk ``(head, tails)``.
+
+    Boundary positions in the index are shifted down accordingly.
+    """
+    recorder = recorder or global_recorder()
+    if len(positions) == 0:
+        return head, list(tails)
+    positions = np.unique(np.asarray(positions, dtype=np.int64))
+    n = len(head)
+    keep = np.ones(n, dtype=bool)
+    keep[positions] = False
+
+    first_touched = int(positions[0])
+    moved = (n - first_touched) * (1 + len(tails))
+    recorder.sequential(moved)
+    recorder.write(moved)
+
+    # Every boundary at position p loses the deletions strictly before p.
+    shifts = [(int(p) + 1, -1) for p in positions]
+    index.apply_shifts(shifts)
+    return head[keep], [t[keep] for t in tails]
+
+
+def bound_for_piece_scan(value: float) -> Bound:
+    """Helper: the LT bound at ``value`` (used by tests poking piece logic)."""
+    return Bound(value, Side.LT)

@@ -1,0 +1,41 @@
+"""Execution engines: the paper's four systems plus a row-store reference.
+
+Every engine answers the same :class:`~repro.engine.query.Query` /
+:class:`~repro.engine.query.JoinQuery` objects and returns a
+:class:`~repro.engine.query.QueryResult` with per-phase wall-clock timings
+and an access-pattern tally, so benchmark harnesses can compare systems
+directly:
+
+* :class:`~repro.engine.scan.PlainEngine` — non-cracking column-store
+  ("MonetDB" in the paper's figures);
+* :class:`~repro.engine.presorted.PresortedEngine` — per-selection-attribute
+  presorted table copies ("presorted MonetDB");
+* :class:`~repro.engine.selection_cracking.SelectionCrackingEngine` — cracker
+  columns [CIDR'07];
+* :class:`~repro.engine.sideways_engine.SidewaysEngine` — sideways cracking,
+  full or partial maps (this paper);
+* :class:`~repro.engine.rowstore.RowStoreEngine` — N-ary row-at-a-time
+  reference ("MySQL", optionally presorted).
+"""
+
+from repro.engine.database import Database
+from repro.engine.presorted import PresortedEngine
+from repro.engine.query import JoinQuery, JoinSide, Predicate, Query, QueryResult
+from repro.engine.rowstore import RowStoreEngine
+from repro.engine.scan import PlainEngine
+from repro.engine.selection_cracking import SelectionCrackingEngine
+from repro.engine.sideways_engine import SidewaysEngine
+
+__all__ = [
+    "Database",
+    "Query",
+    "JoinQuery",
+    "JoinSide",
+    "Predicate",
+    "QueryResult",
+    "PlainEngine",
+    "PresortedEngine",
+    "SelectionCrackingEngine",
+    "SidewaysEngine",
+    "RowStoreEngine",
+]

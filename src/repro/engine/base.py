@@ -1,0 +1,206 @@
+"""The engine interface and the generic join pipeline.
+
+Engines differ in *how* they select and reconstruct; the join pipeline —
+select each side, reconstruct the join attribute, equi-join, reconstruct the
+post-join attributes, aggregate — is shared.  Each engine supplies a
+:class:`SideHandle` describing its qualifying tuples and how to fetch an
+attribute for an arbitrary subset of them (that fetch is where the systems'
+access patterns diverge).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.join import hash_join
+from repro.engine.query import (
+    JoinQuery,
+    JoinSide,
+    Query,
+    QueryResult,
+    compute_aggregates,
+)
+from repro.stats.counters import StatsRecorder
+from repro.stats.timing import PhaseTimer
+
+
+@dataclass
+class SideHandle:
+    """One side's qualifying tuples after its local selections.
+
+    ``count`` qualifying tuples; ``fetch(attr, subset)`` returns attribute
+    values for the subset (``None`` = all), reported with the engine's
+    characteristic access pattern.
+    """
+
+    count: int
+    fetch: Callable[[str, np.ndarray | None], np.ndarray]
+
+
+class Engine(abc.ABC):
+    """Common engine machinery: framing, timing, aggregates."""
+
+    name: str = "engine"
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.recorder: StatsRecorder = db.recorder
+
+    # -- single-table queries -------------------------------------------------------
+
+    def run(self, query: Query) -> QueryResult:
+        result = QueryResult()
+        with self.recorder.frame() as stats:
+            with result.timer.phase("total"):
+                columns = self._execute(query, result.timer)
+                if query.group_by:
+                    with result.timer.phase("group_by"):
+                        columns = self._grouped(query, columns)
+        result.columns = columns
+        if query.group_by:
+            result.aggregates = {}
+        else:
+            result.aggregates = compute_aggregates(query.aggregates, columns)
+        result.row_count = len(next(iter(columns.values()))) if columns else 0
+        result.stats = stats
+        return result
+
+    def _grouped(self, query: Query, columns: dict) -> dict:
+        """Group-by + per-group aggregation over the selected tuples."""
+        from repro.engine.operators import group_by, segmented_aggregate
+
+        keys = [columns[attr] for attr in query.group_by]
+        group_ids, order, group_keys = group_by(keys, self.recorder)
+        out = {
+            attr: group_keys[i] for i, attr in enumerate(query.group_by)
+        }
+        for func, attr in query.aggregates:
+            values = columns[attr][order].astype("float64")
+            out[f"{func}({attr})"] = segmented_aggregate(
+                group_ids, values, func, self.recorder
+            )
+        return out
+
+    @abc.abstractmethod
+    def _execute(self, query: Query, timer: PhaseTimer) -> dict[str, np.ndarray]:
+        """Evaluate the query, returning positionally aligned projections."""
+
+    # -- join queries -------------------------------------------------------------------
+
+    def run_join(self, query: JoinQuery) -> QueryResult:
+        result = QueryResult()
+        timer = result.timer
+        with self.recorder.frame() as stats:
+            with timer.phase("total"):
+                left = self._select_side(query.left, timer)
+                right = self._select_side(query.right, timer)
+                with timer.phase("tr_before"):
+                    left_join = left.fetch(query.left.join_attr, None)
+                    right_join = right.fetch(query.right.join_attr, None)
+                with timer.phase("join"):
+                    li, ri = hash_join(left_join, right_join, self.recorder)
+                columns: dict[str, np.ndarray] = {}
+                with timer.phase("tr_after"):
+                    for attr in query.left.post_join_columns:
+                        columns[attr] = left.fetch(attr, li)
+                    for attr in query.right.post_join_columns:
+                        columns[attr] = right.fetch(attr, ri)
+        result.columns = columns
+        result.aggregates = compute_aggregates(query.aggregates, columns)
+        result.row_count = len(li)
+        result.stats = stats
+        return result
+
+    @abc.abstractmethod
+    def _select_side(self, side: JoinSide, timer: PhaseTimer) -> SideHandle:
+        """Run one side's local selections (timed under ``select``)."""
+
+    # -- shared helpers --------------------------------------------------------------------
+
+    def _sample_estimate(self, table: str, attr: str, interval) -> float:
+        """Cheap cardinality estimate from a 1%-ish sample of the column.
+
+        Stands in for the statistics every system in the paper's experiments
+        is granted when ordering predicates by selectivity.
+        """
+        values = self.db.table(table).values(attr)
+        step = max(1, len(values) // 1024)
+        sample = values[::step]
+        if len(sample) == 0:
+            return 0.0
+        return float(interval.mask(sample).mean()) * len(values)
+
+    def order_by_selectivity(self, table: str, predicates) -> list:
+        """Most selective predicate first (ties broken by attribute name)."""
+        return sorted(
+            predicates,
+            key=lambda p: (self._sample_estimate(table, p.attr, p.interval), p.attr),
+        )
+
+    # -- plan introspection -------------------------------------------------------
+
+    def explain(self, query: Query) -> str:
+        """A human-readable sketch of the plan this engine would run.
+
+        Shows predicate evaluation order (with cardinality estimates), the
+        physical structure each step uses, and the reconstruction access
+        pattern — the dimension the paper's systems differ on.
+        """
+        lines = [f"{self.name}: {query.table}"]
+        ordered = self.order_by_selectivity(query.table, list(query.predicates))
+        connective = "AND" if query.conjunctive else "OR"
+        for i, pred in enumerate(ordered):
+            estimate = self._sample_estimate(query.table, pred.attr, pred.interval)
+            if i == 0:
+                how = self._selection_structure(query.table, pred.attr)
+                prefix = "  select"
+            else:
+                how = self._refinement_structure(query.table, pred.attr)
+                prefix = f"  {connective.lower()}-refine"
+            lines.append(
+                f"{prefix} {pred.attr} {pred.interval!r} (~{estimate:.0f} rows) "
+                f"via {how}"
+            )
+        needed = ", ".join(query.needed_columns) or "(none)"
+        lines.append(f"  reconstruct [{needed}] via {self._reconstruction_pattern()}")
+        for func, attr in query.aggregates:
+            lines.append(f"  aggregate {func}({attr})")
+        return "\n".join(lines)
+
+    def _selection_structure(self, table: str, attr: str) -> str:
+        return {
+            "monetdb": "full column scan",
+            "presorted": f"binary search on sorted copy {table}@{attr}",
+            "selection_cracking": f"cracker column {table}.{attr}",
+            "sideways": f"cracker maps of set S_{attr}",
+            "partial_sideways": f"partial maps / chunk map of set S_{attr}",
+            "rowstore": "full row scan",
+            "rowstore_presorted": f"binary search on sorted rows {table}@{attr}",
+        }.get(self.name, "scan")
+
+    def _refinement_structure(self, table: str, attr: str) -> str:
+        return {
+            "monetdb": f"in-order positional lookups into {table}.{attr}",
+            "presorted": "sequential mask within the sorted slice",
+            "selection_cracking": f"scattered lookups into {table}.{attr}",
+            "sideways": f"bit vector over the aligned map M_(head,{attr})",
+            "partial_sideways": f"bit vector over aligned chunks of {attr}",
+            "rowstore": "mask within the row scan",
+            "rowstore_presorted": "mask within the sorted row slice",
+        }.get(self.name, "filter")
+
+    def _reconstruction_pattern(self) -> str:
+        return {
+            "monetdb": "in-order positional lookups over base columns",
+            "presorted": "sequential slice of the sorted copy",
+            "selection_cracking": "scattered lookups over base columns",
+            "sideways": "aligned map tails (sequential over the cracked area)",
+            "partial_sideways": "aligned chunk tails (sequential, per area)",
+            "rowstore": "already materialized in the rows",
+            "rowstore_presorted": "already materialized in the rows",
+        }.get(self.name, "gather")

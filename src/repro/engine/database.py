@@ -1,0 +1,229 @@
+"""The database facade: tables, updates, and shared cracking structures.
+
+One :class:`Database` is shared by every engine in a benchmark run so that
+all systems answer queries over the same logical data, and updates flow to
+every auxiliary structure consistently:
+
+* base relations are append-only; deletions set tombstone bits that scan
+  engines filter (MonetDB keeps deleted rows in base columns too);
+* cracker columns and (partial) sideways crackers receive pending updates
+  and merge them on demand;
+* presorted copies are invalidated — the paper's point is precisely that
+  there is no efficient way to maintain them under updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mapset import FullMapStorage
+from repro.core.partial.engine import PartialConfig, PartialSidewaysCracker
+from repro.core.partial.storage import ChunkStorage
+from repro.core.sideways import SidewaysCracker
+from repro.cracking.column import CrackerColumn
+from repro.errors import CatalogError, UpdateError
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+
+@dataclass
+class _SortedCopy:
+    relation: Relation
+    build_seconds: float
+    stale: bool = False
+
+
+@dataclass
+class _TableState:
+    relation: Relation
+    tombstones: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+
+
+class Database:
+    """Catalog plus all engines' auxiliary structures and update routing."""
+
+    def __init__(
+        self,
+        recorder: StatsRecorder | None = None,
+        full_map_budget: int | None = None,
+        chunk_budget: int | None = None,
+        partial_config: PartialConfig | None = None,
+    ) -> None:
+        self.recorder = recorder or global_recorder()
+        self.catalog = Catalog()
+        self._tables: dict[str, _TableState] = {}
+        self._crackers: dict[tuple[str, str], CrackerColumn] = {}
+        self._sorted: dict[tuple[str, str, tuple[str, ...]], _SortedCopy] = {}
+        self._sideways: dict[str, SidewaysCracker] = {}
+        self._partial: dict[str, PartialSidewaysCracker] = {}
+        self.full_map_storage = FullMapStorage(full_map_budget, self.recorder)
+        self.chunk_storage = ChunkStorage(chunk_budget, self.recorder)
+        self.partial_config = partial_config or PartialConfig()
+
+    # -- schema ----------------------------------------------------------------
+
+    def create_table(self, name: str, arrays: dict[str, object]) -> Relation:
+        relation = Relation.from_arrays(name, arrays)
+        self.catalog.add(relation)
+        self._tables[name] = _TableState(
+            relation, np.zeros(len(relation), dtype=bool)
+        )
+        return relation
+
+    def table(self, name: str) -> Relation:
+        return self.catalog.get(name)
+
+    def tombstones(self, name: str) -> np.ndarray:
+        """Boolean mask of deleted rows (aligned with the base relation)."""
+        state = self._tables.get(name)
+        if state is None:
+            raise CatalogError(f"no table named {name!r}")
+        return state.tombstones
+
+    def live_count(self, name: str) -> int:
+        state = self._tables[name]
+        return len(state.relation) - int(state.tombstones.sum())
+
+    # -- updates ----------------------------------------------------------------------
+
+    def insert(self, name: str, rows: dict[str, object]) -> np.ndarray:
+        """Append tuples; returns their keys.  All structures are notified."""
+        state = self._tables.get(name)
+        if state is None:
+            raise CatalogError(f"no table named {name!r}")
+        relation = state.relation
+        start = len(relation)
+        relation.append_rows(rows)
+        count = len(relation) - start
+        keys = np.arange(start, start + count, dtype=np.int64)
+        state.tombstones = np.concatenate(
+            [state.tombstones, np.zeros(count, dtype=bool)]
+        )
+
+        arrays = {attr: relation.values(attr)[start:] for attr in relation.attributes}
+        for (tbl, attr), cracker in self._crackers.items():
+            if tbl == name:
+                cracker.add_insertions(arrays[attr], keys)
+        if name in self._sideways:
+            self._sideways[name].notify_insertions(arrays, keys)
+        if name in self._partial:
+            self._partial[name].notify_insertions(arrays, keys)
+        self._invalidate_sorted(name)
+        return keys
+
+    def delete(self, name: str, keys: np.ndarray) -> None:
+        """Tombstone tuples by key.  All structures are notified."""
+        state = self._tables.get(name)
+        if state is None:
+            raise CatalogError(f"no table named {name!r}")
+        keys = np.asarray(keys, dtype=np.int64)
+        if state.tombstones[keys].any():
+            raise UpdateError("attempt to delete an already-deleted key")
+        state.tombstones[keys] = True
+
+        relation = state.relation
+        values_by_attr = {
+            attr: relation.values(attr)[keys] for attr in relation.attributes
+        }
+        for (tbl, attr), cracker in self._crackers.items():
+            if tbl == name:
+                cracker.add_deletions(values_by_attr[attr], keys)
+        if name in self._sideways:
+            self._sideways[name].notify_deletions(values_by_attr, keys)
+        if name in self._partial:
+            self._partial[name].notify_deletions(values_by_attr, keys)
+        self._invalidate_sorted(name)
+
+    def update(self, name: str, keys: np.ndarray, rows: dict[str, object]) -> np.ndarray:
+        """An update is a deletion plus an insertion (the paper's model)."""
+        self.delete(name, keys)
+        return self.insert(name, rows)
+
+    # -- auxiliary structures ---------------------------------------------------------------
+
+    def cracker_column(self, table: str, attr: str) -> CrackerColumn:
+        key = (table, attr)
+        cracker = self._crackers.get(key)
+        if cracker is None:
+            relation = self.table(table)
+            cracker = CrackerColumn(relation.column(attr), self.recorder)
+            tombstoned = np.flatnonzero(self.tombstones(table))
+            if len(tombstoned):
+                cracker.add_deletions(
+                    relation.values(attr)[tombstoned], tombstoned.astype(np.int64)
+                )
+            self._crackers[key] = cracker
+        return cracker
+
+    def sideways(self, table: str) -> SidewaysCracker:
+        cracker = self._sideways.get(table)
+        if cracker is None:
+            state = self._tables[table]
+            cracker = SidewaysCracker(
+                self.table(table), self.recorder, self.full_map_storage,
+                tombstone_keys=lambda: np.flatnonzero(state.tombstones),
+            )
+            self._sideways[table] = cracker
+        return cracker
+
+    def partial_sideways(self, table: str) -> PartialSidewaysCracker:
+        cracker = self._partial.get(table)
+        if cracker is None:
+            state = self._tables[table]
+            cracker = PartialSidewaysCracker(
+                self.table(table),
+                config=self.partial_config,
+                recorder=self.recorder,
+                storage=self.chunk_storage,
+                tombstone_keys=lambda: np.flatnonzero(state.tombstones),
+            )
+            self._partial[table] = cracker
+        return cracker
+
+    def sorted_copy(
+        self, table: str, by: str, then_by: tuple[str, ...] = ()
+    ) -> tuple[Relation, float]:
+        """A presorted copy of ``table`` (tombstoned rows excluded).
+
+        Returns the copy and the seconds spent building it (zero when it was
+        cached).  Updates invalidate copies; the next access rebuilds.
+        """
+        import time
+
+        key = (table, by, then_by)
+        copy = self._sorted.get(key)
+        if copy is None or copy.stale:
+            state = self._tables[table]
+            start = time.perf_counter()
+            source = state.relation
+            if state.tombstones.any():
+                live = Relation(source.name)
+                keep = ~state.tombstones
+                for attr in source.attributes:
+                    from repro.storage.bat import BAT
+
+                    bat = source.column(attr)
+                    live.add_column(
+                        attr, BAT(bat.values[keep], bat.ctype, None, bat.dictionary)
+                    )
+                source = live
+            relation = source.sorted_copy(by, then_by)
+            seconds = time.perf_counter() - start
+            self.recorder.sequential(len(relation) * len(relation.attributes) * 2)
+            self.recorder.write(len(relation) * len(relation.attributes))
+            copy = _SortedCopy(relation, seconds)
+            self._sorted[key] = copy
+            return copy.relation, copy.build_seconds
+        return copy.relation, 0.0
+
+    def presort_seconds(self) -> float:
+        """Total time spent building all presorted copies so far."""
+        return sum(c.build_seconds for c in self._sorted.values())
+
+    def _invalidate_sorted(self, table: str) -> None:
+        for key, copy in self._sorted.items():
+            if key[0] == table:
+                copy.stale = True

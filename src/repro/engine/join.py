@@ -1,0 +1,59 @@
+"""Vectorized equi-join kernels.
+
+``hash_join`` returns matching index pairs for two unsorted value arrays,
+handling duplicates on both sides (full cross product per matching value,
+like a relational join).  It is implemented sort-merge style on NumPy —
+the asymptotics and the access pattern (a pass per input plus scattered
+probes) match a textbook hash join closely enough for the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.counters import StatsRecorder, global_recorder
+
+
+def hash_join(
+    left: np.ndarray,
+    right: np.ndarray,
+    recorder: StatsRecorder | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices ``(li, ri)`` such that ``left[li] == right[ri]``, all pairs.
+
+    The output order is not tuple order of either input — joins are not
+    order-preserving, which is exactly why post-join tuple reconstruction
+    needs random access.
+    """
+    recorder = recorder or global_recorder()
+    recorder.sequential(len(left) + len(right))
+    recorder.random(len(left), max(1, len(right)))
+
+    right_order = np.argsort(right, kind="stable")
+    right_sorted = right[right_order]
+    starts = np.searchsorted(right_sorted, left, side="left")
+    ends = np.searchsorted(right_sorted, left, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    left_idx = np.repeat(np.arange(len(left), dtype=np.int64), counts)
+    # For each match run, enumerate the right-side positions.
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    right_pos_sorted = np.repeat(starts, counts) + within
+    right_idx = right_order[right_pos_sorted]
+    recorder.write(2 * total)
+    return left_idx, right_idx
+
+
+def semi_join_mask(
+    probe: np.ndarray, build: np.ndarray, recorder: StatsRecorder | None = None
+) -> np.ndarray:
+    """Boolean mask of ``probe`` values that appear in ``build``."""
+    recorder = recorder or global_recorder()
+    recorder.sequential(len(probe) + len(build))
+    recorder.random(len(probe), max(1, len(build)))
+    return np.isin(probe, build)

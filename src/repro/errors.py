@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro column-store.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A relation or attribute was not found, or a name clashed."""
+
+
+class SchemaError(ReproError):
+    """Column shapes, dtypes, or schema definitions are inconsistent."""
+
+
+class PredicateError(ReproError):
+    """A selection predicate is malformed (e.g. empty or inverted range)."""
+
+
+class CrackError(ReproError):
+    """A cracking operation violated a structural invariant."""
+
+
+class AlignmentError(CrackError):
+    """A cracker map's tape cursor or replay state is inconsistent."""
+
+
+class StorageBudgetError(ReproError):
+    """The storage manager cannot satisfy an allocation within its budget."""
+
+
+class UpdateError(ReproError):
+    """A pending-update merge failed or saw inconsistent keys."""
+
+
+class PlanError(ReproError):
+    """The planner could not build an execution plan for a query."""

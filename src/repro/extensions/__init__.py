@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's evaluated system.
+
+The paper's research agenda (§7) names row-store cracking "a fully
+unexplored and promising area"; :mod:`~repro.extensions.row_cracking`
+implements the obvious first cut — cracking whole N-ary tuples — so it can
+be compared against column-wise sideways cracking.  §3.4's operator ideas
+(piece-exploiting aggregates, cracker joins) live in
+:mod:`repro.core.aggregates` and :mod:`repro.engine.cracker_join`.
+"""
+
+from repro.extensions.row_cracking import RowCracker
+
+__all__ = ["RowCracker"]

@@ -1,0 +1,305 @@
+"""A small SQL front-end over the engine layer.
+
+Supports the query shapes the paper evaluates — single-table selections,
+projections, and aggregates with conjunctive or disjunctive range/equality
+predicates::
+
+    SELECT max(A2), A3 FROM R WHERE 10 < A1 AND A1 < 20 AND A4 = 7
+    SELECT B FROM R WHERE A BETWEEN 5 AND 9 OR C >= 100
+    SELECT count(*) FROM lineitem WHERE l_shipmode = 'AIR'
+    SELECT g, sum(v) FROM T WHERE f < 100 GROUP BY g
+
+The grammar is deliberately tiny (one table, no joins — use
+:class:`~repro.engine.query.JoinQuery` and the operators for those), but it
+resolves string literals against dictionary-encoded columns, merges
+multiple comparisons on one attribute into a single interval, supports
+GROUP BY with per-group aggregates, and rejects mixed AND/OR (the engines
+evaluate one connective per plan, like the paper's plans do).
+
+Use :func:`parse` to get a :class:`~repro.engine.query.Query`, or
+:func:`execute` to run it on an engine directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.cracking.bounds import Interval
+from repro.engine.base import Engine
+from repro.engine.database import Database
+from repro.engine.query import AGGREGATE_FUNCS, Predicate, Query, QueryResult
+from repro.errors import PlanError
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<op><=|>=|<>|!=|<|>|=)"
+    r"|(?P<punct>[(),*])"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
+    r")"
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "between", "not",
+             "group", "by"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN.match(sql, pos)
+        if match is None:
+            if sql[pos:].strip() == "":
+                break
+            raise PlanError(f"cannot tokenize SQL at: {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        for kind in ("number", "string", "op", "punct", "word"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind, text))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], db: Database) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._db = db
+
+    # -- token stream helpers ----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PlanError("unexpected end of SQL")
+        self._pos += 1
+        return token
+
+    def _expect_word(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "word" or token.lowered != word:
+            raise PlanError(f"expected {word.upper()!r}, got {token.text!r}")
+
+    def _expect_punct(self, punct: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != punct:
+            raise PlanError(f"expected {punct!r}, got {token.text!r}")
+
+    def _accept_word(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.lowered == word:
+            self._pos += 1
+            return True
+        return False
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "word" or token.lowered in _KEYWORDS:
+            raise PlanError(f"expected identifier, got {token.text!r}")
+        return token.text
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_word("select")
+        items = self._select_list()
+        self._expect_word("from")
+        table = self._identifier()
+        predicates: tuple[Predicate, ...] = ()
+        conjunctive = True
+        if self._accept_word("where"):
+            predicates, conjunctive = self._where(table)
+        group_by: tuple[str, ...] = ()
+        if self._accept_word("group"):
+            self._expect_word("by")
+            keys = [self._identifier()]
+            while True:
+                token = self._peek()
+                if token is not None and token.kind == "punct" and token.text == ",":
+                    self._pos += 1
+                    keys.append(self._identifier())
+                else:
+                    break
+            group_by = tuple(keys)
+        if self._peek() is not None:
+            raise PlanError(f"trailing input: {self._peek().text!r}")
+
+        projections = []
+        aggregates = []
+        for kind, func, attr in items:
+            if kind == "column":
+                projections.append(attr)
+            else:
+                aggregates.append((func, attr))
+        # count(*) counts qualifying rows via any referenced attribute.
+        resolved_aggs = []
+        for func, attr in aggregates:
+            if attr == "*":
+                if func != "count":
+                    raise PlanError(f"{func}(*) is not supported")
+                candidates = [p.attr for p in predicates] + projections
+                if not candidates:
+                    candidates = self._db.table(table).attributes[:1]
+                attr = candidates[0]
+            resolved_aggs.append((func, attr))
+        return Query(
+            table=table,
+            predicates=predicates,
+            projections=tuple(projections),
+            aggregates=tuple(resolved_aggs),
+            conjunctive=conjunctive,
+            group_by=group_by,
+        )
+
+    def _select_list(self) -> list[tuple[str, str, str]]:
+        items = []
+        while True:
+            items.append(self._select_item())
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.text == ",":
+                self._pos += 1
+                continue
+            return items
+
+    def _select_item(self) -> tuple[str, str, str]:
+        token = self._next()
+        if token.kind == "word" and token.lowered in AGGREGATE_FUNCS:
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.text == "(":
+                self._pos += 1
+                inner = self._next()
+                if inner.kind == "punct" and inner.text == "*":
+                    attr = "*"
+                elif inner.kind == "word":
+                    attr = inner.text
+                else:
+                    raise PlanError(f"bad aggregate argument {inner.text!r}")
+                self._expect_punct(")")
+                return ("aggregate", token.lowered, attr)
+        if token.kind != "word" or token.lowered in _KEYWORDS:
+            raise PlanError(f"expected column or aggregate, got {token.text!r}")
+        return ("column", "", token.text)
+
+    def _where(self, table: str) -> tuple[tuple[Predicate, ...], bool]:
+        comparisons = [self._comparison(table)]
+        connective: str | None = None
+        while True:
+            if self._accept_word("and"):
+                seen = "and"
+            elif self._accept_word("or"):
+                seen = "or"
+            else:
+                break
+            if connective is not None and seen != connective:
+                raise PlanError("mixed AND/OR is not supported")
+            connective = seen
+            comparisons.append(self._comparison(table))
+        conjunctive = connective != "or"
+        merged: dict[str, Interval] = {}
+        for attr, interval in comparisons:
+            if attr in merged:
+                if not conjunctive:
+                    raise PlanError(
+                        f"multiple OR-predicates on {attr!r} are not supported"
+                    )
+                merged[attr] = _intersect_intervals(merged[attr], interval, attr)
+            else:
+                merged[attr] = interval
+        predicates = tuple(Predicate(a, iv) for a, iv in merged.items())
+        return predicates, conjunctive
+
+    def _comparison(self, table: str) -> tuple[str, Interval]:
+        left = self._next()
+        if left.kind == "word" and left.lowered not in _KEYWORDS:
+            attr = left.text
+            if self._accept_word("between"):
+                lo = self._literal(table, attr)
+                self._expect_word("and")
+                hi = self._literal(table, attr)
+                return attr, Interval.closed(lo, hi)
+            op = self._next()
+            if op.kind != "op":
+                raise PlanError(f"expected comparison operator, got {op.text!r}")
+            value = self._literal(table, attr)
+            return attr, _interval_for(op.text, value, attr_on_left=True)
+        if left.kind in ("number", "string"):
+            op = self._next()
+            if op.kind != "op":
+                raise PlanError(f"expected comparison operator, got {op.text!r}")
+            attr = self._identifier()
+            value = self._literal_token(table, attr, left)
+            return attr, _interval_for(op.text, value, attr_on_left=False)
+        raise PlanError(f"bad comparison start {left.text!r}")
+
+    def _literal(self, table: str, attr: str) -> float:
+        return self._literal_token(table, attr, self._next())
+
+    def _literal_token(self, table: str, attr: str, token: _Token) -> float:
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.kind == "string":
+            raw = token.text[1:-1].replace("''", "'")
+            dictionary = self._db.table(table).column(attr).dictionary
+            if dictionary is None:
+                raise PlanError(
+                    f"{table}.{attr} is not a string column; got {raw!r}"
+                )
+            return dictionary.code_of(raw)
+        raise PlanError(f"expected literal, got {token.text!r}")
+
+
+def _interval_for(op: str, value: float, attr_on_left: bool) -> Interval:
+    if not attr_on_left:
+        # `5 < A` means `A > 5`: mirror the operator.
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}.get(op, op)
+    if op == "<":
+        return Interval.at_most(value, inclusive=False)
+    if op == "<=":
+        return Interval.at_most(value, inclusive=True)
+    if op == ">":
+        return Interval.at_least(value, inclusive=False)
+    if op == ">=":
+        return Interval.at_least(value, inclusive=True)
+    if op == "=":
+        return Interval.point(value)
+    raise PlanError(f"operator {op!r} is not supported")
+
+
+def _intersect_intervals(a: Interval, b: Interval, attr: str) -> Interval:
+    lo, lo_inc = a.lo, a.lo_inclusive
+    if b.lo is not None and (lo is None or b.lo > lo or (b.lo == lo and not b.lo_inclusive)):
+        lo, lo_inc = b.lo, b.lo_inclusive
+    hi, hi_inc = a.hi, a.hi_inclusive
+    if b.hi is not None and (hi is None or b.hi < hi or (b.hi == hi and not b.hi_inclusive)):
+        hi, hi_inc = b.hi, b.hi_inclusive
+    try:
+        return Interval(lo, hi, lo_inclusive=lo_inc, hi_inclusive=hi_inc)
+    except Exception as exc:  # empty / inverted after intersection
+        raise PlanError(f"contradictory predicates on {attr!r}") from exc
+
+
+def parse(sql: str, db: Database) -> Query:
+    """Parse ``sql`` into a :class:`Query` (dictionary literals resolved)."""
+    return _Parser(_tokenize(sql), db).parse()
+
+
+def execute(sql: str, engine: Engine) -> QueryResult:
+    """Parse and run ``sql`` on ``engine``."""
+    return engine.run(parse(sql, engine.db))

@@ -1,0 +1,26 @@
+"""Access-pattern accounting and the hierarchical memory cost model.
+
+The paper's performance story is about *access patterns*: sideways cracking
+replaces scattered random lookups over whole base columns with sequential
+scans over small, contiguous, aligned areas.  Wall-clock time in Python is a
+noisy proxy for that, so every engine in this repository reports two signals:
+
+* measured wall-clock time (NumPy gathers vs. slices do differ), and
+* an explicit :class:`~repro.stats.counters.AccessStats` tally of element
+  touches classified as sequential, clustered-random (random within a
+  cache-sized region), or scattered-random, priced by
+  :class:`~repro.stats.memory_model.MemoryModel`.
+"""
+
+from repro.stats.counters import AccessStats, StatsRecorder, global_recorder
+from repro.stats.memory_model import MemoryModel
+from repro.stats.timing import PhaseTimer, Timer
+
+__all__ = [
+    "AccessStats",
+    "StatsRecorder",
+    "global_recorder",
+    "MemoryModel",
+    "PhaseTimer",
+    "Timer",
+]

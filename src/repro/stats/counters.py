@@ -1,0 +1,168 @@
+"""Counters that classify every element touch an operator performs.
+
+Operators report *element touches* — reads or writes of individual column
+cells — classified by access pattern:
+
+``sequential``
+    a scan or slice over a contiguous range (merge-like access; at most one
+    cache miss per line).
+``clustered_random``
+    positional lookups in random order, but confined to a region small enough
+    to stay cache-resident (e.g. radix-clustered reconstruction, or lookups
+    into a small cracked area).
+``scattered_random``
+    positional lookups in random order over a region larger than the cache
+    (the expensive pattern the paper eliminates).
+
+The counters are dimensionless element counts; :mod:`repro.stats.memory_model`
+prices them.  A :class:`StatsRecorder` stacks :class:`AccessStats` frames so a
+benchmark can attribute costs to query phases (selection, tuple
+reconstruction before/after a join, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class AccessStats:
+    """A tally of classified element touches plus structural event counts."""
+
+    sequential: int = 0
+    clustered_random: int = 0
+    scattered_random: int = 0
+    writes: int = 0
+    cracks: int = 0
+    index_lookups: int = 0
+    map_creations: int = 0
+    chunk_creations: int = 0
+    chunk_drops: int = 0
+    alignment_replays: int = 0
+
+    def touch_sequential(self, count: int) -> None:
+        self.sequential += int(count)
+
+    def touch_random(self, count: int, region_size: int, cache_elements: int) -> None:
+        """Record ``count`` random lookups into a region of ``region_size``.
+
+        The region size decides whether the pattern is cache-clustered or
+        scattered; ``cache_elements`` is the cache capacity expressed in
+        elements (supplied by the active :class:`MemoryModel`).
+        """
+        if region_size <= cache_elements:
+            self.clustered_random += int(count)
+        else:
+            self.scattered_random += int(count)
+
+    def touch_write(self, count: int) -> None:
+        self.writes += int(count)
+
+    @property
+    def total_touches(self) -> int:
+        return self.sequential + self.clustered_random + self.scattered_random + self.writes
+
+    def add(self, other: "AccessStats") -> None:
+        """Accumulate ``other`` into this tally in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        out = AccessStats()
+        out.add(self)
+        out.add(other)
+        return out
+
+    def snapshot(self) -> "AccessStats":
+        return AccessStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class StatsRecorder:
+    """A stack of :class:`AccessStats` frames.
+
+    Operators report into the recorder; every open frame receives the events,
+    so a caller can wrap a query phase in :meth:`frame` and read off that
+    phase's costs while an outer frame still accumulates the query total.
+
+    The cache size used to classify random accesses lives here so that the
+    classification is consistent across every operator of an engine run.
+    """
+
+    cache_elements: int = 64 * 1024
+    _frames: list[AccessStats] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._frames:
+            self._frames.append(AccessStats())
+
+    @property
+    def root(self) -> AccessStats:
+        """The bottom frame: the whole-run tally."""
+        return self._frames[0]
+
+    @property
+    def current(self) -> AccessStats:
+        return self._frames[-1]
+
+    def frame(self) -> "_Frame":
+        """Open a nested accounting frame (context manager)."""
+        return _Frame(self)
+
+    # -- reporting API used by operators ------------------------------------
+
+    def sequential(self, count: int) -> None:
+        for f in self._frames:
+            f.touch_sequential(count)
+
+    def random(self, count: int, region_size: int) -> None:
+        for f in self._frames:
+            f.touch_random(count, region_size, self.cache_elements)
+
+    def ordered(self, count: int, region_size: int) -> None:
+        """Record ``count`` in-order positional lookups into a region.
+
+        Ordered sparse gathers touch each cache line at most once, so the
+        traffic is bounded both by the region itself and by one line per
+        lookup (8 elements at 64-byte lines / 8-byte cells).
+        """
+        self.sequential(min(region_size, count * 8))
+
+    def write(self, count: int) -> None:
+        for f in self._frames:
+            f.touch_write(count)
+
+    def event(self, name: str, count: int = 1) -> None:
+        """Record a structural event (``cracks``, ``map_creations``, ...)."""
+        for f in self._frames:
+            setattr(f, name, getattr(f, name) + count)
+
+    def reset(self) -> None:
+        self._frames = [AccessStats()]
+
+
+class _Frame:
+    """Context manager that pushes/pops an :class:`AccessStats` frame."""
+
+    def __init__(self, recorder: StatsRecorder) -> None:
+        self._recorder = recorder
+        self.stats = AccessStats()
+
+    def __enter__(self) -> AccessStats:
+        self._recorder._frames.append(self.stats)
+        return self.stats
+
+    def __exit__(self, *exc_info: object) -> None:
+        popped = self._recorder._frames.pop()
+        assert popped is self.stats
+
+
+_GLOBAL = StatsRecorder()
+
+
+def global_recorder() -> StatsRecorder:
+    """The process-wide recorder used when an engine is not given its own."""
+    return _GLOBAL

@@ -1,0 +1,89 @@
+"""Wall-clock timers with named phases.
+
+Benchmarks need per-phase cost breakdowns (the paper's Tot / TR / Sel table,
+Fig. 5's before-join vs. after-join split).  :class:`PhaseTimer` accumulates
+wall-clock seconds under phase names; nested phases are not double counted —
+time is attributed to the innermost open phase only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """A stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.seconds += time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("select"):
+            ...
+        with timer.phase("reconstruct"):
+            ...
+        timer.totals  # {"select": ..., "reconstruct": ...}
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    _stack: list[tuple[str, float]] = field(default_factory=list)
+
+    def phase(self, name: str) -> "_Phase":
+        return _Phase(self, name)
+
+    def _enter(self, name: str) -> None:
+        now = time.perf_counter()
+        if self._stack:
+            parent, started = self._stack[-1]
+            self.totals[parent] = self.totals.get(parent, 0.0) + (now - started)
+            self._stack[-1] = (parent, now)
+        self._stack.append((name, now))
+
+    def _exit(self) -> None:
+        name, started = self._stack.pop()
+        now = time.perf_counter()
+        self.totals[name] = self.totals.get(name, 0.0) + (now - started)
+        if self._stack:
+            parent, _ = self._stack[-1]
+            self._stack[-1] = (parent, now)
+
+    def get(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, secs in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + secs
+
+
+class _Phase:
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._timer._enter(self._name)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer._exit()

@@ -1,0 +1,16 @@
+"""The MonetDB-like column-store substrate.
+
+Every relational table is a collection of Binary Association Tables
+(:class:`~repro.storage.bat.BAT`): one per attribute, storing ``(key, attr)``
+pairs where the key column is a dense, virtual (non-materialized) sequence of
+tuple positions.  :class:`~repro.storage.relation.Relation` groups the BATs of
+one table; :class:`~repro.storage.catalog.Catalog` names the relations of a
+database.
+"""
+
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.types import ColumnType, coerce_column
+
+__all__ = ["BAT", "Catalog", "Relation", "ColumnType", "coerce_column"]

@@ -1,0 +1,103 @@
+"""Binary Association Tables.
+
+A BAT stores one attribute as ``(key, attr)`` pairs.  For base BATs the key
+column is *virtual*: keys are the dense sequence ``0..n-1`` equal to array
+positions, so only the value array is materialized — exactly MonetDB's
+tuple-order alignment that positional tuple reconstruction relies on.
+
+Intermediate results may carry materialized keys (e.g. the output of a
+selection, which is a list of qualifying positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.types import ColumnType, Dictionary, coerce_column
+
+
+@dataclass
+class BAT:
+    """One attribute column with an optionally virtual key column.
+
+    Attributes
+    ----------
+    values:
+        The attribute values, one per tuple, in tuple-insertion order.
+    ctype:
+        Logical type of ``values``.
+    keys:
+        ``None`` for a virtual dense key column (base BATs); otherwise a
+        materialized int64 key array of the same length as ``values``.
+    dictionary:
+        The code table when ``ctype`` is ``DICT``.
+    """
+
+    values: np.ndarray
+    ctype: ColumnType
+    keys: np.ndarray | None = None
+    dictionary: Dictionary | None = None
+
+    def __post_init__(self) -> None:
+        if self.keys is not None and len(self.keys) != len(self.values):
+            raise SchemaError("key and value columns must have equal length")
+        if self.ctype is ColumnType.DICT and self.dictionary is None:
+            raise SchemaError("DICT columns require a dictionary")
+
+    @classmethod
+    def from_values(cls, values: object, ctype: ColumnType | None = None) -> "BAT":
+        """Build a base BAT (virtual keys) from raw values."""
+        arr, inferred = coerce_column(values, ctype)
+        return cls(values=arr, ctype=inferred)
+
+    @classmethod
+    def from_strings(cls, strings: "list[str] | np.ndarray") -> "BAT":
+        """Build a dictionary-encoded base BAT from strings."""
+        dictionary, codes = Dictionary.from_strings(strings)
+        return cls(values=codes, ctype=ColumnType.DICT, dictionary=dictionary)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_base(self) -> bool:
+        """True when the key column is virtual (dense ``0..n-1``)."""
+        return self.keys is None
+
+    def materialized_keys(self) -> np.ndarray:
+        """The key column, materializing the dense sequence if virtual."""
+        if self.keys is not None:
+            return self.keys
+        return np.arange(len(self.values), dtype=np.int64)
+
+    def slice(self, lo: int, hi: int) -> "BAT":
+        """A zero-copy view of rows ``[lo, hi)``."""
+        keys = None if self.keys is None else self.keys[lo:hi]
+        if self.keys is None and lo != 0:
+            keys = np.arange(lo, hi, dtype=np.int64)
+        return BAT(self.values[lo:hi], self.ctype, keys, self.dictionary)
+
+    def gather(self, positions: np.ndarray) -> "BAT":
+        """Positional lookups: rows of this BAT at ``positions``.
+
+        The result carries the looked-up positions as materialized keys when
+        this BAT is a base BAT, else the gathered keys.
+        """
+        keys = positions.astype(np.int64) if self.keys is None else self.keys[positions]
+        return BAT(self.values[positions], self.ctype, keys, self.dictionary)
+
+    def append(self, other: "BAT") -> "BAT":
+        """A new BAT with ``other``'s rows appended (base BATs only)."""
+        if not (self.is_base and other.is_base):
+            raise SchemaError("append is defined on base BATs only")
+        if self.ctype is not other.ctype:
+            raise SchemaError("cannot append BATs of different types")
+        return BAT(np.concatenate([self.values, other.values]), self.ctype,
+                   None, self.dictionary)
+
+    def copy(self) -> "BAT":
+        keys = None if self.keys is None else self.keys.copy()
+        return BAT(self.values.copy(), self.ctype, keys, self.dictionary)

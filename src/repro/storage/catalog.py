@@ -1,0 +1,41 @@
+"""A named collection of relations (the "database")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.storage.relation import Relation
+
+
+@dataclass
+class Catalog:
+    """Maps relation names to :class:`Relation` objects."""
+
+    relations: dict[str, Relation] = field(default_factory=dict)
+
+    def add(self, relation: Relation) -> Relation:
+        if relation.name in self.relations:
+            raise CatalogError(f"relation {relation.name!r} already exists")
+        self.relations[relation.name] = relation
+        return relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise CatalogError(f"no relation named {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self.relations:
+            raise CatalogError(f"no relation named {name!r}")
+        del self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self):
+        return iter(self.relations.values())
+
+    def storage_tuples(self) -> int:
+        return sum(rel.storage_tuples() for rel in self)

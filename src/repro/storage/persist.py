@@ -1,0 +1,92 @@
+"""Saving and loading databases.
+
+Base relations (and their dictionaries) round-trip through a single
+``.npz`` archive plus an embedded JSON manifest.  Cracking structures are
+*not* persisted — they are auxiliary by design (the paper's point: any map
+or chunk can be dropped and relearned from the workload), so a reloaded
+database simply starts cold.
+
+Tombstones are persisted so deletions survive the round trip.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.errors import SchemaError
+
+_MANIFEST_KEY = "__manifest__"
+_FORMAT_VERSION = 1
+
+
+def save_database(db: Database, path: "str | pathlib.Path") -> None:
+    """Write every table of ``db`` (values, dictionaries, tombstones)."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest: dict = {"version": _FORMAT_VERSION, "tables": {}}
+    for relation in db.catalog:
+        table = relation.name
+        columns = {}
+        for attr in relation.attributes:
+            bat = relation.column(attr)
+            key = f"{table}::{attr}"
+            arrays[key] = bat.values
+            columns[attr] = {
+                "ctype": bat.ctype.value,
+                "dictionary": list(bat.dictionary.values) if bat.dictionary else None,
+            }
+        arrays[f"{table}::@tombstones"] = db.tombstones(table)
+        manifest["tables"][table] = {"columns": columns}
+    manifest_blob = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays, **{_MANIFEST_KEY: manifest_blob})
+
+
+def load_database(path: "str | pathlib.Path", db: Database | None = None) -> Database:
+    """Rebuild a :class:`Database` saved by :func:`save_database`."""
+    from repro.storage.bat import BAT
+    from repro.storage.relation import Relation
+    from repro.storage.types import ColumnType, Dictionary
+
+    with np.load(path, allow_pickle=False) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise SchemaError(f"{path} is not a repro database archive")
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise SchemaError(
+                f"unsupported archive version {manifest.get('version')!r}"
+            )
+        db = db or Database()
+        for table, spec in manifest["tables"].items():
+            relation = Relation(table)
+            for attr, column_spec in spec["columns"].items():
+                ctype = ColumnType(column_spec["ctype"])
+                values = archive[f"{table}::{attr}"]
+                dictionary = None
+                if column_spec["dictionary"] is not None:
+                    dictionary = Dictionary(tuple(column_spec["dictionary"]))
+                relation.add_column(
+                    attr, BAT(values.copy(), ctype, None, dictionary)
+                )
+            db.catalog.add(relation)
+            from repro.engine.database import _TableState
+
+            tombstones = archive[f"{table}::@tombstones"].astype(bool)
+            db._tables[table] = _TableState(relation, tombstones.copy())
+    return db
+
+
+def dumps(db: Database) -> bytes:
+    """In-memory serialization (round-trips through :func:`loads`)."""
+    buffer = io.BytesIO()
+    save_database(db, buffer)
+    return buffer.getvalue()
+
+
+def loads(blob: bytes) -> Database:
+    return load_database(io.BytesIO(blob))

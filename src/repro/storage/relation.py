@@ -1,0 +1,121 @@
+"""Relations: named collections of aligned base BATs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.bat import BAT
+
+
+@dataclass
+class Relation:
+    """A relational table stored column-wise.
+
+    All member BATs are base BATs (virtual dense keys) of equal length; row
+    ``i`` of every column belongs to relational tuple ``i``, in insertion
+    order — the alignment that makes positional tuple reconstruction work.
+    """
+
+    name: str
+    columns: dict[str, BAT] = field(default_factory=dict)
+
+    @classmethod
+    def from_arrays(cls, name: str, arrays: dict[str, object]) -> "Relation":
+        """Build a relation from ``{attribute: values}``.
+
+        String-valued arrays are dictionary-encoded automatically.
+        """
+        rel = cls(name)
+        for attr, values in arrays.items():
+            arr = np.asarray(values)
+            if arr.dtype.kind in ("U", "S", "O"):
+                rel.add_column(attr, BAT.from_strings(arr))
+            else:
+                rel.add_column(attr, BAT.from_values(arr))
+        return rel
+
+    def add_column(self, attr: str, bat: BAT) -> None:
+        if attr in self.columns:
+            raise CatalogError(f"relation {self.name!r} already has column {attr!r}")
+        if not bat.is_base:
+            raise SchemaError("relations store base BATs only")
+        if self.columns and len(bat) != len(self):
+            raise SchemaError(
+                f"column {attr!r} has {len(bat)} rows; relation {self.name!r} has {len(self)}"
+            )
+        self.columns[attr] = bat
+
+    def column(self, attr: str) -> BAT:
+        try:
+            return self.columns[attr]
+        except KeyError:
+            raise CatalogError(f"relation {self.name!r} has no column {attr!r}") from None
+
+    def values(self, attr: str) -> np.ndarray:
+        """The raw value array of ``attr`` (convenience accessor)."""
+        return self.column(attr).values
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.columns
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self.columns)
+
+    def append_rows(self, rows: dict[str, object]) -> None:
+        """Append tuples given as ``{attribute: values}`` to every column.
+
+        Every attribute of the relation must be present so columns stay
+        aligned.
+        """
+        missing = set(self.columns) - set(rows)
+        extra = set(rows) - set(self.columns)
+        if missing or extra:
+            raise SchemaError(
+                f"append_rows must cover exactly the relation's attributes; "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        lengths = {attr: len(np.asarray(vals)) for attr, vals in rows.items()}
+        if len(set(lengths.values())) != 1:
+            raise SchemaError(f"ragged row batch: {lengths}")
+        for attr, vals in rows.items():
+            bat = self.columns[attr]
+            addition = BAT(
+                np.ascontiguousarray(np.asarray(vals), dtype=bat.ctype.dtype),
+                bat.ctype,
+                None,
+                bat.dictionary,
+            )
+            self.columns[attr] = bat.append(addition)
+
+    def delete_rows(self, positions: np.ndarray) -> None:
+        """Physically remove the tuples at ``positions`` from every column."""
+        keep = np.ones(len(self), dtype=bool)
+        keep[np.asarray(positions, dtype=np.int64)] = False
+        for attr, bat in self.columns.items():
+            self.columns[attr] = BAT(bat.values[keep], bat.ctype, None, bat.dictionary)
+
+    def sorted_copy(self, by: str, then_by: tuple[str, ...] = ()) -> "Relation":
+        """A presorted copy: all columns reordered by ``by`` (stable).
+
+        ``then_by`` adds minor sort keys, mirroring the paper's presorted
+        tables that are sub-sorted on group-by / order-by columns.
+        """
+        keys = [self.values(attr) for attr in reversed(then_by)] + [self.values(by)]
+        order = np.lexsort(keys)
+        copy = Relation(f"{self.name}@{by}")
+        for attr, bat in self.columns.items():
+            copy.add_column(attr, BAT(bat.values[order], bat.ctype, None, bat.dictionary))
+        return copy
+
+    def storage_tuples(self) -> int:
+        """Storage footprint in cells (tuples × attributes)."""
+        return len(self) * len(self.columns)

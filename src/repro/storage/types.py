@@ -1,0 +1,103 @@
+"""Column value types.
+
+The engine stores every attribute as a one-dimensional NumPy array.  Three
+logical types cover the paper's workloads:
+
+* ``INT`` — 64-bit integers (synthetic workloads, keys, dates-as-ordinals).
+* ``FLOAT`` — 64-bit floats (TPC-H prices, discounts).
+* ``DICT`` — dictionary-encoded strings: the column stores int32 codes and the
+  type carries the code→string table.  This matches standard column-store
+  practice; the paper defers genuine string cracking to future work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a stored column."""
+
+    INT = "int"
+    FLOAT = "float"
+    DICT = "dict"
+
+    @property
+    def dtype(self) -> np.dtype:
+        if self is ColumnType.INT:
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(np.int32)
+
+
+@dataclass(frozen=True)
+class Dictionary:
+    """A code→string table for ``DICT`` columns.
+
+    Codes are assigned in sorted string order so that range predicates on
+    codes correspond to lexicographic ranges on the strings.
+    """
+
+    values: tuple[str, ...]
+
+    @classmethod
+    def from_strings(cls, strings: "np.ndarray | list[str]") -> tuple["Dictionary", np.ndarray]:
+        """Encode ``strings``; returns the dictionary and the code column."""
+        uniques, codes = np.unique(np.asarray(strings, dtype=object), return_inverse=True)
+        return cls(tuple(str(u) for u in uniques)), codes.astype(np.int32)
+
+    def code_of(self, string: str) -> int:
+        """The code for ``string``; raises :class:`SchemaError` if absent."""
+        lo, hi = 0, len(self.values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.values[mid] < string:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.values) and self.values[lo] == string:
+            return lo
+        raise SchemaError(f"string {string!r} is not in the dictionary")
+
+    def decode(self, codes: np.ndarray) -> list[str]:
+        return [self.values[int(c)] for c in codes]
+
+    def prefix_range(self, prefix: str) -> tuple[int, int]:
+        """Codes ``[lo, hi)`` of strings starting with ``prefix``.
+
+        Codes are assigned in sorted order, so a prefix predicate is a
+        contiguous code range (empty when nothing matches).
+        """
+        import bisect
+
+        lo = bisect.bisect_left(self.values, prefix)
+        hi = bisect.bisect_left(self.values, prefix + "￿")
+        return lo, hi
+
+
+def coerce_column(values: object, ctype: ColumnType | None = None) -> tuple[np.ndarray, ColumnType]:
+    """Normalize ``values`` to a contiguous 1-D array plus its logical type.
+
+    Infers ``INT`` vs ``FLOAT`` from the data when ``ctype`` is omitted.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise SchemaError(f"columns must be one-dimensional, got shape {arr.shape}")
+    if ctype is None:
+        if np.issubdtype(arr.dtype, np.integer) or np.issubdtype(arr.dtype, np.bool_):
+            ctype = ColumnType.INT
+        elif np.issubdtype(arr.dtype, np.floating):
+            ctype = ColumnType.FLOAT
+        else:
+            raise SchemaError(
+                f"cannot infer a column type for dtype {arr.dtype}; "
+                "dictionary-encode strings explicitly"
+            )
+    out = np.ascontiguousarray(arr, dtype=ctype.dtype)
+    return out, ctype

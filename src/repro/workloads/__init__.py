@@ -1,0 +1,15 @@
+"""Workload generators: synthetic query sequences and the TPC-H substrate."""
+
+from repro.workloads.synthetic import (
+    SyntheticTable,
+    make_table_arrays,
+    random_range,
+    skewed_range,
+)
+
+__all__ = [
+    "SyntheticTable",
+    "make_table_arrays",
+    "random_range",
+    "skewed_range",
+]

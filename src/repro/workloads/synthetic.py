@@ -1,0 +1,178 @@
+"""Synthetic workloads matching the paper's experimental setups.
+
+The paper's synthetic experiments run over tables of uniformly distributed
+integers in ``[1, domain]`` and issue range selections of fixed result size
+at random locations; Exp5 and Fig. 10(b) use a 9:1 skew toward part of the
+domain.  These helpers generate such tables, predicates, and query batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cracking.bounds import Interval
+from repro.engine.query import Predicate, Query
+
+
+@dataclass
+class SyntheticTable:
+    """Description of a uniform synthetic table."""
+
+    name: str = "R"
+    rows: int = 100_000
+    attributes: tuple[str, ...] = tuple(f"A{i}" for i in range(1, 10))
+    domain: int = 10_000_000
+    seed: int = 42
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        return {
+            attr: rng.integers(1, self.domain + 1, size=self.rows).astype(np.int64)
+            for attr in self.attributes
+        }
+
+
+def make_table_arrays(
+    rows: int, attributes: list[str], domain: int, seed: int = 42
+) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        attr: rng.integers(1, domain + 1, size=rows).astype(np.int64)
+        for attr in attributes
+    }
+
+
+def random_range(
+    rng: np.random.Generator, domain: int, selectivity: float
+) -> Interval:
+    """A randomly located open range selecting ``selectivity`` of a uniform
+    ``[1, domain]`` attribute; ``selectivity=0`` yields a point query."""
+    if selectivity <= 0:
+        value = int(rng.integers(1, domain + 1))
+        return Interval.point(value)
+    width = max(1, int(round(selectivity * domain)))
+    lo = int(rng.integers(0, max(1, domain - width) + 1))
+    return Interval(lo, lo + width + 1, lo_inclusive=False, hi_inclusive=False)
+
+
+def skewed_range(
+    rng: np.random.Generator,
+    domain: int,
+    selectivity: float,
+    hot_fraction: float = 0.5,
+    hot_probability: float = 0.9,
+) -> Interval:
+    """Like :func:`random_range` but 9/10 queries hit the hot domain part."""
+    width = max(1, int(round(selectivity * domain)))
+    hot_span = int(domain * hot_fraction)
+    if rng.random() < hot_probability:
+        lo = int(rng.integers(0, max(1, hot_span - width) + 1))
+    else:
+        lo = int(rng.integers(hot_span, max(hot_span + 1, domain - width) + 1))
+    return Interval(lo, lo + width + 1, lo_inclusive=False, hi_inclusive=False)
+
+
+def projection_query(
+    table: str,
+    select_attr: str,
+    interval: Interval,
+    projections: list[str],
+    aggregate: str = "max",
+) -> Query:
+    """``select max(p1), ..., max(pk) from table where interval(attr)``."""
+    return Query(
+        table=table,
+        predicates=(Predicate(select_attr, interval),),
+        aggregates=tuple((aggregate, p) for p in projections),
+    )
+
+
+@dataclass
+class BatchWorkload:
+    """The Section 4 batch workload.
+
+    Five query types ``Q_i: select C_i from R where σ(A) and σ(B_i)`` share
+    the selection attribute ``A`` but touch disjoint ``B_i``/``C_i``
+    attributes, so each type needs two maps of set ``S_A``.  Queries arrive
+    in batches of ``batch_size`` per type.
+    """
+
+    table: str = "R"
+    rows: int = 100_000
+    domain: int = 10_000_000
+    n_types: int = 5
+    seed: int = 7
+    select_attr: str = "A"
+
+    @property
+    def attributes(self) -> list[str]:
+        attrs = [self.select_attr]
+        for i in range(1, self.n_types + 1):
+            attrs += [f"B{i}", f"C{i}"]
+        return attrs
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return make_table_arrays(self.rows, self.attributes, self.domain, self.seed)
+
+    def query(
+        self,
+        rng: np.random.Generator,
+        query_type: int,
+        result_rows: int,
+        skewed: bool = False,
+    ) -> Query:
+        """One ``Q_{query_type}`` with ``result_rows`` expected qualifiers."""
+        selectivity = result_rows / self.rows
+        make = skewed_range if skewed else random_range
+        kwargs = {"hot_fraction": 0.2} if skewed else {}
+        a_interval = make(rng, self.domain, selectivity, **kwargs)
+        b_interval = random_range(rng, self.domain, 0.5)
+        i = query_type + 1
+        return Query(
+            table=self.table,
+            predicates=(
+                Predicate(self.select_attr, a_interval),
+                Predicate(f"B{i}", b_interval),
+            ),
+            projections=(f"C{i}",),
+        )
+
+    def sequence(
+        self,
+        total: int,
+        batch_size: int,
+        result_rows: int,
+        seed: int | None = None,
+        skewed: bool = False,
+    ) -> list[Query]:
+        """``total`` queries in round-robin batches of ``batch_size``."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        out: list[Query] = []
+        for q in range(total):
+            query_type = (q // batch_size) % self.n_types
+            out.append(self.query(rng, query_type, result_rows, skewed))
+        return out
+
+
+@dataclass
+class UpdateStream:
+    """Random update batches for Exp6 (HFLV / LFHV scenarios)."""
+
+    domain: int = 10_000_000
+    seed: int = 13
+    _rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def insert_batch(self, attrs: list[str], count: int) -> dict[str, np.ndarray]:
+        return {
+            attr: self._rng.integers(1, self.domain + 1, size=count).astype(np.int64)
+            for attr in attrs
+        }
+
+    def delete_keys(self, live_keys: np.ndarray, count: int) -> np.ndarray:
+        count = min(count, len(live_keys))
+        return self._rng.choice(live_keys, size=count, replace=False).astype(np.int64)

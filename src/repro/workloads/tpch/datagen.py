@@ -1,0 +1,197 @@
+"""A dbgen-style TPC-H data generator.
+
+Produces the eight benchmark tables at a configurable scale factor with the
+spec's cardinalities and the value distributions the twelve implemented
+queries are sensitive to (date arithmetic between order/ship/commit/receipt
+dates, return-flag rules, brand/type/container vocabularies, ...).  Text
+columns are generated as strings and dictionary-encoded on load, so string
+equality and prefix predicates become integer ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.tpch.dates import CURRENT_DATE, END_DATE, START_DATE
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIPMODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+SHIPINSTRUCTS = ("COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN")
+TYPE_S1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_S2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_S3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+TYPES = tuple(f"{a} {b} {c}" for a in TYPE_S1 for b in TYPE_S2 for c in TYPE_S3)
+CONTAINER_S1 = ("SM", "MED", "LG", "JUMBO", "WRAP")
+CONTAINER_S2 = ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+CONTAINERS = tuple(f"{a} {b}" for a in CONTAINER_S1 for b in CONTAINER_S2)
+BRANDS = tuple(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+COLORS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+)
+
+
+@dataclass
+class TPCHData:
+    """Generated TPC-H tables as ``{table: {column: array}}``."""
+
+    scale_factor: float
+    tables: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def load_into(self, db) -> None:
+        """Create every table in a :class:`repro.engine.Database`."""
+        for name, arrays in self.tables.items():
+            db.create_table(name, arrays)
+
+    def row_counts(self) -> dict[str, int]:
+        return {
+            name: len(next(iter(arrays.values())))
+            for name, arrays in self.tables.items()
+        }
+
+
+def _strings(rng: np.random.Generator, vocabulary: tuple[str, ...], size: int) -> np.ndarray:
+    codes = rng.integers(0, len(vocabulary), size=size)
+    return np.array(vocabulary, dtype=object)[codes]
+
+
+def generate(scale_factor: float = 0.02, seed: int = 42) -> TPCHData:
+    """Generate all eight tables at ``scale_factor`` (SF 1 = 6M lineitems)."""
+    rng = np.random.default_rng(seed)
+    sf = scale_factor
+    n_supplier = max(10, int(10_000 * sf))
+    n_part = max(20, int(200_000 * sf))
+    n_customer = max(15, int(150_000 * sf))
+    n_orders = max(30, int(1_500_000 * sf))
+    data = TPCHData(scale_factor=sf)
+
+    # region / nation --------------------------------------------------------
+    data.tables["region"] = {
+        "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+        "r_name": np.array(REGIONS, dtype=object),
+    }
+    data.tables["nation"] = {
+        "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+        "n_name": np.array([n for n, _ in NATIONS], dtype=object),
+        "n_regionkey": np.array([r for _, r in NATIONS], dtype=np.int64),
+    }
+
+    # supplier ----------------------------------------------------------------
+    data.tables["supplier"] = {
+        "s_suppkey": np.arange(1, n_supplier + 1, dtype=np.int64),
+        "s_nationkey": rng.integers(0, len(NATIONS), size=n_supplier).astype(np.int64),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, size=n_supplier), 2),
+    }
+
+    # part ----------------------------------------------------------------------
+    color_a = _strings(rng, COLORS, n_part)
+    color_b = _strings(rng, COLORS, n_part)
+    p_name = np.array([f"{a} {b}" for a, b in zip(color_a, color_b)], dtype=object)
+    data.tables["part"] = {
+        "p_partkey": np.arange(1, n_part + 1, dtype=np.int64),
+        "p_name": p_name,
+        "p_brand": _strings(rng, BRANDS, n_part),
+        "p_type": _strings(rng, TYPES, n_part),
+        "p_container": _strings(rng, CONTAINERS, n_part),
+        "p_size": rng.integers(1, 51, size=n_part).astype(np.int64),
+        "p_retailprice": np.round(
+            900.0 + (np.arange(1, n_part + 1) % 1000) / 10.0
+            + 100.0 * (np.arange(1, n_part + 1) % 10), 2
+        ),
+    }
+
+    # partsupp ---------------------------------------------------------------------
+    n_partsupp = 4 * n_part
+    ps_partkey = np.repeat(np.arange(1, n_part + 1, dtype=np.int64), 4)
+    data.tables["partsupp"] = {
+        "ps_partkey": ps_partkey,
+        "ps_suppkey": rng.integers(1, n_supplier + 1, size=n_partsupp).astype(np.int64),
+        "ps_availqty": rng.integers(1, 10_000, size=n_partsupp).astype(np.int64),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, size=n_partsupp), 2),
+    }
+
+    # customer -----------------------------------------------------------------------
+    data.tables["customer"] = {
+        "c_custkey": np.arange(1, n_customer + 1, dtype=np.int64),
+        "c_nationkey": rng.integers(0, len(NATIONS), size=n_customer).astype(np.int64),
+        "c_mktsegment": _strings(rng, SEGMENTS, n_customer),
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, size=n_customer), 2),
+    }
+
+    # orders ---------------------------------------------------------------------------
+    o_orderdate = rng.integers(
+        START_DATE, END_DATE - 151 + 1, size=n_orders
+    ).astype(np.int64)
+    # Per the spec, a third of the customers (custkey % 3 == 0) place no
+    # orders — Q13's zero bucket and Q22's not-exists depend on this.
+    custkeys = np.arange(1, n_customer + 1, dtype=np.int64)
+    ordering_customers = custkeys[custkeys % 3 != 0]
+    data.tables["orders"] = {
+        "o_orderkey": np.arange(1, n_orders + 1, dtype=np.int64),
+        "o_custkey": rng.choice(ordering_customers, size=n_orders).astype(np.int64),
+        "o_orderdate": o_orderdate,
+        "o_orderpriority": _strings(rng, PRIORITIES, n_orders),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int64),
+    }
+
+    # lineitem --------------------------------------------------------------------------
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    n_lineitem = int(lines_per_order.sum())
+    l_orderkey = np.repeat(data.tables["orders"]["o_orderkey"], lines_per_order)
+    l_orderdate = np.repeat(o_orderdate, lines_per_order)
+    l_partkey = rng.integers(1, n_part + 1, size=n_lineitem).astype(np.int64)
+    l_suppkey = rng.integers(1, n_supplier + 1, size=n_lineitem).astype(np.int64)
+    l_quantity = rng.integers(1, 51, size=n_lineitem).astype(np.int64)
+    retail = data.tables["part"]["p_retailprice"][l_partkey - 1]
+    l_extendedprice = np.round(l_quantity * retail, 2)
+    l_discount = np.round(rng.integers(0, 11, size=n_lineitem) / 100.0, 2)
+    l_tax = np.round(rng.integers(0, 9, size=n_lineitem) / 100.0, 2)
+    l_shipdate = l_orderdate + rng.integers(1, 122, size=n_lineitem)
+    l_commitdate = l_orderdate + rng.integers(30, 91, size=n_lineitem)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, size=n_lineitem)
+    returnable = l_receiptdate <= CURRENT_DATE
+    flags = np.where(
+        returnable, np.where(rng.random(n_lineitem) < 0.5, "R", "A"), "N"
+    ).astype(object)
+    status = np.where(l_shipdate > CURRENT_DATE, "O", "F").astype(object)
+    # o_totalprice: the spec's per-order sum of charged line prices.
+    charged = l_extendedprice * (1 + l_tax) * (1 - l_discount)
+    totalprice = np.zeros(n_orders, dtype=np.float64)
+    np.add.at(totalprice, l_orderkey - 1, charged)
+    data.tables["orders"]["o_totalprice"] = np.round(totalprice, 2)
+    data.tables["lineitem"] = {
+        "l_orderkey": l_orderkey,
+        "l_partkey": l_partkey,
+        "l_suppkey": l_suppkey,
+        "l_quantity": l_quantity,
+        "l_extendedprice": l_extendedprice,
+        "l_discount": l_discount,
+        "l_tax": l_tax,
+        "l_returnflag": flags,
+        "l_linestatus": status,
+        "l_shipdate": l_shipdate.astype(np.int64),
+        "l_commitdate": l_commitdate.astype(np.int64),
+        "l_receiptdate": l_receiptdate.astype(np.int64),
+        "l_shipmode": _strings(rng, SHIPMODES, n_lineitem),
+        "l_shipinstruct": _strings(rng, SHIPINSTRUCTS, n_lineitem),
+    }
+    return data

@@ -1,0 +1,48 @@
+"""TPC-H date handling: dates are stored as day ordinals (int64).
+
+The benchmark's data spans 1992-01-01 .. 1998-12-31; predicates like
+``l_shipdate >= date '1994-01-01'`` become integer range predicates, which
+is exactly how a column-store with a date type evaluates them.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+EPOCH = datetime.date(1992, 1, 1).toordinal()
+
+
+def d(year: int, month: int = 1, day: int = 1) -> int:
+    """Day ordinal of a calendar date (days since 1992-01-01)."""
+    return datetime.date(year, month, day).toordinal() - EPOCH
+
+
+def add_months(day_ordinal: int, months: int) -> int:
+    """The same day-of-month, ``months`` later (clamped to month end)."""
+    date = datetime.date.fromordinal(day_ordinal + EPOCH)
+    month = date.month - 1 + months
+    year = date.year + month // 12
+    month = month % 12 + 1
+    day = min(date.day, _days_in_month(year, month))
+    return datetime.date(year, month, day).toordinal() - EPOCH
+
+
+def add_years(day_ordinal: int, years: int) -> int:
+    return add_months(day_ordinal, 12 * years)
+
+
+def year_of(day_ordinal: int) -> int:
+    return datetime.date.fromordinal(day_ordinal + EPOCH).year
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    first = datetime.date(year, month, 1)
+    nxt = datetime.date(year + month // 12, month % 12 + 1, 1)
+    return (nxt - first).days
+
+
+START_DATE = d(1992, 1, 1)
+END_DATE = d(1998, 12, 31)
+CURRENT_DATE = d(1995, 6, 17)

@@ -1,0 +1,145 @@
+"""Workload traces: record query sequences to JSON and replay them.
+
+Cracking systems are *workload-defined*: the physical design a database
+converges to is exactly the query sequence it served.  Traces make that
+sequence a first-class artifact — capture it once, replay it against any
+engine (or after a code change) and compare costs or final cracked states.
+
+The format is plain JSON, one entry per query, stable across versions::
+
+    {"version": 1, "queries": [
+        {"table": "R", "conjunctive": true,
+         "predicates": [{"attr": "A", "lo": 10, "hi": 20,
+                          "lo_inclusive": false, "hi_inclusive": false}],
+         "projections": ["B"], "aggregates": [["max", "B"]]},
+        ...
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.cracking.bounds import Interval
+from repro.engine.base import Engine
+from repro.engine.query import Predicate, Query, QueryResult
+from repro.errors import PlanError
+
+_FORMAT_VERSION = 1
+
+
+def query_to_dict(query: Query) -> dict:
+    return {
+        "table": query.table,
+        "conjunctive": query.conjunctive,
+        "predicates": [
+            {
+                "attr": p.attr,
+                "lo": p.interval.lo,
+                "hi": p.interval.hi,
+                "lo_inclusive": p.interval.lo_inclusive,
+                "hi_inclusive": p.interval.hi_inclusive,
+            }
+            for p in query.predicates
+        ],
+        "projections": list(query.projections),
+        "aggregates": [list(a) for a in query.aggregates],
+    }
+
+
+def query_from_dict(spec: dict) -> Query:
+    predicates = tuple(
+        Predicate(
+            p["attr"],
+            Interval(
+                p["lo"], p["hi"],
+                lo_inclusive=p["lo_inclusive"],
+                hi_inclusive=p["hi_inclusive"],
+            ),
+        )
+        for p in spec["predicates"]
+    )
+    return Query(
+        table=spec["table"],
+        predicates=predicates,
+        projections=tuple(spec["projections"]),
+        aggregates=tuple((f, a) for f, a in spec["aggregates"]),
+        conjunctive=spec["conjunctive"],
+    )
+
+
+@dataclass
+class Trace:
+    """A recorded query sequence."""
+
+    queries: list[Query] = field(default_factory=list)
+
+    def record(self, query: Query) -> Query:
+        self.queries.append(query)
+        return query
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    # -- serialization ------------------------------------------------------------
+
+    def dumps(self) -> str:
+        return json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "queries": [query_to_dict(q) for q in self.queries],
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        payload = json.loads(text)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise PlanError(f"unsupported trace version {payload.get('version')!r}")
+        return cls([query_from_dict(q) for q in payload["queries"]])
+
+    def save(self, path: "str | pathlib.Path") -> None:
+        pathlib.Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "Trace":
+        return cls.loads(pathlib.Path(path).read_text())
+
+    # -- replay ---------------------------------------------------------------------
+
+    def replay(self, engine: Engine) -> list[QueryResult]:
+        """Run every query in order; returns the per-query results."""
+        return [engine.run(query) for query in self.queries]
+
+    def replay_costs(self, engine: Engine) -> dict:
+        """Replay and summarize costs (the common use: compare engines)."""
+        results = self.replay(engine)
+        return {
+            "engine": engine.name,
+            "queries": len(results),
+            "seconds": sum(r.total_seconds for r in results),
+            "per_query_seconds": [r.total_seconds for r in results],
+            "rows": [r.row_count for r in results],
+        }
+
+
+class RecordingEngine:
+    """Wraps an engine so every query it runs is captured in a trace."""
+
+    def __init__(self, engine: Engine, trace: Trace | None = None) -> None:
+        self.engine = engine
+        self.trace = trace or Trace()
+
+    @property
+    def name(self) -> str:
+        return f"recording({self.engine.name})"
+
+    def run(self, query: Query) -> QueryResult:
+        self.trace.record(query)
+        return self.engine.run(query)

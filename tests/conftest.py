@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_arrays(rng) -> dict[str, np.ndarray]:
+    """Four aligned integer columns, 5k rows, values in [1, 100k]."""
+    return {c: rng.integers(1, 100_001, size=5_000).astype(np.int64) for c in "ABCD"}
+
+
+@pytest.fixture
+def relation(small_arrays) -> Relation:
+    return Relation.from_arrays("R", small_arrays)
+
+
+@pytest.fixture
+def db(small_arrays) -> Database:
+    database = Database()
+    database.create_table("R", dict(small_arrays))
+    return database

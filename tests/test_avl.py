@@ -1,0 +1,159 @@
+"""The AVL cracker index."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Bound, Side
+from repro.errors import CrackError
+
+
+def b(value: float, side: Side = Side.LT) -> Bound:
+    return Bound(value, side)
+
+
+class TestInsertFind:
+    def test_empty_index(self):
+        index = CrackerIndex()
+        assert len(index) == 0
+        assert index.piece_count == 1
+        assert index.position_of(b(5)) is None
+
+    def test_insert_and_find(self):
+        index = CrackerIndex()
+        index.insert(b(5), 10)
+        assert index.position_of(b(5)) == 10
+        assert index.position_of(b(5, Side.LE)) is None
+        assert len(index) == 1
+
+    def test_reinsert_same_position_ok(self):
+        index = CrackerIndex()
+        index.insert(b(5), 10)
+        index.insert(b(5), 10)
+        assert len(index) == 1
+
+    def test_reinsert_conflicting_position_raises(self):
+        index = CrackerIndex()
+        index.insert(b(5), 10)
+        with pytest.raises(CrackError):
+            index.insert(b(5), 11)
+
+    def test_lt_and_le_are_distinct_keys(self):
+        index = CrackerIndex()
+        index.insert(b(5, Side.LT), 10)
+        index.insert(b(5, Side.LE), 12)
+        assert index.position_of(b(5, Side.LT)) == 10
+        assert index.position_of(b(5, Side.LE)) == 12
+
+
+class TestNeighbors:
+    def _build(self) -> CrackerIndex:
+        index = CrackerIndex()
+        for value, pos in [(10, 5), (20, 12), (30, 20)]:
+            index.insert(b(value), pos)
+        return index
+
+    def test_predecessor(self):
+        index = self._build()
+        assert index.predecessor(b(25)) == (b(20), 12)
+        assert index.predecessor(b(10)) is None
+        assert index.predecessor(b(10, Side.LE)) == (b(10), 5)
+
+    def test_successor(self):
+        index = self._build()
+        assert index.successor(b(25)) == (b(30), 20)
+        assert index.successor(b(30)) == (b(30), 20) or index.successor(b(30)) is None
+        assert index.successor(b(35)) is None
+
+    def test_enclosing_unknown_bound(self):
+        index = self._build()
+        assert index.enclosing(b(25), 100) == (12, 20)
+        assert index.enclosing(b(5), 100) == (0, 5)
+        assert index.enclosing(b(40), 100) == (20, 100)
+
+    def test_enclosing_known_bound_degenerate(self):
+        index = self._build()
+        assert index.enclosing(b(20), 100) == (12, 12)
+
+
+class TestPieces:
+    def test_pieces_cover_whole_array(self):
+        index = CrackerIndex()
+        index.insert(b(10), 3)
+        index.insert(b(20), 7)
+        pieces = list(index.pieces(12))
+        assert [(p.lo_pos, p.hi_pos) for p in pieces] == [(0, 3), (3, 7), (7, 12)]
+        assert pieces[0].lo_bound is None
+        assert pieces[-1].hi_bound is None
+        assert sum(p.size for p in pieces) == 12
+
+    def test_inorder_sorted(self):
+        index = CrackerIndex()
+        for value in (30, 10, 20, 25, 5):
+            index.insert(b(value), int(value))
+        bounds = [bd.value for bd, _ in index.inorder()]
+        assert bounds == sorted(bounds)
+
+
+class TestShifts:
+    def test_shift_moves_later_bounds(self):
+        index = CrackerIndex()
+        index.insert(b(10), 5)
+        index.insert(b(20), 10)
+        index.apply_shifts([(6, 3)])
+        assert index.position_of(b(10)) == 5
+        assert index.position_of(b(20)) == 13
+
+    def test_shift_at_exact_position_included(self):
+        index = CrackerIndex()
+        index.insert(b(10), 5)
+        index.apply_shifts([(5, 2)])
+        assert index.position_of(b(10)) == 7
+
+    def test_negative_and_cumulative_shifts(self):
+        index = CrackerIndex()
+        index.insert(b(10), 10)
+        index.insert(b(20), 20)
+        index.apply_shifts([(5, -2), (15, 4)])
+        assert index.position_of(b(10)) == 8
+        assert index.position_of(b(20)) == 22
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        index = CrackerIndex()
+        index.insert(b(10), 5)
+        copy = index.clone()
+        copy.insert(b(20), 9)
+        assert index.position_of(b(20)) is None
+        assert copy.position_of(b(10)) == 5
+        assert len(copy) == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 500), st.sampled_from([Side.LT, Side.LE])),
+                min_size=1, max_size=120, unique=True))
+def test_avl_matches_sorted_model(entries):
+    """Insert random bounds with monotone positions; AVL must stay balanced
+    and agree with a sorted-list model."""
+    entries = sorted(set(entries))
+    index = CrackerIndex()
+    # Positions must be monotone in bound order; use the rank * 3.
+    for rank, (value, side) in enumerate(entries):
+        index.insert(Bound(value, side), rank * 3)
+    index.validate(n=3 * len(entries) + 10)
+    assert len(index) == len(entries)
+    model = [(Bound(v, s), i * 3) for i, (v, s) in enumerate(entries)]
+    assert list(index.inorder()) == model
+    for probe_value in range(0, 501, 17):
+        probe = Bound(probe_value, Side.LT)
+        expected_pred = None
+        expected_succ = None
+        for bound, pos in model:
+            if bound < probe:
+                expected_pred = (bound, pos)
+            if bound > probe and expected_succ is None:
+                expected_succ = (bound, pos)
+        assert index.predecessor(probe) == expected_pred
+        assert index.successor(probe) == expected_succ

@@ -1,0 +1,117 @@
+"""Smoke tests: every benchmark driver runs at tiny scale and reports the
+structure its experiment needs."""
+
+import pytest
+
+from repro.bench import exp01_tuple_reconstruction as exp01
+from repro.bench import exp02_selectivity as exp02
+from repro.bench import exp03_reordering as exp03
+from repro.bench import exp04_joins as exp04
+from repro.bench import exp05_skew as exp05
+from repro.bench import exp06_updates as exp06
+from repro.bench import exp07_storage as exp07
+from repro.bench import exp08_adaptation as exp08
+from repro.bench import exp09_cumulative as exp09
+from repro.bench import exp10_change_rate as exp10
+from repro.bench import exp11_alignment as exp11
+
+TINY = 0.12
+
+
+class TestSection3Drivers:
+    def test_exp01(self):
+        result = exp01.run(scale=TINY)
+        for system in exp01.SYSTEMS:
+            assert set(result["figure_ms"][system]) == set(exp01.RECONSTRUCTIONS)
+        assert set(result["breakdown"]) == set(exp01.SYSTEMS)
+        assert exp01.describe(result)
+
+    def test_exp02(self):
+        result = exp02.run(scale=TINY, queries=20)
+        assert set(result["relative_wallclock"]) == set(exp02.LABELS.values())
+        assert all(len(v) == 20 for v in result["relative_wallclock"].values())
+        assert exp02.describe(result)
+
+    def test_exp03(self):
+        result = exp03.run(scale=TINY)
+        for strategy in exp03.STRATEGIES:
+            assert set(result["wall_ms"][strategy]) == set(exp03.RECONSTRUCTIONS)
+        assert exp03.describe(result)
+
+    def test_exp04(self):
+        result = exp04.run(scale=TINY, queries=5)
+        for key in ("total_ms", "before_join_ms", "after_join_ms"):
+            assert set(result[key]) == set(exp04.SYSTEMS)
+            assert all(len(v) == 5 for v in result[key].values())
+        assert exp04.describe(result)
+
+    def test_exp05(self):
+        result = exp05.run(scale=TINY, queries=20)
+        assert set(result["microseconds"]) == set(exp05.SYSTEMS)
+        assert exp05.describe(result)
+
+    def test_exp06(self):
+        result = exp06.run(scale=TINY, queries=30)
+        assert set(result["series_us"]) == {"HFLV", "LFHV"}
+        for scenario in result["series_us"].values():
+            assert set(scenario) == set(exp06.SYSTEMS)
+        assert exp06.describe(result)
+
+
+class TestSection4Drivers:
+    def test_exp07(self):
+        result = exp07.run(scale=TINY, queries=50, batch=10)
+        assert set(result["per_query_us"]) == set(exp07.THRESHOLDS)
+        for systems in result["per_query_us"].values():
+            assert all(len(v) == 50 for v in systems.values())
+        assert exp07.describe(result)
+
+    def test_exp08(self):
+        result = exp08.run(scale=TINY, queries=40, batch=10)
+        assert set(result["per_query_us"]) == set(exp08.VARIANTS)
+        assert exp08.describe(result)
+
+    def test_exp09(self):
+        result = exp09.run(scale=TINY, queries=30, batch=10)
+        assert len(result["totals_seconds"]) == len(exp09.RESULT_FRACTIONS) * len(
+            exp09.THRESHOLDS
+        )
+        assert exp09.describe(result)
+
+    def test_exp10(self):
+        result = exp10.run(scale=TINY, queries=40)
+        assert len(result["totals_seconds"]) == len(set(
+            40 // b for b in exp10.BATCHES
+        ))
+        assert exp10.describe(result)
+
+    def test_exp11(self):
+        result = exp11.run(scale=TINY, queries=40)
+        assert set(result["per_query_us"]) == set(exp11.CHANGE_EVERY)
+        assert exp11.describe(result)
+
+
+class TestTPCHDrivers:
+    @pytest.mark.slow
+    def test_exp12_smoke(self):
+        from repro.bench import exp12_tpch as exp12
+
+        result = exp12.run(scale=0.15, variations=2)
+        assert set(result["summary_wallclock"]) == set(result["series_ms"])
+        assert exp12.describe(result)
+
+    def test_exp13_smoke(self):
+        from repro.bench import exp13_tpch_mixed as exp13
+
+        result = exp13.run(scale=0.15, batches=1)
+        assert result["queries"] == 12
+        assert exp13.describe(result)
+
+
+def test_default_scale_env(monkeypatch):
+    from repro.bench.harness import default_scale
+
+    monkeypatch.setenv("REPRO_SCALE", "2.5")
+    assert default_scale() == 2.5
+    monkeypatch.delenv("REPRO_SCALE")
+    assert default_scale() == 1.0

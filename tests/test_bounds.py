@@ -1,0 +1,132 @@
+"""Bound / Interval semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cracking.bounds import Bound, Interval, Side, interval_from_bounds
+from repro.errors import PredicateError
+
+
+class TestBound:
+    def test_ordering_lt_before_le(self):
+        assert Bound(5, Side.LT) < Bound(5, Side.LE)
+        assert Bound(4, Side.LE) < Bound(5, Side.LT)
+
+    def test_below_mask_lt(self):
+        arr = np.array([1, 5, 9])
+        assert Bound(5, Side.LT).below_mask(arr).tolist() == [True, False, False]
+
+    def test_below_mask_le(self):
+        arr = np.array([1, 5, 9])
+        assert Bound(5, Side.LE).below_mask(arr).tolist() == [True, True, False]
+
+    def test_repr_shows_operator(self):
+        assert "<" in repr(Bound(3, Side.LT))
+        assert "<=" in repr(Bound(3, Side.LE))
+
+
+class TestIntervalConstruction:
+    def test_open(self):
+        iv = Interval.open(1, 10)
+        assert not iv.lo_inclusive and not iv.hi_inclusive
+
+    def test_closed(self):
+        iv = Interval.closed(1, 10)
+        assert iv.lo_inclusive and iv.hi_inclusive
+
+    def test_half_open(self):
+        iv = Interval.half_open(1, 10)
+        assert iv.lo_inclusive and not iv.hi_inclusive
+
+    def test_point(self):
+        iv = Interval.point(7)
+        assert iv.contains(7)
+        assert not iv.contains(6)
+        assert not iv.contains(8)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval.open(10, 1)
+
+    def test_empty_open_range_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval.open(5, 5)
+
+    def test_degenerate_closed_range_allowed(self):
+        Interval.closed(5, 5)
+
+    def test_one_sided(self):
+        assert Interval.at_least(3).contains(3)
+        assert not Interval.at_least(3, inclusive=False).contains(3)
+        assert Interval.at_most(3).contains(3)
+        assert not Interval.at_most(3, inclusive=False).contains(3)
+
+
+class TestIntervalBounds:
+    def test_open_interval_bounds(self):
+        iv = Interval.open(1, 10)
+        assert iv.lower_bound() == Bound(1, Side.LE)
+        assert iv.upper_bound() == Bound(10, Side.LT)
+
+    def test_closed_interval_bounds(self):
+        iv = Interval.closed(1, 10)
+        assert iv.lower_bound() == Bound(1, Side.LT)
+        assert iv.upper_bound() == Bound(10, Side.LE)
+
+    def test_unbounded_sides(self):
+        assert Interval.at_most(5).lower_bound() is None
+        assert Interval.at_least(5).upper_bound() is None
+
+    def test_point_bounds_distinct_and_ordered(self):
+        iv = Interval.point(5)
+        assert iv.lower_bound() < iv.upper_bound()
+
+
+class TestIntervalMask:
+    def test_open_mask(self):
+        arr = np.array([1, 2, 3, 4, 5])
+        assert Interval.open(1, 5).mask(arr).tolist() == [False, True, True, True, False]
+
+    def test_closed_mask(self):
+        arr = np.array([1, 2, 3])
+        assert Interval.closed(1, 3).mask(arr).all()
+
+    def test_unbounded_mask(self):
+        arr = np.array([1, 2, 3])
+        assert Interval().mask(arr).all()
+
+
+@given(
+    lo=st.integers(-1000, 1000),
+    width=st.integers(0, 500),
+    lo_inc=st.booleans(),
+    hi_inc=st.booleans(),
+    values=st.lists(st.integers(-1200, 1200), min_size=1, max_size=60),
+)
+def test_mask_matches_contains(lo, width, lo_inc, hi_inc, values):
+    hi = lo + width
+    if lo == hi and not (lo_inc and hi_inc):
+        return
+    iv = Interval(lo, hi, lo_inclusive=lo_inc, hi_inclusive=hi_inc)
+    arr = np.array(values)
+    mask = iv.mask(arr)
+    for value, bit in zip(values, mask):
+        assert bit == iv.contains(value)
+
+
+@given(
+    lo=st.one_of(st.none(), st.integers(-100, 100)),
+    width=st.integers(0, 100),
+    lo_inc=st.booleans(),
+    hi_inc=st.booleans(),
+)
+def test_interval_from_bounds_roundtrip(lo, width, lo_inc, hi_inc):
+    hi = None if lo is None else lo + width
+    if lo is not None and lo == hi and not (lo_inc and hi_inc):
+        return
+    iv = Interval(lo, hi, lo_inclusive=lo_inc, hi_inclusive=hi_inc)
+    rebuilt = interval_from_bounds(iv.lower_bound(), iv.upper_bound())
+    arr = np.arange(-150, 250)
+    assert np.array_equal(iv.mask(arr), rebuilt.mask(arr))

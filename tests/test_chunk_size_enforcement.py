@@ -1,0 +1,75 @@
+"""Cache-conscious chunk-size enforcement (paper §7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partial import PartialConfig, PartialSidewaysCracker
+from repro.core.partial.chunkmap import ChunkMap
+from repro.cracking.bounds import Interval
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def rel(rng):
+    return Relation.from_arrays(
+        "R",
+        {c: rng.integers(0, 10**6, size=20_000).astype(np.int64) for c in "AB"},
+    )
+
+
+class TestMedianSplit:
+    def test_cover_respects_budget(self, rel):
+        chunkmap = ChunkMap(rel, "A", len(rel))
+        areas = chunkmap.cover(Interval.open(10**5, 9 * 10**5), max_area_tuples=2_000)
+        assert all(chunkmap.area_size(a) <= 2_000 for a in areas)
+        chunkmap.check_invariants()
+
+    def test_without_budget_single_area(self, rel):
+        chunkmap = ChunkMap(rel, "A", len(rel))
+        areas = chunkmap.cover(Interval.open(10**5, 9 * 10**5))
+        assert len(areas) == 1
+
+    def test_degenerate_constant_values_no_infinite_loop(self):
+        rel = Relation.from_arrays("R", {"A": np.full(5_000, 7, dtype=np.int64),
+                                         "B": np.arange(5_000)})
+        chunkmap = ChunkMap(rel, "A", len(rel))
+        areas = chunkmap.cover(Interval.closed(0, 10), max_area_tuples=100)
+        # Cannot split identical values: one oversized area is allowed.
+        assert len(areas) >= 1
+        assert sum(chunkmap.area_size(a) for a in areas) == 5_000
+
+
+class TestEndToEnd:
+    def test_results_correct_with_enforcement(self, rel, rng):
+        arrays = {attr: rel.values(attr) for attr in rel.attributes}
+        cracker = PartialSidewaysCracker(
+            rel, config=PartialConfig(max_chunk_tuples=1_500)
+        )
+        for _ in range(15):
+            lo = int(rng.integers(0, 8 * 10**5))
+            iv = Interval.open(lo, lo + 10**5)
+            res = cracker.select_project("A", iv, ["B"])
+            expected = arrays["B"][iv.mask(arrays["A"])]
+            assert np.array_equal(np.sort(res["B"]), np.sort(expected))
+        sizes = [
+            len(chunk)
+            for pmap in cracker.sets["A"].maps.values()
+            for chunk in pmap.chunks.values()
+        ]
+        assert max(sizes) <= 1_500 * 1.2  # median split is approximate
+
+    def test_enforcement_bounds_worst_case_chunk_creation(self, rel, rng):
+        """With enforcement, the costliest single query (chunk creation on a
+        fresh range) touches less data than one giant chunk would."""
+        from repro.stats.counters import StatsRecorder
+
+        def first_query_cost(config):
+            recorder = StatsRecorder()
+            cracker = PartialSidewaysCracker(rel, config=config,
+                                             recorder=recorder)
+            cracker.select_project("A", Interval.open(0, 9 * 10**5), ["B"])
+            return recorder.root.chunk_creations
+
+        bounded = first_query_cost(PartialConfig(max_chunk_tuples=1_000))
+        unbounded = first_query_cost(PartialConfig())
+        assert bounded > unbounded  # many small chunks vs one big one

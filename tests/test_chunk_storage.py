@@ -1,0 +1,98 @@
+"""The chunk storage manager: budgets, LFU eviction, pinning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partial.chunkmap import ChunkMap
+from repro.core.partial.partial_map import PartialMap
+from repro.core.partial.storage import ChunkStorage
+from repro.cracking.bounds import Interval
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def parts(rng):
+    rel = Relation.from_arrays(
+        "R", {c: rng.integers(0, 10_000, size=1_000).astype(np.int64) for c in "AB"}
+    )
+    chunkmap = ChunkMap(rel, "A", len(rel))
+    pmap = PartialMap(chunkmap, "B")
+    return chunkmap, pmap
+
+
+def make_chunk(chunkmap, pmap, lo, hi):
+    area = chunkmap.cover(Interval.open(lo, hi))[0]
+    return area, pmap.create_chunk(area)
+
+
+class TestAccounting:
+    def test_usage_counts_chunks(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None)
+        storage.register_map(pmap)
+        assert storage.used_tuples == 0
+        _, chunk = make_chunk(chunkmap, pmap, 1_000, 4_000)
+        assert storage.used_tuples == len(chunk)
+
+    def test_chunkmap_counted_when_enabled(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None, count_chunkmaps=True)
+        storage.register_chunkmap(chunkmap)
+        assert storage.used_tuples == len(chunkmap)
+
+    def test_head_drop_halves_footprint(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None)
+        storage.register_map(pmap)
+        _, chunk = make_chunk(chunkmap, pmap, 1_000, 4_000)
+        full = storage.used_tuples
+        chunk.drop_head()
+        assert storage.used_tuples == pytest.approx(full / 2)
+
+
+class TestEviction:
+    def test_lfu_victim(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None)
+        storage.register_map(pmap)
+        area_hot, hot = make_chunk(chunkmap, pmap, 1_000, 4_000)
+        area_cold, cold = make_chunk(chunkmap, pmap, 6_000, 9_000)
+        hot.touch()
+        hot.touch()
+        cold.touch()
+        storage.budget_tuples = int(storage.used_tuples)  # full
+        storage.ensure_room(10)
+        assert pmap.get_chunk(area_cold) is None
+        assert pmap.get_chunk(area_hot) is hot
+
+    def test_pinned_chunk_survives(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None)
+        storage.register_map(pmap)
+        area, chunk = make_chunk(chunkmap, pmap, 1_000, 4_000)
+        storage.pin(pmap, area.area_id)
+        storage.budget_tuples = 1
+        storage.ensure_room(10)  # nothing evictable -> overshoot
+        assert pmap.get_chunk(area) is chunk
+        storage.unpin_all()
+        storage.ensure_room(10)
+        assert pmap.get_chunk(area) is None
+
+    def test_unlimited_budget_no_eviction(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None)
+        storage.register_map(pmap)
+        make_chunk(chunkmap, pmap, 1_000, 4_000)
+        storage.ensure_room(10**9)
+        assert len(pmap.chunks) == 1
+
+    def test_register_idempotent(self, parts):
+        chunkmap, pmap = parts
+        storage = ChunkStorage(budget_tuples=None)
+        storage.register_map(pmap)
+        storage.register_map(pmap)
+        storage.register_chunkmap(chunkmap)
+        storage.register_chunkmap(chunkmap)
+        make_chunk(chunkmap, pmap, 1_000, 4_000)
+        single = storage.used_tuples
+        assert single == len(pmap.chunks[next(iter(pmap.chunks))])

@@ -1,0 +1,47 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import ABLATIONS, EXPERIMENTS, EXTENSIONS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        for name in ABLATIONS:
+            assert f"abl:{name}" in out
+        for name in EXTENSIONS:
+            assert f"ext:{name}" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "exp99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_run_experiment_small(self, capsys):
+        assert main(["run", "exp03", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "exp03" in out
+        assert "unordered" in out
+
+    def test_run_ablation(self, capsys):
+        assert main(["run", "abl:crack_kernels", "--scale", "0.2"]) == 0
+        assert "crack_in_three" in capsys.readouterr().out
+
+    def test_run_extension(self, capsys):
+        assert main(["run", "ext:piece_max", "--scale", "0.2"]) == 0
+        assert "piece_exploiting" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_agrees(self, capsys):
+        assert main(["verify", "--scale", "0.5", "--variations", "1"]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Cracker columns: selection cracking with on-demand updates."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.bounds import Interval
+from repro.cracking.column import CrackerColumn
+from repro.storage.bat import BAT
+
+
+@pytest.fixture
+def values(rng):
+    return rng.integers(1, 10_001, size=3_000).astype(np.int64)
+
+
+@pytest.fixture
+def column(values):
+    return CrackerColumn(BAT.from_values(values))
+
+
+class TestSelect:
+    def test_select_matches_oracle(self, column, values, rng):
+        for _ in range(20):
+            lo = int(rng.integers(0, 9_000))
+            iv = Interval.open(lo, lo + 1_000)
+            keys = column.select(iv)
+            expected = np.flatnonzero(iv.mask(values))
+            assert np.array_equal(np.sort(keys), expected)
+        column.check_invariants()
+
+    def test_point_query(self, column, values):
+        target = int(values[0])
+        keys = column.select(Interval.point(target))
+        assert np.array_equal(np.sort(keys), np.flatnonzero(values == target))
+
+    def test_count(self, column, values):
+        iv = Interval.open(100, 5_000)
+        assert column.count(iv) == int(iv.mask(values).sum())
+
+    def test_pieces_accumulate(self, column, rng):
+        before = column.index.piece_count
+        column.select(Interval.open(10, 20))
+        assert column.index.piece_count > before
+
+
+class TestUpdates:
+    def test_insert_visible_after_merge(self, column, values):
+        column.add_insertions(np.array([5_000]), np.array([99_999]))
+        keys = column.select(Interval.open(4_999, 5_001))
+        assert 99_999 in keys
+
+    def test_insert_outside_range_stays_pending(self, column):
+        column.add_insertions(np.array([5_000]), np.array([99_999]))
+        column.select(Interval.open(8_000, 9_000))
+        assert column.pending.insertion_count == 1
+
+    def test_delete_removes_key(self, column, values):
+        victim = 7
+        column.add_deletions(np.array([values[victim]]), np.array([victim]))
+        iv = Interval.closed(int(values[victim]), int(values[victim]))
+        keys = column.select(iv)
+        assert victim not in keys
+
+    def test_mixed_update_stream_matches_oracle(self, values, rng):
+        column = CrackerColumn(BAT.from_values(values))
+        live = {int(k): int(v) for k, v in enumerate(values)}
+        next_key = len(values)
+        for step in range(15):
+            # Insert a few rows.
+            new_vals = rng.integers(1, 10_001, size=5).astype(np.int64)
+            new_keys = np.arange(next_key, next_key + 5, dtype=np.int64)
+            next_key += 5
+            column.add_insertions(new_vals, new_keys)
+            live.update(zip(new_keys.tolist(), new_vals.tolist()))
+            # Delete a few live rows.
+            victims = rng.choice(sorted(live), size=3, replace=False)
+            column.add_deletions(
+                np.array([live[int(k)] for k in victims]), victims.astype(np.int64)
+            )
+            for k in victims:
+                del live[int(k)]
+            # Query a random range.
+            lo = int(rng.integers(0, 9_000))
+            iv = Interval.open(lo, lo + 1_500)
+            keys = column.select(iv)
+            expected = sorted(k for k, v in live.items() if iv.contains(v))
+            assert sorted(keys.tolist()) == expected
+        column.check_invariants()
+
+    def test_invariants_after_heavy_updates(self, column, rng, values):
+        for _ in range(10):
+            column.add_insertions(
+                rng.integers(1, 10_001, size=50).astype(np.int64),
+                rng.integers(10**6, 10**7, size=50).astype(np.int64),
+            )
+            lo = int(rng.integers(0, 8_000))
+            column.select(Interval.open(lo, lo + 2_000))
+        column.check_invariants()

@@ -1,0 +1,68 @@
+"""Property-based invariants of the TPC-H generator across scale factors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.dates import CURRENT_DATE, END_DATE, START_DATE
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    sf=st.floats(0.001, 0.01),
+    seed=st.integers(0, 1_000),
+)
+def test_generator_invariants(sf, seed):
+    data = generate(scale_factor=sf, seed=seed)
+    counts = data.row_counts()
+
+    # Structural cardinalities.
+    assert counts["region"] == 5
+    assert counts["nation"] == 25
+    assert counts["partsupp"] == 4 * counts["part"]
+    assert counts["orders"] <= counts["lineitem"] <= 7 * counts["orders"]
+
+    orders = data.tables["orders"]
+    line = data.tables["lineitem"]
+    part = data.tables["part"]
+
+    # Foreign keys stay in range.
+    assert orders["o_custkey"].min() >= 1
+    assert orders["o_custkey"].max() <= counts["customer"]
+    assert line["l_partkey"].max() <= counts["part"]
+    assert line["l_suppkey"].max() <= counts["supplier"]
+    assert line["l_orderkey"].max() <= counts["orders"]
+    # A third of customers place no orders.
+    assert not np.isin(orders["o_custkey"] % 3, [0]).any()
+
+    # Date arithmetic.
+    assert orders["o_orderdate"].min() >= START_DATE
+    assert line["l_shipdate"].max() <= END_DATE + 121
+    assert (line["l_shipdate"] < line["l_receiptdate"]).all()
+    odate = orders["o_orderdate"][line["l_orderkey"] - 1]
+    assert (line["l_shipdate"] > odate).all()
+    assert (line["l_commitdate"] >= odate + 30).all()
+
+    # Return-flag rule.
+    returned = np.isin(line["l_returnflag"], ["R", "A"])
+    assert (line["l_receiptdate"][returned] <= CURRENT_DATE).all()
+
+    # Money columns.
+    assert (line["l_extendedprice"] > 0).all()
+    assert (orders["o_totalprice"] > 0).all()
+    assert (line["l_discount"] >= 0).all() and (line["l_discount"] <= 0.10).all()
+
+    # Part vocabulary columns decode (strings, later dict-encoded on load).
+    assert all(" " in str(t) for t in part["p_type"][:10])
+    assert all(str(b).startswith("Brand#") for b in part["p_brand"][:10])
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1_000))
+def test_generator_deterministic(seed):
+    a = generate(scale_factor=0.002, seed=seed)
+    b = generate(scale_factor=0.002, seed=seed)
+    for table in a.tables:
+        for column in a.tables[table]:
+            assert np.array_equal(a.tables[table][column], b.tables[table][column])

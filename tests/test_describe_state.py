@@ -1,0 +1,61 @@
+"""State introspection on the cracker facades."""
+
+import numpy as np
+
+from repro.core.partial import PartialSidewaysCracker
+from repro.core.sideways import SidewaysCracker
+from repro.cracking.bounds import Interval
+from repro.storage.relation import Relation
+
+
+def make(rng):
+    arrays = {c: rng.integers(0, 10_000, size=1_000).astype(np.int64) for c in "ABC"}
+    return Relation.from_arrays("R", arrays)
+
+
+class TestFullMaps:
+    def test_empty_state(self, rng):
+        text = SidewaysCracker(make(rng)).describe_state()
+        assert "0 map set(s)" in text
+
+    def test_after_queries(self, rng):
+        cracker = SidewaysCracker(make(rng))
+        cracker.select_project("A", Interval.open(100, 4_000), ["B", "C"])
+        text = cracker.describe_state()
+        assert "set S_A" in text
+        assert "M_A,B" in text and "M_A,C" in text
+        assert "pieces" in text
+
+    def test_reports_pending_updates(self, rng):
+        rel = make(rng)
+        cracker = SidewaysCracker(rel)
+        cracker.select_project("A", Interval.open(100, 4_000), ["B"])
+        cracker.notify_insertions(
+            {"A": np.array([5])}, np.array([len(rel)], dtype=np.int64)
+        )
+        assert "1 pending insert(s)" in cracker.describe_state()
+
+
+class TestPartialMaps:
+    def test_empty_state(self, rng):
+        text = PartialSidewaysCracker(make(rng)).describe_state()
+        assert "0 map set(s)" in text
+
+    def test_after_queries(self, rng):
+        cracker = PartialSidewaysCracker(make(rng))
+        cracker.select_project("A", Interval.open(100, 4_000), ["B"])
+        text = cracker.describe_state()
+        assert "areas" in text and "fetched" in text
+        assert "A->B" in text
+        assert "chunk(s)" in text
+
+    def test_reports_head_drops(self, rng):
+        from repro.core.partial import PartialConfig
+
+        cracker = PartialSidewaysCracker(
+            make(rng), config=PartialConfig(head_drop_mode="cold", cold_threshold=1)
+        )
+        iv = Interval.open(100, 4_000)
+        for _ in range(4):
+            cracker.select_project("A", iv, ["B"])
+        assert "head-dropped" in cracker.describe_state()

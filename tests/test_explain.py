@@ -1,0 +1,72 @@
+"""Plan introspection via Engine.explain."""
+
+import pytest
+
+from repro.cracking.bounds import Interval
+from repro.engine import (
+    PlainEngine,
+    Predicate,
+    PresortedEngine,
+    Query,
+    SelectionCrackingEngine,
+    SidewaysEngine,
+)
+
+
+@pytest.fixture
+def query():
+    return Query(
+        "R",
+        predicates=(
+            Predicate("A", Interval.open(100, 50_000)),
+            Predicate("B", Interval.open(0, 1_000)),
+        ),
+        projections=("C",),
+        aggregates=(("max", "C"),),
+    )
+
+
+def test_explain_mentions_structures(db, query):
+    expectations = {
+        PlainEngine(db): "full column scan",
+        PresortedEngine(db): "binary search",
+        SelectionCrackingEngine(db): "cracker column",
+        SidewaysEngine(db): "cracker maps",
+        SidewaysEngine(db, partial=True): "chunk map",
+    }
+    for engine, needle in expectations.items():
+        plan = engine.explain(query)
+        assert needle in plan, engine.name
+        assert "reconstruct [C]" in plan
+        assert "aggregate max(C)" in plan
+
+
+def test_explain_orders_by_selectivity(db, query):
+    plan = PlainEngine(db).explain(query)
+    lines = plan.splitlines()
+    # B (sel ~1%) must be evaluated before A (sel ~50%).
+    assert "select B" in lines[1]
+    assert "and-refine A" in lines[2]
+
+
+def test_explain_disjunction(db):
+    query = Query(
+        "R",
+        predicates=(
+            Predicate("A", Interval.open(1, 10)),
+            Predicate("B", Interval.open(1, 10)),
+        ),
+        projections=("C",),
+        conjunctive=False,
+    )
+    plan = PlainEngine(db).explain(query)
+    assert "or-refine" in plan
+
+
+def test_explain_runs_before_any_query(db, query):
+    # explain must not mutate engine state or require prior execution.
+    engine = SidewaysEngine(db)
+    before = engine.explain(query)
+    engine.run(query)
+    after = engine.explain(query)
+    assert before.splitlines()[0] == after.splitlines()[0]

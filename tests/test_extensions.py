@@ -1,0 +1,157 @@
+"""Future-work extensions: piece-exploiting aggregates, cracker joins,
+row-store cracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import head_max, head_min, selection_max, selection_min
+from repro.core.sideways import SidewaysCracker
+from repro.cracking.bounds import Interval
+from repro.cracking.column import CrackerColumn
+from repro.engine.cracker_join import cracker_join, common_refinement, monolithic_join
+from repro.errors import CrackError
+from repro.extensions.row_cracking import RowCracker
+from repro.storage.bat import BAT
+from repro.storage.relation import Relation
+
+
+class TestPieceAggregates:
+    @pytest.fixture
+    def cracker(self, rng):
+        arrays = {"A": rng.integers(0, 100_000, size=5_000).astype(np.int64),
+                  "B": rng.integers(0, 100_000, size=5_000).astype(np.int64)}
+        self.arrays = arrays
+        return SidewaysCracker(Relation.from_arrays("R", arrays))
+
+    def test_selection_max_matches_oracle(self, cracker, rng):
+        for _ in range(15):
+            lo = int(rng.integers(0, 80_000))
+            iv = Interval.open(lo, lo + 15_000)
+            mask = iv.mask(self.arrays["A"])
+            if not mask.any():
+                continue
+            assert selection_max(cracker, "A", iv) == float(self.arrays["A"][mask].max())
+            assert selection_min(cracker, "A", iv) == float(self.arrays["A"][mask].min())
+
+    def test_piece_read_is_smaller_than_area(self, cracker, rng):
+        # After many cracks, the last piece inside w is much smaller than w.
+        iv = Interval.open(10_000, 90_000)
+        for _ in range(30):
+            lo = int(rng.integers(0, 80_000))
+            cracker.set_for("A").select("@key", Interval.open(lo, lo + 5_000))
+        mapset = cracker.set_for("A")
+        cmap, lo, hi = mapset.select("@key", iv)
+        from repro.stats.counters import StatsRecorder
+
+        rec = StatsRecorder()
+        head_max(cmap, lo, hi, rec)
+        assert rec.root.sequential < (hi - lo) / 2
+
+    def test_empty_area_is_nan(self, cracker):
+        iv = Interval.open(200_000, 300_000)
+        assert np.isnan(selection_max(cracker, "A", iv))
+        assert np.isnan(selection_min(cracker, "A", iv))
+
+    def test_head_min_first_piece(self, rng):
+        from repro.core.mapset import MapSet
+
+        values = rng.integers(0, 1_000, size=500).astype(np.int64)
+        rel = Relation.from_arrays("R", {"A": values})
+        mapset = MapSet(rel, "A")
+        iv = Interval.open(100, 900)
+        cmap, lo, hi = mapset.select("@key", iv)
+        mask = iv.mask(values)
+        assert head_min(cmap, lo, hi) == float(values[mask].min())
+
+
+class TestCrackerJoin:
+    def _columns(self, rng, n=3_000, domain=2_000):
+        left = CrackerColumn(BAT.from_values(
+            rng.integers(0, domain, size=n).astype(np.int64)))
+        right = CrackerColumn(BAT.from_values(
+            rng.integers(0, domain, size=n).astype(np.int64)))
+        return left, right
+
+    def test_matches_monolithic(self, rng):
+        left, right = self._columns(rng)
+        for _ in range(10):
+            lo = int(rng.integers(0, 1_800))
+            left.select(Interval.open(lo, lo + 200))
+            right.select(Interval.open(lo // 2, lo // 2 + 300))
+        got = sorted(zip(*(k.tolist() for k in cracker_join(left, right))))
+        want = sorted(zip(*(k.tolist() for k in monolithic_join(left, right))))
+        assert got == want
+
+    def test_common_refinement_aligns_indices(self, rng):
+        left, right = self._columns(rng)
+        left.select(Interval.open(100, 700))
+        right.select(Interval.open(400, 1_500))
+        common_refinement(left, right)
+        assert left.index.bounds() == right.index.bounds()
+        left.check_invariants()
+        right.check_invariants()
+
+    def test_uncracked_inputs(self, rng):
+        left, right = self._columns(rng, n=500)
+        got = sorted(zip(*(k.tolist() for k in cracker_join(left, right))))
+        want = sorted(zip(*(k.tolist() for k in monolithic_join(left, right))))
+        assert got == want
+
+    def test_empty_result(self, rng):
+        left = CrackerColumn(BAT.from_values(np.array([1, 2, 3], dtype=np.int64)))
+        right = CrackerColumn(BAT.from_values(np.array([10, 11], dtype=np.int64)))
+        lk, rk = cracker_join(left, right)
+        assert len(lk) == len(rk) == 0
+
+
+class TestRowCracking:
+    @pytest.fixture
+    def setup(self, rng):
+        arrays = {c: rng.integers(0, 50_000, size=3_000).astype(np.int64)
+                  for c in "ABC"}
+        rel = Relation.from_arrays("R", arrays)
+        return arrays, RowCracker(rel, "A")
+
+    def test_select_matches_oracle(self, setup, rng):
+        arrays, cracker = setup
+        for _ in range(15):
+            lo = int(rng.integers(0, 40_000))
+            iv = Interval.open(lo, lo + 8_000)
+            result = cracker.select(iv, ["B", "C"])
+            mask = iv.mask(arrays["A"])
+            got = sorted(zip(result["B"].tolist(), result["C"].tolist()))
+            want = sorted(zip(arrays["B"][mask].tolist(), arrays["C"][mask].tolist()))
+            assert got == want
+        cracker.check_invariants()
+
+    def test_rows_stay_intact(self, setup, rng):
+        arrays, cracker = setup
+        for _ in range(10):
+            lo = int(rng.integers(0, 40_000))
+            cracker.crack(Interval.open(lo, lo + 5_000))
+        # Every row still pairs its original attributes (keys witness it).
+        keys = cracker.rows["@key"]
+        for attr in "ABC":
+            assert np.array_equal(cracker.rows[attr], arrays[attr][keys])
+
+    def test_select_keys(self, setup, rng):
+        arrays, cracker = setup
+        iv = Interval.open(10_000, 20_000)
+        keys = cracker.select_keys(iv)
+        assert np.array_equal(np.sort(keys), np.flatnonzero(iv.mask(arrays["A"])))
+
+    def test_unknown_projection_rejected(self, setup):
+        _, cracker = setup
+        with pytest.raises(CrackError):
+            cracker.select(Interval.open(1, 2), ["nope"])
+
+    def test_point_and_one_sided(self, setup, rng):
+        arrays, cracker = setup
+        target = int(arrays["A"][0])
+        result = cracker.select(Interval.point(target), ["B"])
+        mask = arrays["A"] == target
+        assert sorted(result["B"].tolist()) == sorted(arrays["B"][mask].tolist())
+        result = cracker.select(Interval.at_least(45_000), ["C"])
+        assert sorted(result["C"].tolist()) == sorted(
+            arrays["C"][arrays["A"] >= 45_000].tolist()
+        )

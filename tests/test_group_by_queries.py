@@ -1,0 +1,152 @@
+"""GROUP BY through the Query API and the SQL front-end."""
+
+import numpy as np
+import pytest
+
+from repro import sql
+from repro.cracking.bounds import Interval
+from repro.engine import (
+    Database,
+    PlainEngine,
+    Predicate,
+    PresortedEngine,
+    Query,
+    SelectionCrackingEngine,
+    SidewaysEngine,
+)
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def gdb(rng):
+    db = Database()
+    db.create_table(
+        "T",
+        {
+            "g": rng.integers(0, 5, size=4_000),
+            "h": rng.integers(0, 3, size=4_000),
+            "v": rng.integers(0, 100, size=4_000),
+            "f": rng.integers(0, 10_000, size=4_000),
+        },
+    )
+    return db
+
+
+def oracle_groups(db, interval, keys, func, attr):
+    data = db.table("T")
+    mask = interval.mask(data.values("f"))
+    out = {}
+    key_rows = list(zip(*(data.values(k)[mask].tolist() for k in keys)))
+    values = data.values(attr)[mask]
+    for row, value in zip(key_rows, values.tolist()):
+        out.setdefault(row, []).append(value)
+    reduce = {"sum": sum, "max": max, "min": min,
+              "count": len, "avg": lambda xs: sum(xs) / len(xs)}[func]
+    return {row: float(reduce(vals)) for row, vals in out.items()}
+
+
+class TestQueryAPI:
+    def test_single_key_sum(self, gdb):
+        iv = Interval.open(100, 6_000)
+        query = Query(
+            "T",
+            predicates=(Predicate("f", iv),),
+            aggregates=(("sum", "v"),),
+            group_by=("g",),
+        )
+        result = PlainEngine(gdb).run(query)
+        expected = oracle_groups(gdb, iv, ["g"], "sum", "v")
+        got = {
+            (int(g),): float(s)
+            for g, s in zip(result.columns["g"], result.columns["sum(v)"])
+        }
+        assert got == expected
+        assert result.row_count == len(expected)
+
+    def test_multi_key_and_funcs(self, gdb):
+        iv = Interval.open(0, 9_000)
+        for func in ("sum", "max", "min", "count", "avg"):
+            query = Query(
+                "T",
+                predicates=(Predicate("f", iv),),
+                aggregates=((func, "v"),),
+                group_by=("g", "h"),
+            )
+            result = PlainEngine(gdb).run(query)
+            expected = oracle_groups(gdb, iv, ["g", "h"], func, "v")
+            got = {
+                (int(g), int(h)): float(x)
+                for g, h, x in zip(
+                    result.columns["g"], result.columns["h"],
+                    result.columns[f"{func}(v)"],
+                )
+            }
+            assert got == pytest.approx(expected)
+
+    def test_engines_agree(self, gdb):
+        iv = Interval.open(2_000, 8_000)
+        query = Query(
+            "T",
+            predicates=(Predicate("f", iv),),
+            projections=("g",),
+            aggregates=(("sum", "v"), ("count", "v")),
+            group_by=("g",),
+        )
+        reference = None
+        for engine in (PlainEngine(gdb), PresortedEngine(gdb),
+                       SelectionCrackingEngine(gdb), SidewaysEngine(gdb),
+                       SidewaysEngine(gdb, partial=True)):
+            result = engine.run(query)
+            rows = sorted(
+                zip(result.columns["g"].tolist(),
+                    result.columns["sum(v)"].tolist())
+            )
+            if reference is None:
+                reference = rows
+            assert rows == pytest.approx(reference), engine.name
+
+    def test_projection_must_be_group_key(self):
+        with pytest.raises(PlanError):
+            Query("T", projections=("v",), group_by=("g",))
+
+    def test_empty_group_result(self, gdb):
+        query = Query(
+            "T",
+            predicates=(Predicate("f", Interval.open(50_000, 60_000)),),
+            aggregates=(("sum", "v"),),
+            group_by=("g",),
+        )
+        result = PlainEngine(gdb).run(query)
+        assert result.row_count == 0
+
+
+class TestSQLGroupBy:
+    def test_parse(self, gdb):
+        query = sql.parse(
+            "SELECT g, h, sum(v) FROM T WHERE f < 100 GROUP BY g, h", gdb
+        )
+        assert query.group_by == ("g", "h")
+        assert query.projections == ("g", "h")
+
+    def test_execute_matches_api(self, gdb):
+        stmt = "SELECT g, max(v) FROM T WHERE f < 5000 GROUP BY g"
+        via_sql = sql.execute(stmt, PlainEngine(gdb))
+        via_api = PlainEngine(gdb).run(
+            Query(
+                "T",
+                predicates=(Predicate("f", Interval.at_most(5_000, inclusive=False)),),
+                projections=("g",),
+                aggregates=(("max", "v"),),
+                group_by=("g",),
+            )
+        )
+        assert np.array_equal(via_sql.columns["g"], via_api.columns["g"])
+        assert np.array_equal(via_sql.columns["max(v)"], via_api.columns["max(v)"])
+
+    def test_group_keyword_reserved(self, gdb):
+        with pytest.raises(PlanError):
+            sql.parse("SELECT group FROM T", gdb)
+
+    def test_group_by_requires_by(self, gdb):
+        with pytest.raises(PlanError):
+            sql.parse("SELECT g FROM T GROUP g", gdb)

@@ -1,0 +1,123 @@
+"""Join kernels and shared physical operators."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.join import hash_join, semi_join_mask
+from repro.engine.operators import (
+    group_by,
+    ordered_gather,
+    random_gather,
+    scan_select,
+    segmented_aggregate,
+    sort_rows,
+)
+
+small_ints = st.lists(st.integers(0, 20), min_size=0, max_size=40).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+class TestHashJoin:
+    def test_basic(self):
+        left = np.array([1, 2, 3])
+        right = np.array([3, 1, 1])
+        li, ri = hash_join(left, right)
+        pairs = sorted(zip(left[li].tolist(), right[ri].tolist()))
+        assert pairs == [(1, 1), (1, 1), (3, 3)]
+
+    def test_empty_sides(self):
+        li, ri = hash_join(np.array([1, 2]), np.array([], dtype=np.int64))
+        assert len(li) == len(ri) == 0
+
+    def test_duplicates_cross_product(self):
+        left = np.array([7, 7])
+        right = np.array([7, 7, 7])
+        li, ri = hash_join(left, right)
+        assert len(li) == 6
+
+    @given(small_ints, small_ints)
+    def test_matches_naive_oracle(self, left, right):
+        li, ri = hash_join(left, right)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if lv == rv
+        )
+        assert got == expected
+
+    def test_semi_join_mask(self):
+        probe = np.array([1, 2, 3, 4])
+        build = np.array([2, 4, 9])
+        assert semi_join_mask(probe, build).tolist() == [False, True, False, True]
+
+
+class TestGroupBy:
+    def test_single_key(self):
+        keys = np.array([2, 1, 2, 1, 3])
+        group_ids, order, group_keys = group_by([keys])
+        assert group_keys[0].tolist() == [1, 2, 3]
+        values = np.array([10, 20, 30, 40, 50])
+        sums = segmented_aggregate(group_ids, values[order], "sum")
+        assert sums.tolist() == [60.0, 40.0, 50.0]
+
+    def test_multi_key(self):
+        a = np.array([1, 1, 2, 2, 1])
+        b = np.array([9, 8, 9, 9, 9])
+        group_ids, order, group_keys = group_by([a, b])
+        got = sorted(zip(group_keys[0].tolist(), group_keys[1].tolist()))
+        assert got == [(1, 8), (1, 9), (2, 9)]
+        counts = segmented_aggregate(group_ids, a[order].astype(float), "count")
+        assert sorted(counts.tolist()) == [1.0, 2.0, 2.0]
+
+    def test_aggregate_functions(self):
+        group_ids = np.array([0, 0, 1])
+        values = np.array([3.0, 5.0, 7.0])
+        assert segmented_aggregate(group_ids, values, "max").tolist() == [5.0, 7.0]
+        assert segmented_aggregate(group_ids, values, "min").tolist() == [3.0, 7.0]
+        assert segmented_aggregate(group_ids, values, "avg").tolist() == [4.0, 7.0]
+
+    @given(small_ints)
+    def test_group_counts_match_numpy(self, keys):
+        if len(keys) == 0:
+            return
+        group_ids, order, group_keys = group_by([keys])
+        counts = segmented_aggregate(group_ids, keys[order].astype(float), "count")
+        uniques, expected = np.unique(keys, return_counts=True)
+        assert group_keys[0].tolist() == uniques.tolist()
+        assert counts.astype(int).tolist() == expected.tolist()
+
+
+class TestGatherAndSort:
+    def test_scan_select(self):
+        values = np.array([5, 1, 9])
+        positions = scan_select(values, values > 4)
+        assert positions.tolist() == [0, 2]
+
+    def test_ordered_gather(self):
+        values = np.array([10, 20, 30])
+        assert ordered_gather(values, np.array([0, 2])).tolist() == [10, 30]
+
+    def test_random_gather_region(self):
+        from repro.stats.counters import StatsRecorder
+
+        rec = StatsRecorder(cache_elements=10)
+        random_gather(np.arange(100), np.array([5, 50]), rec)
+        assert rec.root.scattered_random == 2
+        random_gather(np.arange(100), np.array([5, 7]), rec, region=8)
+        assert rec.root.clustered_random == 2
+
+    def test_sort_rows(self):
+        a = np.array([2, 1, 2])
+        b = np.array([5, 9, 1])
+        order = sort_rows([a, b])
+        assert a[order].tolist() == [1, 2, 2]
+        assert b[order].tolist() == [9, 1, 5]
+
+    def test_sort_rows_descending(self):
+        a = np.array([1, 3, 2])
+        order = sort_rows([a], descending=[True])
+        assert a[order].tolist() == [3, 2, 1]

@@ -1,0 +1,122 @@
+"""Crack kernels: correctness, stability, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cracking.bounds import Bound, Side
+from repro.cracking.kernels import crack_three, crack_two, sort_piece
+from repro.errors import CrackError
+
+arrays = st.lists(st.integers(0, 50), min_size=0, max_size=80).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+class TestCrackTwo:
+    def test_basic_partition(self):
+        head = np.array([5, 1, 9, 3, 7])
+        tail = np.array([50, 10, 90, 30, 70])
+        split = crack_two(head, [tail], 0, 5, Bound(5, Side.LT))
+        assert split == 2
+        assert set(head[:2]) == {1, 3}
+        assert (head[2:] >= 5).all()
+        assert (tail == head * 10).all()
+
+    def test_le_bound(self):
+        head = np.array([5, 1, 9, 3, 7])
+        split = crack_two(head, [], 0, 5, Bound(5, Side.LE))
+        assert split == 3
+        assert (head[:3] <= 5).all()
+
+    def test_stability(self):
+        head = np.array([2, 9, 2, 8, 2, 7])
+        tail = np.arange(6)
+        crack_two(head, [tail], 0, 6, Bound(5, Side.LT))
+        assert tail[:3].tolist() == [0, 2, 4]
+        assert tail[3:].tolist() == [1, 3, 5]
+
+    def test_subrange_only(self):
+        head = np.array([9, 1, 8, 2, 9])
+        crack_two(head, [], 1, 4, Bound(5, Side.LT))
+        assert head[0] == 9 and head[4] == 9
+        assert head[1:3].tolist() == [1, 2]
+
+    def test_all_below_or_above(self):
+        head = np.array([1, 2, 3])
+        assert crack_two(head, [], 0, 3, Bound(10, Side.LT)) == 3
+        assert crack_two(head, [], 0, 3, Bound(0, Side.LT)) == 0
+
+    def test_bad_range_raises(self):
+        with pytest.raises(CrackError):
+            crack_two(np.array([1]), [], 0, 5, Bound(1, Side.LT))
+
+
+class TestCrackThree:
+    def test_basic(self):
+        head = np.array([5, 1, 9, 3, 7, 4, 8])
+        tail = head * 10
+        p1, p2 = crack_three(head, [tail], 0, 7, Bound(4, Side.LT), Bound(8, Side.LT))
+        assert (head[:p1] < 4).all()
+        assert ((head[p1:p2] >= 4) & (head[p1:p2] < 8)).all()
+        assert (head[p2:] >= 8).all()
+        assert (tail == head * 10).all()
+
+    def test_point_range(self):
+        head = np.array([3, 5, 5, 7, 5])
+        p1, p2 = crack_three(head, [], 0, 5, Bound(5, Side.LT), Bound(5, Side.LE))
+        assert (head[p1:p2] == 5).all()
+        assert p2 - p1 == 3
+
+    def test_out_of_order_bounds_raise(self):
+        with pytest.raises(CrackError):
+            crack_three(np.array([1, 2]), [], 0, 2, Bound(5, Side.LT), Bound(1, Side.LT))
+
+
+class TestSortPiece:
+    def test_sorts_subrange_with_tails(self):
+        head = np.array([9, 3, 1, 2, 0])
+        tail = head * 2
+        sort_piece(head, [tail], 1, 4)
+        assert head.tolist() == [9, 1, 2, 3, 0]
+        assert (tail == head * 2).all()
+
+
+@given(arrays, st.integers(0, 50), st.sampled_from([Side.LT, Side.LE]))
+def test_crack_two_is_stable_partition(values, pivot, side):
+    head = values.copy()
+    tail = np.arange(len(values))
+    split = crack_two(head, [tail], 0, len(head), Bound(pivot, side))
+    below = Bound(pivot, side).below_mask(values)
+    assert split == int(below.sum())
+    # Stable: original order preserved within each group.
+    assert tail[:split].tolist() == np.flatnonzero(below).tolist()
+    assert tail[split:].tolist() == np.flatnonzero(~below).tolist()
+    assert sorted(head.tolist()) == sorted(values.tolist())
+
+
+@given(arrays, st.integers(0, 50), st.integers(0, 50))
+def test_crack_three_equals_two_crack_twos(values, a_, b_):
+    lo_v, hi_v = min(a_, b_), max(a_, b_)
+    lower, upper = Bound(lo_v, Side.LT), Bound(hi_v, Side.LE)
+    head3 = values.copy()
+    tail3 = np.arange(len(values))
+    p1, p2 = crack_three(head3, [tail3], 0, len(values), lower, upper)
+
+    head2 = values.copy()
+    tail2 = np.arange(len(values))
+    s1 = crack_two(head2, [tail2], 0, len(values), lower)
+    s2 = crack_two(head2, [tail2], s1, len(values), upper)
+    assert (p1, p2) == (s1, s2)
+    assert head3.tolist() == head2.tolist()
+    assert tail3.tolist() == tail2.tolist()
+
+
+@given(arrays, st.integers(0, 50))
+def test_crack_determinism(values, pivot):
+    """Same input + same pivot -> bit-identical output (alignment's bedrock)."""
+    a, b = values.copy(), values.copy()
+    crack_two(a, [], 0, len(a), Bound(pivot, Side.LT))
+    crack_two(b, [], 0, len(b), Bound(pivot, Side.LT))
+    assert a.tolist() == b.tolist()

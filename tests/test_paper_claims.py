@@ -1,0 +1,130 @@
+"""Fast regression guards for the paper's headline claims.
+
+The benchmarks regenerate the full figures; these are small-scale versions
+of the same shape assertions so that ``pytest tests/`` alone catches a
+change that silently breaks the scientific result (e.g. an accounting bug
+that makes selection cracking look cache-friendly).
+All assertions use the model cost — the deterministic signal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import SequenceRunner, SystemSetup
+from repro.stats.memory_model import DEFAULT_MODEL
+from repro.workloads.synthetic import (
+    BatchWorkload,
+    SyntheticTable,
+    projection_query,
+    random_range,
+)
+
+ROWS = 80_000  # must exceed the model cache (64K elements) so scattered access exists
+QUERIES = 40
+
+
+@pytest.fixture(scope="module")
+def table():
+    return SyntheticTable(rows=ROWS, domain=ROWS * 100, seed=5)
+
+
+@pytest.fixture(scope="module")
+def runs(table):
+    """One query sequence (1 selection, 4 reconstructions) per system."""
+    arrays = table.arrays()
+    out = {}
+    for system in ("monetdb", "presorted", "selection_cracking",
+                   "sideways", "partial_sideways"):
+        setup = SystemSetup(system, {"R": arrays})
+        if system == "presorted":
+            setup.engine.prepare("R", ["A1"])
+        runner = SequenceRunner(setup)
+        rng = np.random.default_rng(17)
+        for _ in range(QUERIES):
+            interval = random_range(rng, table.domain, 0.2)
+            runner.run(projection_query(
+                "R", "A1", interval, ["A2", "A3", "A4", "A5"]
+            ))
+        out[system] = runner
+    return out
+
+
+def steady(runner, fraction=3):
+    tail = runner.model_ms[-len(runner.model_ms) // fraction:]
+    return sum(tail) / len(tail)
+
+
+class TestSection3Claims:
+    def test_sideways_beats_plain_monetdb_steady_state(self, runs):
+        assert steady(runs["sideways"]) < steady(runs["monetdb"])
+
+    def test_sideways_close_to_presorted(self, runs):
+        """Fig 4(a): 'achieves performance similar to presorted data'."""
+        assert steady(runs["sideways"]) < 4 * steady(runs["presorted"])
+
+    def test_selection_cracking_loses_to_monetdb_on_reconstruction(self, runs):
+        """Exp1: scattered TR makes selection cracking the slowest system."""
+        assert steady(runs["selection_cracking"]) > steady(runs["monetdb"])
+
+    def test_selection_cracking_reconstruction_is_scattered(self, runs):
+        stats = runs["selection_cracking"].setup.db.recorder.root
+        assert stats.scattered_random > 10 * max(1, stats.clustered_random)
+
+    def test_sideways_avoids_scattered_access(self, runs):
+        side = runs["sideways"].setup.db.recorder.root
+        selc = runs["selection_cracking"].setup.db.recorder.root
+        assert side.scattered_random < selc.scattered_random / 10
+
+    def test_first_query_pays_then_amortizes(self, runs):
+        series = runs["sideways"].model_ms
+        assert series[0] > 3 * steady(runs["sideways"])
+
+    def test_no_free_lunch_presorting_cost(self, runs):
+        """Presorted wins per query but paid an up-front sort."""
+        assert runs["presorted"].setup.engine.presort_seconds > 0
+
+
+class TestSection4Claims:
+    @pytest.fixture(scope="class")
+    def partial_runs(self):
+        workload = BatchWorkload(rows=ROWS, domain=ROWS * 100, seed=23)
+        sequence = workload.sequence(150, batch_size=15,
+                                     result_rows=ROWS // 100)
+        out = {}
+        for system in ("sideways", "partial_sideways"):
+            setup = SystemSetup(
+                system, {workload.table: workload.arrays()},
+                full_map_budget=(2 * ROWS if system == "sideways" else None),
+                chunk_budget=(2 * ROWS if system == "partial_sideways" else None),
+            )
+            runner = SequenceRunner(setup)
+            runner.run_all(sequence)
+            out[system] = runner
+        return out
+
+    def test_partial_maps_avoid_per_query_peaks(self, partial_runs):
+        """Fig 9: full maps' worst query dwarfs partial maps' worst."""
+        full_peak = max(partial_runs["sideways"].model_ms[1:])
+        partial_peak = max(partial_runs["partial_sideways"].model_ms[1:])
+        assert full_peak > 2 * partial_peak
+
+    def test_partial_maps_respect_the_threshold(self, partial_runs):
+        assert max(partial_runs["partial_sideways"].storage_samples) <= 2 * ROWS
+
+    def test_partial_maps_store_less_for_selective_workloads(self, partial_runs):
+        assert (max(partial_runs["partial_sideways"].storage_samples)
+                <= max(partial_runs["sideways"].storage_samples))
+
+
+class TestModelSanity:
+    def test_scattered_pricier_than_sequential_per_element(self):
+        assert DEFAULT_MODEL.ns_dram_miss > 5 * DEFAULT_MODEL.ns_sequential_element
+
+    def test_cache_classification_threshold(self):
+        from repro.stats.counters import StatsRecorder
+
+        recorder = StatsRecorder(cache_elements=100)
+        recorder.random(1, region_size=100)
+        recorder.random(1, region_size=101)
+        assert recorder.root.clustered_random == 1
+        assert recorder.root.scattered_random == 1

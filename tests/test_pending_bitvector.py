@@ -1,0 +1,96 @@
+"""Pending-update buffers, bit vectors, and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import BitVector
+from repro.cracking.bounds import Interval
+from repro.cracking.pending import PendingUpdates
+from repro import errors
+
+
+class TestPendingUpdates:
+    def test_take_by_interval(self):
+        pending = PendingUpdates(n_tails=1)
+        pending.add_insertions(np.array([5, 50, 500]), [np.array([1, 2, 3])])
+        values, tails = pending.take_insertions(Interval.open(10, 100))
+        assert values.tolist() == [50]
+        assert tails[0].tolist() == [2]
+        assert pending.insertion_count == 2
+
+    def test_take_all(self):
+        pending = PendingUpdates(n_tails=1)
+        pending.add_insertions(np.array([1, 2]), [np.array([10, 11])])
+        values, _ = pending.take_insertions(None)
+        assert len(values) == 2
+        assert pending.insertion_count == 0
+
+    def test_deletions_by_interval(self):
+        pending = PendingUpdates()
+        pending.add_deletions(np.array([5, 50]), np.array([1, 2]))
+        values, keys = pending.take_deletions(Interval.open(0, 10))
+        assert values.tolist() == [5]
+        assert keys.tolist() == [1]
+        assert pending.deletion_count == 1
+
+    def test_has_pending(self):
+        pending = PendingUpdates()
+        assert not pending.has_pending()
+        pending.add_insertions(np.array([7]), [np.array([0])])
+        assert pending.has_pending()
+        assert pending.has_pending(Interval.open(5, 10))
+        assert not pending.has_pending(Interval.open(100, 200))
+
+    def test_ragged_batch_rejected(self):
+        pending = PendingUpdates(n_tails=1)
+        with pytest.raises(errors.UpdateError):
+            pending.add_insertions(np.array([1, 2]), [np.array([1])])
+        with pytest.raises(errors.UpdateError):
+            pending.add_deletions(np.array([1, 2]), np.array([1]))
+
+    def test_wrong_tail_count_rejected(self):
+        pending = PendingUpdates(n_tails=2)
+        with pytest.raises(errors.UpdateError):
+            pending.add_insertions(np.array([1]), [np.array([1])])
+
+    def test_multiple_batches_accumulate(self):
+        pending = PendingUpdates()
+        pending.add_insertions(np.array([1]), [np.array([10])])
+        pending.add_insertions(np.array([2]), [np.array([11])])
+        values, tails = pending.take_insertions(None)
+        assert values.tolist() == [1, 2]
+        assert tails[0].tolist() == [10, 11]
+
+
+class TestBitVector:
+    def test_from_mask_copies(self):
+        mask = np.array([True, False])
+        bv = BitVector.from_mask(mask)
+        mask[0] = False
+        assert bv.bits[0]
+
+    def test_refine_and_or(self):
+        bv = BitVector.from_mask(np.array([True, True, False]))
+        bv.refine_and(np.array([True, False, True]))
+        assert bv.bits.tolist() == [True, False, False]
+        bv.refine_or(np.array([False, False, True]))
+        assert bv.bits.tolist() == [True, False, True]
+
+    def test_set_range_count_positions(self):
+        bv = BitVector(5)
+        bv.set_range(1, 3)
+        assert bv.count() == 2
+        assert bv.positions().tolist() == [1, 2]
+        assert len(bv) == 5
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("CatalogError", "SchemaError", "PredicateError",
+                     "CrackError", "AlignmentError", "StorageBudgetError",
+                     "UpdateError", "PlanError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_alignment_is_crack_error(self):
+        assert issubclass(errors.AlignmentError, errors.CrackError)

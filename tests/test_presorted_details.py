@@ -1,0 +1,96 @@
+"""Presorted-engine internals: binary-search ranges, sub-sorted copies."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.bounds import Interval
+from repro.engine import Database, Predicate, PresortedEngine, Query
+from repro.engine.presorted import sorted_range
+from repro.workloads.tpch.dates import add_months, add_years, d, year_of
+
+
+class TestSortedRange:
+    values = np.array([1, 3, 3, 3, 7, 9], dtype=np.int64)
+
+    def test_open(self):
+        lo, hi = sorted_range(self.values, Interval.open(1, 7))
+        assert (lo, hi) == (1, 4)
+
+    def test_closed(self):
+        lo, hi = sorted_range(self.values, Interval.closed(3, 7))
+        assert (lo, hi) == (1, 5)
+
+    def test_point(self):
+        lo, hi = sorted_range(self.values, Interval.point(3))
+        assert (lo, hi) == (1, 4)
+
+    def test_unbounded_sides(self):
+        assert sorted_range(self.values, Interval.at_least(7)) == (4, 6)
+        assert sorted_range(self.values, Interval.at_most(3)) == (0, 4)
+        assert sorted_range(self.values, Interval()) == (0, 6)
+
+    def test_empty_range(self):
+        lo, hi = sorted_range(self.values, Interval.open(4, 6))
+        assert lo == hi
+
+    def test_below_and_above_domain(self):
+        assert sorted_range(self.values, Interval.open(-10, 0)) == (0, 0)
+        lo, hi = sorted_range(self.values, Interval.open(100, 200))
+        assert lo == hi == 6
+
+
+class TestSubSortedCopies:
+    def test_then_by_orders_groups(self, rng):
+        db = Database()
+        db.create_table(
+            "T",
+            {
+                "sel": rng.integers(0, 100, size=500),
+                "grp": rng.integers(0, 5, size=500),
+                "val": rng.integers(0, 1_000, size=500),
+            },
+        )
+        engine = PresortedEngine(db, then_by={"T.sel": ("grp",)})
+        query = Query(
+            "T",
+            predicates=(Predicate("sel", Interval.open(10, 90)),),
+            projections=("grp",),
+        )
+        result = engine.run(query)
+        copy, _ = db.sorted_copy("T", "sel", ("grp",))
+        # Within equal sel values, grp is sorted (minor key).
+        sel = copy.values("sel")
+        grp = copy.values("grp")
+        for value in np.unique(sel):
+            segment = grp[sel == value]
+            assert np.array_equal(segment, np.sort(segment))
+        assert result.row_count > 0
+
+    def test_presort_seconds_accumulates(self, rng):
+        db = Database()
+        db.create_table("T", {"a": rng.integers(0, 100, size=10_000),
+                              "b": rng.integers(0, 100, size=10_000)})
+        engine = PresortedEngine(db)
+        assert engine.prepare("T", ["a", "b"]) > 0
+        # Cached copies cost nothing the second time.
+        assert engine.prepare("T", ["a", "b"]) == 0.0
+
+
+class TestDates:
+    def test_year_of(self):
+        assert year_of(d(1994, 6, 15)) == 1994
+        assert year_of(d(1992, 1, 1)) == 1992
+
+    def test_add_months_year_carry(self):
+        assert add_months(d(1993, 11, 15), 3) == d(1994, 2, 15)
+
+    def test_add_years_leap_clamp(self):
+        assert add_years(d(1996, 2, 29), 1) == d(1997, 2, 28)
+
+    @pytest.mark.parametrize("year,month,days", [
+        (1993, 2, 28), (1996, 2, 29), (1995, 4, 30), (1997, 12, 31),
+    ])
+    def test_month_lengths(self, year, month, days):
+        from repro.workloads.tpch.dates import _days_in_month
+
+        assert _days_in_month(year, month) == days

@@ -1,0 +1,135 @@
+"""Reordering strategies (Exp3 machinery) and the Database facade."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.bounds import Interval
+from repro.engine.database import Database
+from repro.engine.reorder import (
+    radix_cluster,
+    reconstruct_radix,
+    reconstruct_sorted,
+    reconstruct_unordered,
+)
+from repro.errors import CatalogError
+from repro.stats.counters import StatsRecorder
+
+
+class TestReorderStrategies:
+    @pytest.fixture
+    def setup(self, rng):
+        columns = [rng.integers(0, 1000, size=2_000) for _ in range(3)]
+        keys = rng.permutation(2_000)[:400]
+        return columns, keys
+
+    def test_all_strategies_same_multiset(self, setup):
+        columns, keys = setup
+        unordered = reconstruct_unordered(columns, keys)
+        sorted_ = reconstruct_sorted(columns, keys)
+        radix = reconstruct_radix(columns, keys, cache_elements=256)
+        for u, s, r in zip(unordered, sorted_, radix):
+            assert sorted(u.tolist()) == sorted(s.tolist()) == sorted(r.tolist())
+
+    def test_sorted_keeps_tuple_alignment(self, setup):
+        columns, keys = setup
+        outs = reconstruct_sorted(columns, keys)
+        expected = sorted(
+            zip(*(c[keys].tolist() for c in columns))
+        )
+        assert sorted(zip(*(o.tolist() for o in outs))) == expected
+
+    def test_radix_keeps_tuple_alignment(self, setup):
+        columns, keys = setup
+        outs = reconstruct_radix(columns, keys, cache_elements=128)
+        expected = sorted(zip(*(c[keys].tolist() for c in columns)))
+        assert sorted(zip(*(o.tolist() for o in outs))) == expected
+
+    def test_radix_cluster_groups_by_high_bits(self):
+        keys = np.arange(1024)[::-1].copy()
+        clustered = radix_cluster(keys, region_size=1024, cache_elements=256)
+        # 4 clusters of 256; within the region each cluster's keys are a
+        # contiguous key range.
+        for i in range(4):
+            segment = clustered[i * 256:(i + 1) * 256]
+            assert segment.max() - segment.min() < 256
+
+    def test_accounting_differs(self, setup):
+        columns, keys = setup
+        rec = StatsRecorder(cache_elements=256)
+        with rec.frame() as unord:
+            reconstruct_unordered(columns, keys, rec)
+        with rec.frame() as radix:
+            reconstruct_radix(columns, keys, 256, rec)
+        assert unord.scattered_random > 0
+        assert radix.clustered_random > 0
+
+
+class TestDatabase:
+    def test_unknown_table_errors(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.table("nope")
+        with pytest.raises(CatalogError):
+            db.insert("nope", {})
+        with pytest.raises(CatalogError):
+            db.delete("nope", np.array([0]))
+
+    def test_insert_returns_keys_and_grows_tombstones(self, rng):
+        db = Database()
+        db.create_table("T", {"A": np.arange(5)})
+        keys = db.insert("T", {"A": np.array([10, 11])})
+        assert keys.tolist() == [5, 6]
+        assert len(db.tombstones("T")) == 7
+        assert db.live_count("T") == 7
+
+    def test_update_is_delete_plus_insert(self, rng):
+        db = Database()
+        db.create_table("T", {"A": np.arange(5)})
+        new_keys = db.update("T", np.array([2]), {"A": np.array([99])})
+        assert db.live_count("T") == 5
+        assert db.tombstones("T")[2]
+        assert db.table("T").values("A")[new_keys[0]] == 99
+
+    def test_sorted_copy_cached_then_invalidated(self, rng):
+        db = Database()
+        db.create_table("T", {"A": rng.integers(0, 100, size=500)})
+        copy1, secs1 = db.sorted_copy("T", "A")
+        copy2, secs2 = db.sorted_copy("T", "A")
+        assert copy1 is copy2 and secs2 == 0.0
+        db.insert("T", {"A": np.array([5])})
+        copy3, secs3 = db.sorted_copy("T", "A")
+        assert copy3 is not copy1
+        assert len(copy3) == 501
+
+    def test_sorted_copy_excludes_tombstones(self, rng):
+        db = Database()
+        db.create_table("T", {"A": np.arange(10)})
+        db.delete("T", np.array([0, 9]))
+        copy, _ = db.sorted_copy("T", "A")
+        assert len(copy) == 8
+
+    def test_cracker_created_after_delete_sees_tombstones(self, rng):
+        db = Database()
+        db.create_table("T", {"A": np.arange(100)})
+        db.delete("T", np.array([7]))
+        cracker = db.cracker_column("T", "A")
+        keys = cracker.select(Interval.closed(0, 99))
+        assert 7 not in keys
+
+    def test_sideways_created_after_delete_excludes_keys(self, rng):
+        db = Database()
+        db.create_table("T", {"A": np.arange(100), "B": np.arange(100) * 2})
+        db.delete("T", np.array([7]))
+        sw = db.sideways("T")
+        res = sw.select_project("A", Interval.closed(0, 99), ["B"])
+        assert 14 not in res["B"]
+        assert len(res["B"]) == 99
+
+    def test_partial_created_after_delete_excludes_keys(self, rng):
+        db = Database()
+        db.create_table("T", {"A": np.arange(100), "B": np.arange(100) * 2})
+        db.delete("T", np.array([7]))
+        pw = db.partial_sideways("T")
+        res = pw.select_project("A", Interval.closed(0, 99), ["B"])
+        assert 14 not in res["B"]
+        assert len(res["B"]) == 99

@@ -1,0 +1,128 @@
+"""The vectorized Ripple merge."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cracking.avl import CrackerIndex
+from repro.cracking.bounds import Interval
+from repro.cracking.crack import crack_into
+from repro.cracking.ripple import (
+    _piece_ids,
+    delete_positions,
+    locate_deletions,
+    merge_insertions,
+)
+
+
+def cracked_state(rng, n=400, cracks=4):
+    values = rng.integers(0, 1000, size=n).astype(np.int64)
+    head = values.copy()
+    keys = np.arange(n, dtype=np.int64)
+    index = CrackerIndex()
+    for _ in range(cracks):
+        lo = int(rng.integers(0, 800))
+        crack_into(index, head, [keys], Interval.open(lo, lo + 150))
+    return head, keys, index
+
+
+class TestPieceIds:
+    def test_empty_index_single_piece(self):
+        index = CrackerIndex()
+        ids = _piece_ids(index, np.array([1, 50, 999]))
+        assert ids.tolist() == [0, 0, 0]
+
+    def test_values_route_to_correct_piece(self, rng):
+        head, keys, index = cracked_state(rng)
+        probes = np.array([0, 100, 500, 999])
+        ids = _piece_ids(index, probes)
+        pieces = list(index.pieces(len(head)))
+        for probe, pid in zip(probes, ids):
+            piece = pieces[pid]
+            if piece.lo_bound is not None:
+                assert not piece.lo_bound.below_mask(np.array([probe]))[0]
+            if piece.hi_bound is not None:
+                assert piece.hi_bound.below_mask(np.array([probe]))[0]
+
+
+class TestMergeInsertions:
+    def test_preserves_piece_invariants(self, rng):
+        head, keys, index = cracked_state(rng)
+        ins_vals = rng.integers(0, 1000, size=40).astype(np.int64)
+        ins_keys = np.arange(10_000, 10_040, dtype=np.int64)
+        head, tails = merge_insertions(index, head, [keys], ins_vals, [ins_keys])
+        keys = tails[0]
+        assert len(head) == 440
+        index.validate(len(head))
+        for piece in index.pieces(len(head)):
+            seg = head[piece.lo_pos:piece.hi_pos]
+            if piece.lo_bound is not None and len(seg):
+                assert not piece.lo_bound.below_mask(seg).any()
+            if piece.hi_bound is not None and len(seg):
+                assert piece.hi_bound.below_mask(seg).all()
+
+    def test_deterministic_placement(self, rng):
+        head1, keys1, index1 = cracked_state(rng)
+        rng2 = np.random.default_rng(1234)
+        head2, keys2, index2 = cracked_state(rng2)
+        assert np.array_equal(head1, head2)
+        ins_vals = np.array([5, 500, 995, 500], dtype=np.int64)
+        ins_keys = np.array([1000, 1001, 1002, 1003], dtype=np.int64)
+        h1, t1 = merge_insertions(index1, head1, [keys1], ins_vals, [ins_keys])
+        h2, t2 = merge_insertions(index2, head2, [keys2], ins_vals, [ins_keys])
+        assert np.array_equal(h1, h2)
+        assert np.array_equal(t1[0], t2[0])
+
+    def test_empty_batch_noop(self, rng):
+        head, keys, index = cracked_state(rng)
+        h, t = merge_insertions(index, head, [keys],
+                                np.empty(0, np.int64), [np.empty(0, np.int64)])
+        assert h is head and t[0] is keys
+
+
+class TestDeletions:
+    def test_locate_and_delete(self, rng):
+        head, keys, index = cracked_state(rng)
+        victims = rng.choice(len(head), size=20, replace=False).astype(np.int64)
+        victim_keys = keys[victims].copy()
+        victim_values = head[victims].copy()
+        positions = locate_deletions(index, head, keys, victim_values, victim_keys)
+        assert np.array_equal(np.sort(keys[positions]), np.sort(victim_keys))
+        head, tails = delete_positions(index, head, [keys], positions)
+        keys = tails[0]
+        assert len(head) == 380
+        assert not np.isin(victim_keys, keys).any()
+        index.validate(len(head))
+
+    def test_delete_keeps_piece_invariants(self, rng):
+        head, keys, index = cracked_state(rng)
+        positions = np.arange(0, len(head), 10, dtype=np.int64)
+        head, tails = delete_positions(index, head, [keys], positions)
+        for piece in index.pieces(len(head)):
+            seg = head[piece.lo_pos:piece.hi_pos]
+            if piece.lo_bound is not None and len(seg):
+                assert not piece.lo_bound.below_mask(seg).any()
+            if piece.hi_bound is not None and len(seg):
+                assert piece.hi_bound.below_mask(seg).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 9999), batch=st.integers(1, 60))
+def test_merge_then_select_matches_oracle(seed, batch):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 500, size=200).astype(np.int64)
+    head = values.copy()
+    keys = np.arange(200, dtype=np.int64)
+    index = CrackerIndex()
+    crack_into(index, head, [keys], Interval.open(100, 300))
+    ins_vals = rng.integers(0, 500, size=batch).astype(np.int64)
+    ins_keys = np.arange(1000, 1000 + batch, dtype=np.int64)
+    head, tails = merge_insertions(index, head, [keys], ins_vals, [ins_keys])
+    keys = tails[0]
+    iv = Interval.open(100, 300)
+    lo, hi = crack_into(index, head, [keys], iv)
+    got = sorted(keys[lo:hi].tolist())
+    all_vals = np.concatenate([values, ins_vals])
+    all_keys = np.concatenate([np.arange(200), ins_keys])
+    expected = sorted(all_keys[iv.mask(all_vals)].tolist())
+    assert got == expected

@@ -1,0 +1,162 @@
+"""The sideways-cracking facade: multi-projection, conjunctive, disjunctive
+plans vs. a scan oracle; histogram-driven map-set choice."""
+
+import numpy as np
+import pytest
+
+from repro.core.sideways import SidewaysCracker
+from repro.cracking.bounds import Interval
+from repro.errors import PlanError
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def setup(rng):
+    arrays = {c: rng.integers(1, 50_001, size=4_000).astype(np.int64) for c in "ABCD"}
+    rel = Relation.from_arrays("R", arrays)
+    return arrays, rel, SidewaysCracker(rel)
+
+
+def oracle(arrays, preds, projs, conjunctive=True):
+    masks = [iv.mask(arrays[a]) for a, iv in preds.items()]
+    mask = np.logical_and.reduce(masks) if conjunctive else np.logical_or.reduce(masks)
+    return {p: arrays[p][mask] for p in projs}
+
+
+class TestSelectProject:
+    def test_matches_oracle_over_sequence(self, setup, rng):
+        arrays, _, sw = setup
+        for _ in range(15):
+            lo = int(rng.integers(0, 40_000))
+            iv = Interval.open(lo, lo + 8_000)
+            res = sw.select_project("A", iv, ["B", "C"])
+            exp = oracle(arrays, {"A": iv}, ["B", "C"])
+            for p in ("B", "C"):
+                assert np.array_equal(np.sort(res[p]), np.sort(exp[p]))
+
+    def test_projection_rows_stay_tuple_aligned(self, setup, rng):
+        arrays, _, sw = setup
+        iv = Interval.open(10_000, 30_000)
+        res = sw.select_project("A", iv, ["B", "C", "D"])
+        exp = oracle(arrays, {"A": iv}, ["B", "C", "D"])
+        got = sorted(zip(res["B"].tolist(), res["C"].tolist(), res["D"].tolist()))
+        want = sorted(zip(exp["B"].tolist(), exp["C"].tolist(), exp["D"].tolist()))
+        assert got == want
+
+    def test_projecting_head_attribute(self, setup):
+        arrays, _, sw = setup
+        iv = Interval.open(10_000, 20_000)
+        res = sw.select_project("A", iv, ["A"])
+        assert iv.mask(res["A"]).all()
+        assert len(res["A"]) == int(iv.mask(arrays["A"]).sum())
+
+
+class TestConjunctive:
+    def test_two_predicates(self, setup, rng):
+        arrays, _, sw = setup
+        for _ in range(10):
+            preds = {
+                "A": Interval.open(0, int(rng.integers(10_000, 40_000))),
+                "B": Interval.open(int(rng.integers(0, 20_000)), 50_001),
+            }
+            res = sw.query(preds, ["C"], conjunctive=True)
+            exp = oracle(arrays, preds, ["C"])
+            assert np.array_equal(np.sort(res["C"]), np.sort(exp["C"]))
+
+    def test_three_predicates_forced_head(self, setup):
+        arrays, _, sw = setup
+        preds = {
+            "A": Interval.open(5_000, 45_000),
+            "B": Interval.open(10_000, 40_000),
+            "C": Interval.open(1, 25_000),
+        }
+        res = sw.query(preds, ["D"], head_attr="B")
+        exp = oracle(arrays, preds, ["D"])
+        assert np.array_equal(np.sort(res["D"]), np.sort(exp["D"]))
+
+    def test_head_must_have_predicate(self, setup):
+        _, _, sw = setup
+        with pytest.raises(PlanError):
+            sw.query({"A": Interval.open(1, 2)}, ["B"], head_attr="D")
+
+    def test_empty_result(self, setup):
+        arrays, _, sw = setup
+        preds = {"A": Interval.open(0, 2), "B": Interval.open(0, 2)}
+        res = sw.query(preds, ["C"])
+        exp = oracle(arrays, preds, ["C"])
+        assert len(res["C"]) == len(exp["C"])
+
+
+class TestDisjunctive:
+    def test_matches_oracle(self, setup, rng):
+        arrays, _, sw = setup
+        for _ in range(8):
+            preds = {
+                "A": Interval.open(int(rng.integers(0, 30_000)), 50_001),
+                "B": Interval.open(0, int(rng.integers(5_000, 20_000))),
+            }
+            res = sw.query(preds, ["D"], conjunctive=False)
+            exp = oracle(arrays, preds, ["D"], conjunctive=False)
+            assert np.array_equal(np.sort(res["D"]), np.sort(exp["D"]))
+
+    def test_single_predicate_degenerate(self, setup):
+        arrays, _, sw = setup
+        preds = {"A": Interval.open(10_000, 20_000)}
+        res = sw.query(preds, ["B"], conjunctive=False)
+        exp = oracle(arrays, preds, ["B"])
+        assert np.array_equal(np.sort(res["B"]), np.sort(exp["B"]))
+
+
+class TestMapSetChoice:
+    def test_choose_head_prefers_selective_for_conjunction(self, setup):
+        _, _, sw = setup
+        preds = {
+            "A": Interval.open(0, 50_001),        # ~everything
+            "B": Interval.open(100, 600),          # ~1%
+        }
+        assert sw.choose_head(preds, conjunctive=True) == "B"
+        assert sw.choose_head(preds, conjunctive=False) == "A"
+
+    def test_estimates_improve_with_cracking(self, setup):
+        arrays, _, sw = setup
+        iv = Interval.open(10_000, 20_000)
+        uniform_estimate = sw.estimate_count("A", iv)
+        sw.select_project("A", iv, ["B"])
+        refined = sw.estimate_count("A", iv)
+        exact = int(iv.mask(arrays["A"]).sum())
+        assert refined == exact
+        assert abs(refined - exact) <= abs(uniform_estimate - exact) + 1
+
+    def test_choose_head_requires_predicates(self, setup):
+        _, _, sw = setup
+        with pytest.raises(PlanError):
+            sw.choose_head({})
+
+
+class TestBookkeeping:
+    def test_storage_tuples_counts_maps(self, setup):
+        _, rel, sw = setup
+        sw.select_project("A", Interval.open(1, 100), ["B", "C"])
+        assert sw.storage_tuples() == 2 * len(rel)
+
+    def test_invariants_after_mixed_plan_sequence(self, setup, rng):
+        arrays, _, sw = setup
+        for i in range(12):
+            lo = int(rng.integers(0, 40_000))
+            if i % 3 == 0:
+                sw.select_project("A", Interval.open(lo, lo + 5_000), ["B"])
+            elif i % 3 == 1:
+                sw.query(
+                    {"A": Interval.open(lo, lo + 9_000),
+                     "B": Interval.open(0, 25_000)},
+                    ["C"],
+                )
+            else:
+                sw.query(
+                    {"B": Interval.open(lo, lo + 5_000),
+                     "C": Interval.open(lo, lo + 20_000)},
+                    ["D"], conjunctive=False,
+                )
+        for mapset in sw.sets.values():
+            for cmap in mapset.maps.values():
+                cmap.check_invariants()

@@ -1,0 +1,139 @@
+"""The SQL front-end."""
+
+import numpy as np
+import pytest
+
+from repro import sql
+from repro.engine import Database, PlainEngine, SidewaysEngine
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def sqldb(rng):
+    db = Database()
+    db.create_table(
+        "R",
+        {
+            "A": rng.integers(1, 1_001, size=2_000),
+            "B": rng.integers(1, 1_001, size=2_000),
+            "C": rng.integers(1, 1_001, size=2_000),
+            "tag": np.array(
+                [["red", "green", "blue"][i % 3] for i in range(2_000)]
+            ),
+        },
+    )
+    return db
+
+
+class TestParsing:
+    def test_simple_select(self, sqldb):
+        query = sql.parse("SELECT B, C FROM R WHERE A < 100", sqldb)
+        assert query.table == "R"
+        assert query.projections == ("B", "C")
+        assert query.predicates[0].attr == "A"
+        assert query.predicates[0].interval.hi == 100
+        assert not query.predicates[0].interval.hi_inclusive
+
+    def test_aggregates(self, sqldb):
+        query = sql.parse("SELECT max(B), avg(C) FROM R", sqldb)
+        assert query.aggregates == (("max", "B"), ("avg", "C"))
+        assert query.projections == ()
+
+    def test_count_star(self, sqldb):
+        query = sql.parse("SELECT count(*) FROM R WHERE A > 5", sqldb)
+        assert query.aggregates == (("count", "A"),)
+
+    def test_between(self, sqldb):
+        query = sql.parse("SELECT B FROM R WHERE A BETWEEN 10 AND 20", sqldb)
+        iv = query.predicates[0].interval
+        assert iv.lo == 10 and iv.lo_inclusive
+        assert iv.hi == 20 and iv.hi_inclusive
+
+    def test_range_merge(self, sqldb):
+        query = sql.parse("SELECT B FROM R WHERE 10 < A AND A <= 20", sqldb)
+        assert len(query.predicates) == 1
+        iv = query.predicates[0].interval
+        assert iv.lo == 10 and not iv.lo_inclusive
+        assert iv.hi == 20 and iv.hi_inclusive
+
+    def test_reversed_operand_order(self, sqldb):
+        query = sql.parse("SELECT B FROM R WHERE 100 >= A", sqldb)
+        iv = query.predicates[0].interval
+        assert iv.hi == 100 and iv.hi_inclusive
+
+    def test_disjunction(self, sqldb):
+        query = sql.parse("SELECT C FROM R WHERE A < 10 OR B > 990", sqldb)
+        assert not query.conjunctive
+        assert len(query.predicates) == 2
+
+    def test_string_literal_resolved_to_code(self, sqldb):
+        query = sql.parse("SELECT A FROM R WHERE tag = 'green'", sqldb)
+        code = sqldb.table("R").column("tag").dictionary.code_of("green")
+        iv = query.predicates[0].interval
+        assert iv.lo == iv.hi == code
+
+    def test_case_insensitive_keywords(self, sqldb):
+        query = sql.parse("select B from R where A < 5", sqldb)
+        assert query.table == "R"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT FROM R",
+        "SELECT B R",
+        "SELECT B FROM R WHERE",
+        "SELECT B FROM R WHERE A << 3",
+        "SELECT B FROM R WHERE A < 3 AND B > 2 OR C = 1",
+        "SELECT B FROM R WHERE A < 3 extra",
+        "SELECT max(*) FROM R",
+        "SELECT B FROM R WHERE A = 'oops'",
+        "SELECT B FROM R WHERE A > 10 AND A < 5",
+    ])
+    def test_rejected(self, sqldb, bad):
+        with pytest.raises(PlanError):
+            sql.parse(bad, sqldb)
+
+    def test_sum_star_rejected(self, sqldb):
+        with pytest.raises(PlanError):
+            sql.parse("SELECT sum(*) FROM R", sqldb)
+
+
+class TestExecution:
+    def test_matches_manual_query(self, sqldb):
+        engine = PlainEngine(sqldb)
+        result = sql.execute(
+            "SELECT B FROM R WHERE A BETWEEN 100 AND 300 AND C < 500", engine
+        )
+        data = sqldb.table("R")
+        mask = ((data.values("A") >= 100) & (data.values("A") <= 300)
+                & (data.values("C") < 500))
+        assert np.array_equal(np.sort(result.columns["B"]),
+                              np.sort(data.values("B")[mask]))
+
+    def test_engines_agree_on_sql(self, sqldb):
+        statement = (
+            "SELECT max(B), count(*) FROM R WHERE A < 700 AND tag = 'red'"
+        )
+        plain = sql.execute(statement, PlainEngine(sqldb)).aggregates
+        sideways = sql.execute(statement, SidewaysEngine(sqldb)).aggregates
+        assert plain == sideways
+
+    def test_string_equality_query(self, sqldb):
+        engine = PlainEngine(sqldb)
+        result = sql.execute("SELECT count(*) FROM R WHERE tag = 'blue'", engine)
+        data = sqldb.table("R")
+        dictionary = data.column("tag").dictionary
+        expected = float(
+            (data.values("tag") == dictionary.code_of("blue")).sum()
+        )
+        (value,) = result.aggregates.values()
+        assert value == expected
+
+    def test_escaped_quote(self, rng):
+        db = Database()
+        db.create_table("T", {"name": np.array(["o'brien", "smith"]),
+                              "x": np.array([1, 2])})
+        result = sql.execute(
+            "SELECT x FROM T WHERE name = 'o''brien'", PlainEngine(db)
+        )
+        assert result.columns["x"].tolist() == [1]

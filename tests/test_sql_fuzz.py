@@ -1,0 +1,80 @@
+"""Property-based fuzzing of the SQL front-end against a NumPy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import sql
+from repro.engine import Database, PlainEngine
+from repro.errors import PlanError
+
+ATTRS = ("A", "B", "C", "D")
+OPS = ("<", "<=", ">", ">=", "=")
+
+comparison = st.tuples(
+    st.sampled_from(ATTRS), st.sampled_from(OPS), st.integers(0, 120)
+)
+
+
+@pytest.fixture(scope="module")
+def fuzzdb():
+    rng = np.random.default_rng(99)
+    db = Database()
+    db.create_table(
+        "R", {attr: rng.integers(0, 100, size=400).astype(np.int64)
+              for attr in ATTRS},
+    )
+    return db
+
+
+def oracle_mask(db, comparisons, conjunctive):
+    table = db.table("R")
+    masks = []
+    for attr, op, value in comparisons:
+        column = table.values(attr)
+        masks.append({
+            "<": column < value,
+            "<=": column <= value,
+            ">": column > value,
+            ">=": column >= value,
+            "=": column == value,
+        }[op])
+    combine = np.logical_and if conjunctive else np.logical_or
+    out = masks[0]
+    for mask in masks[1:]:
+        out = combine(out, mask)
+    return out
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    comparisons=st.lists(comparison, min_size=1, max_size=4),
+    conjunctive=st.booleans(),
+    projection=st.sampled_from(ATTRS),
+)
+def test_fuzzed_statements_match_oracle(fuzzdb, comparisons, conjunctive,
+                                        projection):
+    if not conjunctive:
+        # OR requires distinct attributes (documented grammar limitation).
+        seen = set()
+        comparisons = [
+            c for c in comparisons if not (c[0] in seen or seen.add(c[0]))
+        ]
+    connector = " AND " if conjunctive else " OR "
+    where = connector.join(f"{a} {op} {v}" for a, op, v in comparisons)
+    statement = f"SELECT {projection}, count(*) FROM R WHERE {where}"
+    try:
+        result = sql.execute(statement, PlainEngine(fuzzdb))
+    except PlanError as exc:
+        # Only contradictory AND ranges may be rejected — and then the
+        # statement provably matches nothing.
+        assert conjunctive and "contradictory" in str(exc)
+        assert not oracle_mask(fuzzdb, comparisons, conjunctive).any()
+        return
+    mask = oracle_mask(fuzzdb, comparisons, conjunctive)
+    expected = fuzzdb.table("R").values(projection)[mask]
+    got = result.columns[projection]
+    assert np.array_equal(np.sort(got), np.sort(expected))
+    (count,) = (v for k, v in result.aggregates.items() if k.startswith("count"))
+    assert count == float(mask.sum())

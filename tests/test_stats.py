@@ -1,0 +1,116 @@
+"""Counters, frames, memory model, phase timers."""
+
+import time
+
+import pytest
+
+from repro.stats.counters import AccessStats, StatsRecorder
+from repro.stats.memory_model import MemoryModel
+from repro.stats.timing import PhaseTimer, Timer
+
+
+class TestAccessStats:
+    def test_random_classification_by_region(self):
+        stats = AccessStats()
+        stats.touch_random(10, region_size=100, cache_elements=1000)
+        stats.touch_random(10, region_size=10_000, cache_elements=1000)
+        assert stats.clustered_random == 10
+        assert stats.scattered_random == 10
+
+    def test_add(self):
+        a = AccessStats(sequential=5, cracks=1)
+        b = AccessStats(sequential=3, writes=2)
+        c = a + b
+        assert c.sequential == 8
+        assert c.writes == 2
+        assert c.cracks == 1
+
+    def test_total(self):
+        stats = AccessStats(sequential=1, clustered_random=2, scattered_random=3, writes=4)
+        assert stats.total_touches == 10
+
+
+class TestRecorderFrames:
+    def test_nested_frames_both_accumulate(self):
+        rec = StatsRecorder()
+        with rec.frame() as outer:
+            rec.sequential(5)
+            with rec.frame() as inner:
+                rec.sequential(3)
+        assert inner.sequential == 3
+        assert outer.sequential == 8
+        assert rec.root.sequential == 8
+
+    def test_event_counting(self):
+        rec = StatsRecorder()
+        rec.event("cracks", 2)
+        assert rec.root.cracks == 2
+
+    def test_ordered_is_bounded_by_region(self):
+        rec = StatsRecorder()
+        rec.ordered(1000, region_size=100)
+        assert rec.root.sequential == 100
+        rec.reset()
+        rec.ordered(2, region_size=10_000)
+        assert rec.root.sequential == 16  # one line (8 cells) per lookup
+
+    def test_classification_uses_recorder_cache(self):
+        rec = StatsRecorder(cache_elements=50)
+        rec.random(5, region_size=60)
+        assert rec.root.scattered_random == 5
+
+
+class TestMemoryModel:
+    def test_pricing_monotone(self):
+        model = MemoryModel()
+        cheap = AccessStats(sequential=100)
+        pricey = AccessStats(scattered_random=100)
+        assert model.cost_ns(pricey) > model.cost_ns(cheap)
+
+    def test_scattered_much_pricier_than_clustered(self):
+        model = MemoryModel()
+        clustered = AccessStats(clustered_random=1000)
+        scattered = AccessStats(scattered_random=1000)
+        assert model.cost_ns(scattered) > 5 * model.cost_ns(clustered)
+
+    def test_units(self):
+        model = MemoryModel()
+        stats = AccessStats(sequential=10**6)
+        assert model.cost_ms(stats) == pytest.approx(model.cost_ns(stats) / 1e6)
+        assert model.cost_seconds(stats) == pytest.approx(model.cost_ns(stats) / 1e9)
+
+    def test_cache_elements(self):
+        model = MemoryModel(cache_bytes=1024, element_bytes=8)
+        assert model.cache_elements == 128
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        with t:
+            time.sleep(0.001)
+        assert t.seconds >= 0.002
+
+    def test_phase_timer_no_double_count(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            time.sleep(0.002)
+            with timer.phase("inner"):
+                time.sleep(0.002)
+        total_wall = timer.get("outer") + timer.get("inner")
+        assert timer.total == pytest.approx(total_wall)
+        assert timer.get("inner") >= 0.002
+        # outer excludes inner's time
+        assert timer.get("outer") < timer.total
+
+    def test_phase_timer_merge(self):
+        a = PhaseTimer()
+        with a.phase("x"):
+            pass
+        b = PhaseTimer()
+        with b.phase("x"):
+            pass
+        a.merge(b)
+        assert a.get("x") >= b.get("x")

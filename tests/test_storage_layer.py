@@ -1,0 +1,161 @@
+"""BATs, relations, catalog, and column types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.types import ColumnType, Dictionary, coerce_column
+
+
+class TestTypes:
+    def test_coerce_int(self):
+        arr, ctype = coerce_column([1, 2, 3])
+        assert ctype is ColumnType.INT
+        assert arr.dtype == np.int64
+
+    def test_coerce_float(self):
+        arr, ctype = coerce_column(np.array([1.5, 2.5]))
+        assert ctype is ColumnType.FLOAT
+
+    def test_coerce_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            coerce_column(np.zeros((2, 2)))
+
+    def test_coerce_rejects_strings_without_dict(self):
+        with pytest.raises(SchemaError):
+            coerce_column(np.array(["a", "b"]))
+
+
+class TestDictionary:
+    def test_codes_follow_sort_order(self):
+        dictionary, codes = Dictionary.from_strings(["pear", "apple", "pear", "fig"])
+        assert dictionary.values == ("apple", "fig", "pear")
+        assert codes.tolist() == [2, 0, 2, 1]
+
+    def test_code_of(self):
+        dictionary, _ = Dictionary.from_strings(["b", "a", "c"])
+        assert dictionary.code_of("b") == 1
+        with pytest.raises(SchemaError):
+            dictionary.code_of("zzz")
+
+    def test_decode_roundtrip(self):
+        dictionary, codes = Dictionary.from_strings(["x", "y", "x"])
+        assert dictionary.decode(codes) == ["x", "y", "x"]
+
+    def test_prefix_range(self):
+        dictionary, _ = Dictionary.from_strings(
+            ["forest green", "forever", "fork", "apple", "forest blue"]
+        )
+        lo, hi = dictionary.prefix_range("forest")
+        matched = dictionary.values[lo:hi]
+        assert set(matched) == {"forest blue", "forest green"}
+
+    def test_prefix_range_empty(self):
+        dictionary, _ = Dictionary.from_strings(["a", "b"])
+        lo, hi = dictionary.prefix_range("zebra")
+        assert lo == hi
+
+
+class TestBAT:
+    def test_virtual_keys(self):
+        bat = BAT.from_values([10, 20, 30])
+        assert bat.is_base
+        assert bat.materialized_keys().tolist() == [0, 1, 2]
+
+    def test_slice_keeps_positions(self):
+        bat = BAT.from_values([10, 20, 30, 40])
+        view = bat.slice(1, 3)
+        assert view.values.tolist() == [20, 30]
+        assert view.materialized_keys().tolist() == [1, 2]
+
+    def test_gather(self):
+        bat = BAT.from_values([10, 20, 30, 40])
+        picked = bat.gather(np.array([3, 0]))
+        assert picked.values.tolist() == [40, 10]
+        assert picked.keys.tolist() == [3, 0]
+
+    def test_append(self):
+        bat = BAT.from_values([1, 2]).append(BAT.from_values([3]))
+        assert bat.values.tolist() == [1, 2, 3]
+
+    def test_append_type_mismatch(self):
+        with pytest.raises(SchemaError):
+            BAT.from_values([1]).append(BAT.from_values([1.5]))
+
+    def test_from_strings(self):
+        bat = BAT.from_strings(["b", "a"])
+        assert bat.ctype is ColumnType.DICT
+        assert bat.dictionary.decode(bat.values) == ["b", "a"]
+
+
+class TestRelation:
+    def test_from_arrays_encodes_strings(self):
+        rel = Relation.from_arrays("R", {"a": [1, 2], "s": np.array(["x", "y"])})
+        assert rel.column("s").ctype is ColumnType.DICT
+        assert len(rel) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        rel = Relation.from_arrays("R", {"a": [1, 2]})
+        with pytest.raises(SchemaError):
+            rel.add_column("b", BAT.from_values([1, 2, 3]))
+
+    def test_duplicate_column_rejected(self):
+        rel = Relation.from_arrays("R", {"a": [1]})
+        with pytest.raises(CatalogError):
+            rel.add_column("a", BAT.from_values([2]))
+
+    def test_missing_column(self):
+        rel = Relation.from_arrays("R", {"a": [1]})
+        with pytest.raises(CatalogError):
+            rel.column("zzz")
+
+    def test_append_rows(self):
+        rel = Relation.from_arrays("R", {"a": [1], "b": [2]})
+        rel.append_rows({"a": [10], "b": [20]})
+        assert len(rel) == 2
+        assert rel.values("a").tolist() == [1, 10]
+
+    def test_append_rows_requires_all_columns(self):
+        rel = Relation.from_arrays("R", {"a": [1], "b": [2]})
+        with pytest.raises(SchemaError):
+            rel.append_rows({"a": [10]})
+
+    def test_delete_rows(self):
+        rel = Relation.from_arrays("R", {"a": [1, 2, 3]})
+        rel.delete_rows(np.array([1]))
+        assert rel.values("a").tolist() == [1, 3]
+
+    def test_sorted_copy(self):
+        rel = Relation.from_arrays("R", {"a": [3, 1, 2], "b": [30, 10, 20]})
+        copy = rel.sorted_copy("a")
+        assert copy.values("a").tolist() == [1, 2, 3]
+        assert copy.values("b").tolist() == [10, 20, 30]
+
+    def test_sorted_copy_with_minor_key(self):
+        rel = Relation.from_arrays("R", {"a": [1, 1, 0], "b": [2, 1, 9]})
+        copy = rel.sorted_copy("a", then_by=("b",))
+        assert copy.values("b").tolist() == [9, 1, 2]
+
+
+class TestCatalog:
+    def test_add_get_drop(self):
+        cat = Catalog()
+        rel = Relation.from_arrays("R", {"a": [1]})
+        cat.add(rel)
+        assert cat.get("R") is rel
+        assert "R" in cat
+        cat.drop("R")
+        assert "R" not in cat
+
+    def test_duplicate_add(self):
+        cat = Catalog()
+        cat.add(Relation.from_arrays("R", {"a": [1]}))
+        with pytest.raises(CatalogError):
+            cat.add(Relation.from_arrays("R", {"a": [1]}))
+
+    def test_get_missing(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("missing")

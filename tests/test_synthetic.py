@@ -1,0 +1,109 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+
+from repro.workloads.synthetic import (
+    BatchWorkload,
+    SyntheticTable,
+    UpdateStream,
+    make_table_arrays,
+    projection_query,
+    random_range,
+    skewed_range,
+)
+
+
+class TestTables:
+    def test_synthetic_table_shape(self):
+        table = SyntheticTable(rows=1_000, seed=1)
+        arrays = table.arrays()
+        assert set(arrays) == {f"A{i}" for i in range(1, 10)}
+        assert all(len(v) == 1_000 for v in arrays.values())
+        assert all(v.min() >= 1 for v in arrays.values())
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticTable(rows=100, seed=7).arrays()
+        b = SyntheticTable(rows=100, seed=7).arrays()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestRanges:
+    def test_random_range_selectivity(self, rng):
+        domain = 100_000
+        values = np.random.default_rng(0).integers(1, domain + 1, size=50_000)
+        fracs = []
+        for _ in range(50):
+            iv = random_range(rng, domain, 0.2)
+            fracs.append(iv.mask(values).mean())
+        assert 0.15 < np.mean(fracs) < 0.25
+
+    def test_point_query(self, rng):
+        iv = random_range(rng, 1_000, 0.0)
+        assert iv.lo == iv.hi and iv.lo_inclusive and iv.hi_inclusive
+
+    def test_skewed_range_hits_hot_zone(self, rng):
+        domain = 100_000
+        hot_hits = 0
+        for _ in range(200):
+            iv = skewed_range(rng, domain, 0.01, hot_fraction=0.5)
+            if iv.lo < domain * 0.5:
+                hot_hits += 1
+        assert hot_hits > 150  # ~90% expected
+
+
+class TestBatchWorkload:
+    def test_attributes(self):
+        wl = BatchWorkload(n_types=3)
+        assert wl.attributes == ["A", "B1", "C1", "B2", "C2", "B3", "C3"]
+
+    def test_sequence_cycles_types(self):
+        wl = BatchWorkload(rows=1_000, n_types=2)
+        queries = wl.sequence(total=8, batch_size=2, result_rows=10)
+        projections = [q.projections[0] for q in queries]
+        assert projections == ["C1", "C1", "C2", "C2", "C1", "C1", "C2", "C2"]
+
+    def test_queries_runnable(self):
+        from repro.engine import Database, SidewaysEngine
+
+        wl = BatchWorkload(rows=2_000)
+        db = Database()
+        db.create_table(wl.table, wl.arrays())
+        engine = SidewaysEngine(db)
+        for query in wl.sequence(total=10, batch_size=2, result_rows=50):
+            result = engine.run(query)
+            assert result.row_count >= 0
+
+
+class TestUpdateStream:
+    def test_insert_batch_shape(self):
+        stream = UpdateStream(domain=1_000)
+        batch = stream.insert_batch(["A", "B"], 10)
+        assert set(batch) == {"A", "B"}
+        assert all(len(v) == 10 for v in batch.values())
+
+    def test_delete_keys_subset(self):
+        stream = UpdateStream()
+        live = np.arange(100)
+        victims = stream.delete_keys(live, 10)
+        assert len(victims) == 10
+        assert np.isin(victims, live).all()
+        assert len(np.unique(victims)) == 10
+
+    def test_delete_clamped_to_live(self):
+        stream = UpdateStream()
+        victims = stream.delete_keys(np.arange(3), 10)
+        assert len(victims) == 3
+
+
+def test_projection_query_shape():
+    from repro.cracking.bounds import Interval
+
+    q = projection_query("R", "A", Interval.open(1, 5), ["B", "C"])
+    assert q.aggregates == (("max", "B"), ("max", "C"))
+    assert q.predicates[0].attr == "A"
+
+
+def test_make_table_arrays():
+    arrays = make_table_arrays(50, ["x", "y"], 100, seed=3)
+    assert set(arrays) == {"x", "y"}
+    assert all((v >= 1).all() and (v <= 100).all() for v in arrays.values())

@@ -1,0 +1,124 @@
+"""Cracker tapes and single cracker maps."""
+
+import numpy as np
+import pytest
+
+from repro.core.map import CrackerMap
+from repro.core.tape import (
+    CrackEntry,
+    CrackerTape,
+    DeleteEntry,
+    InsertEntry,
+    SortEntry,
+)
+from repro.cracking.bounds import Interval
+from repro.errors import AlignmentError
+
+
+class TestTape:
+    def test_append_and_since(self):
+        tape = CrackerTape()
+        tape.append(CrackEntry(Interval.open(1, 5)))
+        tape.append(CrackEntry(Interval.open(2, 6)))
+        assert len(tape) == 2
+        assert len(tape.since(1)) == 1
+
+    def test_append_crack_dedups_immediate_repeat(self):
+        tape = CrackerTape()
+        iv = Interval.open(1, 5)
+        a = tape.append_crack(iv)
+        b = tape.append_crack(iv)
+        assert a == b == 0
+        assert len(tape) == 1
+
+    def test_append_crack_no_dedup_when_interleaved(self):
+        tape = CrackerTape()
+        iv = Interval.open(1, 5)
+        tape.append_crack(iv)
+        tape.append_crack(Interval.open(2, 6))
+        tape.append_crack(iv)
+        assert len(tape) == 3
+
+    def test_min_safe_cursor_tracks_updates(self):
+        tape = CrackerTape()
+        tape.append(CrackEntry(Interval.open(1, 5)))
+        assert tape.min_safe_cursor == 0
+        tape.append(InsertEntry(np.array([1]), np.array([9])))
+        assert tape.min_safe_cursor == 2
+        tape.append(CrackEntry(Interval.open(2, 6)))
+        assert tape.min_safe_cursor == 2
+        tape.append(DeleteEntry(np.array([1]), np.array([9])))
+        assert tape.min_safe_cursor == 4
+
+
+def make_map(values, tail_values):
+    return CrackerMap(
+        "A", "B", values.copy(), tail_values.copy(),
+        fetch_tail=lambda keys: np.asarray(keys) * 10,
+    )
+
+
+class TestCrackerMap:
+    def test_crack_clusters_qualifiers(self, rng):
+        values = rng.integers(0, 1000, size=500).astype(np.int64)
+        cmap = make_map(values, values * 2)
+        iv = Interval.open(200, 600)
+        lo, hi = cmap.crack(iv)
+        assert np.array_equal(
+            np.sort(cmap.tail[lo:hi]), np.sort(values[iv.mask(values)] * 2)
+        )
+        cmap.check_invariants()
+
+    def test_area_of_requires_existing_bounds(self, rng):
+        values = rng.integers(0, 1000, size=200).astype(np.int64)
+        cmap = make_map(values, values)
+        iv = Interval.open(100, 300)
+        assert cmap.area_of(iv) is None
+        area = cmap.crack(iv)
+        assert cmap.area_of(iv) == area
+
+    def test_replay_crack_entry(self, rng):
+        values = rng.integers(0, 1000, size=300).astype(np.int64)
+        cmap = make_map(values, values * 2)
+        cmap.replay_entry(CrackEntry(Interval.open(100, 500)))
+        assert cmap.cursor == 1
+        cmap.check_invariants()
+
+    def test_replay_insert_fetches_tail(self, rng):
+        values = rng.integers(0, 1000, size=100).astype(np.int64)
+        cmap = make_map(values, values * 10)
+        entry = InsertEntry(np.array([555], dtype=np.int64), np.array([77], dtype=np.int64))
+        cmap.replay_entry(entry)
+        assert len(cmap) == 101
+        pos = np.flatnonzero(cmap.head == 555)
+        assert 770 in cmap.tail[pos]
+
+    def test_replay_delete_requires_positions(self, rng):
+        values = rng.integers(0, 1000, size=100).astype(np.int64)
+        cmap = make_map(values, values)
+        with pytest.raises(AlignmentError):
+            cmap.replay_entry(DeleteEntry(np.array([values[0]]), np.array([0])))
+
+    def test_replay_delete_with_positions(self, rng):
+        values = rng.integers(0, 1000, size=100).astype(np.int64)
+        cmap = make_map(values, values)
+        entry = DeleteEntry(
+            np.array([values[3]]), np.array([3]), positions=np.array([3])
+        )
+        cmap.replay_entry(entry)
+        assert len(cmap) == 99
+
+    def test_replay_sort_entry(self, rng):
+        values = rng.integers(0, 1000, size=200).astype(np.int64)
+        cmap = make_map(values, values * 2)
+        cmap.replay_entry(CrackEntry(Interval.open(300, 700)))
+        cmap.replay_entry(SortEntry(Interval.open(300, 700).lower_bound(),
+                                    Interval.open(300, 700).upper_bound()))
+        lo, hi = cmap.area_of(Interval.open(300, 700))
+        seg = cmap.head[lo:hi]
+        assert np.array_equal(seg, np.sort(seg))
+        assert np.array_equal(cmap.tail[lo:hi], seg * 2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AlignmentError):
+            CrackerMap("A", "B", np.arange(3), np.arange(4), lambda k: k)

@@ -1,0 +1,115 @@
+"""The ten non-paper TPC-H queries: cross-mode agreement and content."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.workloads.tpch import MODES, ModeExecutor, generate
+from repro.workloads.tpch.queries import results_equal
+from repro.workloads.tpch.queries_extra import EXTRA_QUERIES, ExtraParamGen
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale_factor=0.005, seed=33)
+
+
+@pytest.fixture(scope="module")
+def dbs(data):
+    out = {}
+    for mode in list(MODES) + ["partial_sideways"]:
+        db = Database()
+        data.load_into(db)
+        out[mode] = ModeExecutor(db, mode)
+    return out
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("query_id", sorted(EXTRA_QUERIES))
+    def test_all_modes_agree(self, dbs, query_id):
+        gen = ExtraParamGen(seed=11 + query_id)
+        fn = EXTRA_QUERIES[query_id]
+        for _ in range(2):
+            params = getattr(gen, f"q{query_id}")()
+            results = {mode: fn(ex, params) for mode, ex in dbs.items()}
+            reference = results["monetdb"]
+            for mode, result in results.items():
+                assert results_equal(result, reference), (query_id, mode)
+
+
+class TestContent:
+    def test_q13_has_zero_bucket(self, dbs):
+        gen = ExtraParamGen(seed=1)
+        rows = EXTRA_QUERIES[13](dbs["monetdb"], gen.q13())
+        counts = {count for count, _freq in rows}
+        assert 0 in counts  # a third of customers place no orders
+
+    def test_q13_frequencies_cover_all_customers(self, dbs, data):
+        gen = ExtraParamGen(seed=2)
+        rows = EXTRA_QUERIES[13](dbs["monetdb"], gen.q13())
+        assert sum(freq for _count, freq in rows) == data.row_counts()["customer"]
+
+    def test_q11_values_descend(self, dbs):
+        gen = ExtraParamGen(seed=3)
+        rows = EXTRA_QUERIES[11](dbs["monetdb"], gen.q11())
+        values = [v for _p, v in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_q5_revenue_descends(self, dbs):
+        gen = ExtraParamGen(seed=4)
+        rows = EXTRA_QUERIES[5](dbs["monetdb"], gen.q5())
+        revenues = [r for _n, r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q2_minimum_cost_property(self, dbs, data):
+        """Every reported supplier attains the min supply cost for its part
+        among the suppliers of the chosen region."""
+        from repro.workloads.tpch.queries_extra import _nation_region_mask
+
+        gen = ExtraParamGen(seed=5)
+        ex = dbs["monetdb"]
+        db = ex.db
+        for _ in range(6):
+            params = gen.q2()
+            rows = EXTRA_QUERIES[2](ex, params)
+            ps = db.table("partsupp")
+            in_region = _nation_region_mask(ex, params["region"])
+            s_nat = db.table("supplier").values("s_nationkey")
+            region_supplier = in_region[s_nat[ps.values("ps_suppkey") - 1]]
+            for _bal, _nat, supp, part in rows:
+                mask = (ps.values("ps_partkey") == part) & region_supplier
+                costs = ps.values("ps_supplycost")[mask]
+                reported = ps.values("ps_supplycost")[
+                    mask & (ps.values("ps_suppkey") == supp)
+                ]
+                assert reported.min() <= costs.min() + 1e-9
+
+    def test_q22_customers_have_no_orders(self, dbs):
+        gen = ExtraParamGen(seed=6)
+        rows = EXTRA_QUERIES[22](dbs["monetdb"], gen.q22())
+        assert rows, "expected some order-less wealthy customers"
+        for _nation, count, balance in rows:
+            assert count > 0 and balance > 0
+
+    def test_q21_counts_positive(self, dbs):
+        gen = ExtraParamGen(seed=7)
+        found = 0
+        for _ in range(8):
+            rows = EXTRA_QUERIES[21](dbs["monetdb"], gen.q21())
+            found += len(rows)
+            for _supp, count in rows:
+                assert count >= 1
+        assert found > 0
+
+    def test_q18_threshold_respected(self, dbs, data):
+        gen = ExtraParamGen(seed=8)
+        params = {"quantity": 250}  # lower threshold so rows exist at tiny SF
+        rows = EXTRA_QUERIES[18](dbs["monetdb"], params)
+        for _c, _o, _d, _price, qty in rows:
+            assert qty > 250
+
+    def test_q17_nonnegative(self, dbs):
+        gen = ExtraParamGen(seed=9)
+        for _ in range(4):
+            rows = EXTRA_QUERIES[17](dbs["monetdb"], gen.q17())
+            assert rows[0][0] >= 0

@@ -1,0 +1,100 @@
+"""Workload traces: record, serialize, replay."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.bounds import Interval
+from repro.engine import PlainEngine, Predicate, Query, SidewaysEngine
+from repro.errors import PlanError
+from repro.workloads.trace import (
+    RecordingEngine,
+    Trace,
+    query_from_dict,
+    query_to_dict,
+)
+
+
+def make_query(lo=100, hi=5_000, disjunctive=False):
+    return Query(
+        "R",
+        predicates=(
+            Predicate("A", Interval.open(lo, hi)),
+            Predicate("B", Interval.closed(1, 50_000)),
+        ),
+        projections=("C",),
+        aggregates=(("max", "C"), ("count", "C")),
+        conjunctive=not disjunctive,
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_single_query(self):
+        query = make_query()
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_roundtrip_disjunctive(self):
+        query = make_query(disjunctive=True)
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_roundtrip_unbounded_interval(self):
+        query = Query(
+            "R", predicates=(Predicate("A", Interval.at_least(10)),),
+            projections=("B",),
+        )
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.predicates[0].interval.hi is None
+        assert rebuilt == query
+
+    def test_trace_json_roundtrip(self, tmp_path):
+        trace = Trace([make_query(i, i + 500) for i in range(0, 2_000, 500)])
+        path = tmp_path / "workload.json"
+        trace.save(path)
+        restored = Trace.load(path)
+        assert restored.queries == trace.queries
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(PlanError):
+            Trace.loads('{"version": 99, "queries": []}')
+
+
+class TestReplay:
+    def test_replay_matches_direct_execution(self, db):
+        trace = Trace([make_query(i * 300, i * 300 + 4_000) for i in range(5)])
+        direct = [PlainEngine(db).run(q).aggregates for q in trace]
+        replayed = [r.aggregates for r in trace.replay(PlainEngine(db))]
+        assert direct == replayed
+
+    def test_replay_costs_summary(self, db):
+        trace = Trace([make_query()])
+        summary = trace.replay_costs(PlainEngine(db))
+        assert summary["queries"] == 1
+        assert summary["engine"] == "monetdb"
+        assert len(summary["per_query_seconds"]) == 1
+
+    def test_trace_reproduces_cracked_state(self, db, small_arrays):
+        """Replaying the same trace twice yields identical cracked maps."""
+        trace = Trace([make_query(i * 200, i * 200 + 3_000) for i in range(8)])
+        from repro.engine import Database
+
+        states = []
+        for _ in range(2):
+            fresh = Database()
+            fresh.create_table("R", dict(small_arrays))
+            engine = SidewaysEngine(fresh)
+            trace.replay(engine)
+            mapset = fresh.sideways("R").sets["A"]
+            cmap = mapset.maps[next(iter(mapset.maps))]
+            states.append(cmap.head.copy())
+        assert np.array_equal(states[0], states[1])
+
+
+class TestRecording:
+    def test_recording_engine_captures(self, db):
+        recorder = RecordingEngine(PlainEngine(db))
+        recorder.run(make_query())
+        recorder.run(make_query(500, 900))
+        assert len(recorder.trace) == 2
+        assert "recording" in recorder.name
+        # The captured trace replays to the same answers.
+        replayed = recorder.trace.replay(PlainEngine(db))
+        assert replayed[0].aggregates == PlainEngine(db).run(make_query()).aggregates
