@@ -1,0 +1,21 @@
+"""Exp14: stochastic cracking robustness under adversarial workloads."""
+
+from conftest import run_once
+
+from repro.bench import exp14_robustness as exp14
+
+
+def test_exp14_robustness(benchmark, record_table):
+    result = run_once(benchmark, exp14.run, scale=0.1)
+    record_table("exp14_robustness", exp14.describe(result))
+    # Every engine returns scan-identical results under every policy/pattern.
+    assert result["engines_match_scan"], result["engine_failures"]
+    for pattern, cells in result["grid"].items():
+        for policy_name, cell in cells.items():
+            assert cell["matches_scan"], f"{policy_name} on {pattern}"
+    # The robustness payoff: on the sequential workload at least one
+    # stochastic policy beats query-driven cracking clearly even at this
+    # reduced scale (the gap widens with rows x queries; ~10x at full scale).
+    headline = result["headline"]
+    assert headline is not None
+    assert headline["cost_ratio"] >= 3.0, headline

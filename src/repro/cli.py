@@ -29,6 +29,8 @@ EXPERIMENTS = {
     "exp11": ("exp11_alignment", "Fig 13 alignment cost"),
     "exp12": ("exp12_tpch", "Fig 14 + TPC-H summary table"),
     "exp13": ("exp13_tpch_mixed", "Section 5 mixed TPC-H workload"),
+    "exp14": ("exp14_robustness",
+              "Stochastic cracking robustness (policies x adversarial patterns)"),
 }
 
 ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
@@ -36,11 +38,21 @@ ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
 EXTENSIONS = ("piece_max", "join_strategies", "row_vs_column")
 
 
-def _run_experiment(name: str, scale: float | None) -> None:
+def _run_experiment(
+    name: str, scale: float | None, crack_policy: str | None = None
+) -> None:
     module_name, _ = EXPERIMENTS[name]
     module = importlib.import_module(f"repro.bench.{module_name}")
+    kwargs: dict = {"scale": scale}
+    if crack_policy is not None:
+        import inspect
+
+        if "crack_policy" not in inspect.signature(module.run).parameters:
+            print(f"note: {name} ignores --crack-policy", file=sys.stderr)
+        else:
+            kwargs["crack_policy"] = crack_policy
     start = time.perf_counter()
-    result = module.run(scale=scale)
+    result = module.run(**kwargs)
     elapsed = time.perf_counter() - start
     print(f"== {name} ({elapsed:.1f}s) ==")
     print(module.describe(result))
@@ -73,16 +85,17 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     target = args.experiment
+    crack_policy = getattr(args, "crack_policy", None)
     if target == "all":
         for name in EXPERIMENTS:
-            _run_experiment(name, args.scale)
+            _run_experiment(name, args.scale, crack_policy)
         for name in ABLATIONS:
             _run_named("ablations", name, args.scale)
         for name in EXTENSIONS:
             _run_named("extensions", name, args.scale)
         return 0
     if target in EXPERIMENTS:
-        _run_experiment(target, args.scale)
+        _run_experiment(target, args.scale, crack_policy)
         return 0
     if target.startswith("abl:") and target[4:] in ABLATIONS:
         _run_named("ablations", target[4:], args.scale)
@@ -126,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="expNN, abl:<name>, ext:<name>, or all")
     run.add_argument("--scale", type=float, default=None,
                      help="scale factor for rows/thresholds (default 1.0)")
+    run.add_argument("--crack-policy", default=None,
+                     help="crack policy for experiments that support one "
+                          "(query_driven, ddc, ddr, dd1c, dd1r, mdd1r)")
     run.set_defaults(func=cmd_run)
 
     verify = sub.add_parser(

@@ -15,10 +15,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cracking.avl import CrackerIndex
-from repro.cracking.bounds import Interval
+from repro.cracking.bounds import Bound, Interval
 from repro.cracking.crack import crack_into
 from repro.cracking.kernels import sort_piece
 from repro.cracking.ripple import delete_positions, merge_insertions
+from repro.cracking.stochastic import CrackPolicy
 from repro.core.tape import (
     CrackEntry,
     DeleteEntry,
@@ -79,10 +80,24 @@ class CrackerMap:
 
     # -- cracking -------------------------------------------------------------
 
-    def crack(self, interval: Interval) -> tuple[int, int]:
-        """Crack on a head predicate; returns the qualifying area ``[lo, hi)``."""
+    def crack(
+        self,
+        interval: Interval,
+        policy: CrackPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        cut_sink: list[Bound] | None = None,
+    ) -> tuple[int, int]:
+        """Crack on a head predicate; returns the qualifying area ``[lo, hi)``.
+
+        A stochastic ``policy`` may add auxiliary cuts (reported through
+        ``cut_sink`` so the owning set can log them to its tape).  Replay
+        (:meth:`replay_entry`) never passes a policy.
+        """
         self.accesses += 1
-        return crack_into(self.index, self.head, [self.tail], interval, self._recorder)
+        return crack_into(
+            self.index, self.head, [self.tail], interval, self._recorder,
+            policy=policy, rng=rng, cut_sink=cut_sink,
+        )
 
     def area_of(self, interval: Interval) -> tuple[int, int] | None:
         """The qualifying area if ``interval``'s bounds already exist, else None."""

@@ -19,10 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.map import CrackerMap
-from repro.core.tape import CrackerTape, DeleteEntry, InsertEntry
-from repro.cracking.bounds import Interval
+from repro.core.tape import CrackEntry, CrackerTape, DeleteEntry, InsertEntry
+from repro.cracking import stochastic
+from repro.cracking.bounds import Bound, Interval, interval_from_bounds
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.ripple import locate_deletions
+from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
 from repro.errors import AlignmentError, CatalogError
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
@@ -39,6 +41,8 @@ class MapSet:
         head_attr: str,
         recorder: StatsRecorder | None = None,
         storage: "FullMapStorage | None" = None,
+        policy: CrackPolicy | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self.relation = relation
         self.head_attr = head_attr
@@ -47,6 +51,12 @@ class MapSet:
         self.pending = PendingUpdates(n_tails=1)  # tail = keys
         self._recorder = recorder or global_recorder()
         self._storage = storage
+        self.policy = policy
+        self._rng = rng if rng is not None else policy_rng(0, "mapset", head_attr)
+        self.stochastic_cuts = 0
+        # Piece-boundary signature of the last fully-aligned map, used to
+        # assert that replaying a stochastic tape reproduces identical pieces.
+        self._sig: tuple[int, tuple] | None = None
         # Freeze the snapshot: current rows, minus nothing (deletions that
         # happened before this set existed were already applied physically by
         # the Database facade or never seen by it).
@@ -146,6 +156,31 @@ class MapSet:
             if isinstance(entry, DeleteEntry) and entry.positions is None:
                 self._locate_delete(cmap.cursor)
             cmap.replay_entry(entry)
+        self._check_replay_boundaries(cmap, end)
+
+    def _check_replay_boundaries(self, cmap: CrackerMap, end: int) -> None:
+        """Assert sibling maps agree on piece boundaries after full alignment.
+
+        Only meaningful under a stochastic policy, where a replay bug (e.g. a
+        policy consuming RNG during replay) would silently desynchronize
+        sibling maps.  Compares an (boundary, position) signature across maps
+        aligned to the same tape position.
+        """
+        if not (
+            stochastic.REPLAY_BOUNDARY_CHECKS
+            and is_stochastic(self.policy)
+            and end == len(self.tape)
+        ):
+            return
+        sig = tuple(
+            (bound.value, int(bound.side), pos) for bound, pos in cmap.index.inorder()
+        )
+        if self._sig is not None and self._sig[0] == end and self._sig[1] != sig:
+            raise AlignmentError(
+                f"stochastic replay mismatch in S_{self.head_attr}: map "
+                f"{cmap.tail_attr!r} reproduced different piece boundaries"
+            )
+        self._sig = (end, sig)
 
     def _locate_delete(self, entry_idx: int) -> None:
         """Fill in a delete entry's victim positions via ``M_Akey``.
@@ -201,9 +236,17 @@ class MapSet:
         cmap = self.get_map(tail_attr)
         self.merge_pending(interval)
         self.align(cmap)
-        lo, hi = cmap.crack(interval)
+        cuts: list[Bound] = []
+        lo, hi = cmap.crack(interval, self.policy, self._rng, cuts)
+        # Auxiliary (stochastic) cuts go on the tape first, as one-sided crack
+        # entries, so sibling maps replay the identical sequence without ever
+        # consulting the policy or RNG.
+        for pivot in cuts:
+            self.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+        self.stochastic_cuts += len(cuts)
         self.tape.append_crack(interval)
         cmap.cursor = len(self.tape)
+        self._sig = None
         return cmap, lo, hi
 
     # -- introspection --------------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.cracking.bounds import Bound, Interval
 from repro.cracking.crack import crack_into
 from repro.cracking.kernels import sort_piece
 from repro.cracking.ripple import delete_positions, merge_insertions
+from repro.cracking.stochastic import CrackPolicy
 from repro.errors import AlignmentError
 from repro.stats.counters import StatsRecorder, global_recorder
 
@@ -75,13 +76,26 @@ class Chunk:
 
     # -- cracking ---------------------------------------------------------------
 
-    def crack(self, interval: Interval) -> tuple[int, int]:
-        """Crack on the (clipped) head predicate; needs the head column."""
+    def crack(
+        self,
+        interval: Interval,
+        policy: CrackPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        cut_sink: list[Bound] | None = None,
+    ) -> tuple[int, int]:
+        """Crack on the (clipped) head predicate; needs the head column.
+
+        A stochastic ``policy`` may add auxiliary cuts (reported through
+        ``cut_sink``); replay and head recovery never pass one.
+        """
         if self.head is None:
             raise AlignmentError("chunk head was dropped; recover it before cracking")
         self.cracks_seen += 1
         self.last_crack_access = self.accesses
-        return crack_into(self.index, self.head, [self.tail], interval, self._recorder)
+        return crack_into(
+            self.index, self.head, [self.tail], interval, self._recorder,
+            policy=policy, rng=rng, cut_sink=cut_sink,
+        )
 
     def bounds_present(self, bounds: list[Bound]) -> bool:
         return all(self.index.position_of(b) is not None for b in bounds)

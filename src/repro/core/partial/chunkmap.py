@@ -26,6 +26,7 @@ from repro.core.tape import CrackerTape
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval, Side
 from repro.cracking.crack import crack_bound
+from repro.cracking.stochastic import CrackPolicy, policy_rng
 from repro.errors import CrackError
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
@@ -86,10 +87,15 @@ class ChunkMap:
         snapshot_rows: int,
         recorder: StatsRecorder | None = None,
         excluded_keys: np.ndarray | None = None,
+        policy: CrackPolicy | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self.relation = relation
         self.head_attr = head_attr
         self._recorder = recorder or global_recorder()
+        self.policy = policy
+        self._rng = rng if rng is not None else policy_rng(0, "chunkmap", head_attr)
+        self.stochastic_cuts = 0
         self.head: np.ndarray = relation.values(head_attr)[:snapshot_rows].copy()
         self.keys: np.ndarray = np.arange(snapshot_rows, dtype=np.int64)
         if excluded_keys is not None and len(excluded_keys):
@@ -207,12 +213,28 @@ class ChunkMap:
         return None
 
     def _split_unfetched(self, area: Area, bound: Bound) -> None:
-        """Crack ``H_A`` at ``bound``, splitting an unfetched area in two."""
-        crack_bound(self.index, self.head, [self.keys], bound, self._recorder)
+        """Crack ``H_A`` at ``bound``, splitting an unfetched area.
+
+        A stochastic policy may cut the area in extra places; every cut
+        (auxiliary or requested) becomes an area *edge*, never an interior
+        boundary, so ``H_A``'s index bounds stay exactly the area edges (the
+        invariant tape folding relies on).
+        """
+        cuts: list[Bound] = []
+        crack_bound(
+            self.index, self.head, [self.keys], bound, self._recorder,
+            policy=self.policy, rng=self._rng, cut_sink=cuts,
+        )
+        self.stochastic_cuts += len(cuts)
         idx = self.areas.index(area)
-        left = Area(lo_bound=area.lo_bound, hi_bound=bound)
-        right = Area(lo_bound=bound, hi_bound=area.hi_bound)
-        self.areas[idx:idx + 1] = [left, right]
+        edges = sorted(set(cuts) | {bound})
+        pieces: list[Area] = []
+        lo = area.lo_bound
+        for edge in edges:
+            pieces.append(Area(lo_bound=lo, hi_bound=edge))
+            lo = edge
+        pieces.append(Area(lo_bound=lo, hi_bound=area.hi_bound))
+        self.areas[idx:idx + 1] = pieces
 
     def _fetch(self, area: Area) -> None:
         area.fetched = True

@@ -28,9 +28,10 @@ from repro.core.partial.chunk import Chunk
 from repro.core.partial.chunkmap import Area, ChunkMap
 from repro.core.partial.partial_map import KEY_TAIL, PartialMap
 from repro.core.partial.storage import ChunkStorage
-from repro.core.tape import DeleteEntry, InsertEntry
+from repro.core.tape import CrackEntry, DeleteEntry, InsertEntry
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
 from repro.cracking.pending import PendingUpdates
+from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
 from repro.cracking.ripple import (
     delete_positions,
     locate_deletions,
@@ -69,6 +70,8 @@ class PartialMapSet:
         config: PartialConfig,
         recorder: StatsRecorder | None = None,
         excluded_keys: np.ndarray | None = None,
+        policy: CrackPolicy | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self.relation = relation
         self.head_attr = head_attr
@@ -77,6 +80,9 @@ class PartialMapSet:
         self._recorder = recorder or global_recorder()
         self.snapshot_rows = len(relation)
         self._excluded_keys = excluded_keys
+        self.policy = policy
+        self._rng = rng if rng is not None else policy_rng(0, "pset", head_attr)
+        self.stochastic_cuts = 0
         self.chunkmap: ChunkMap | None = None
         self.maps: dict[str, PartialMap] = {}
         self.pending = PendingUpdates(n_tails=1)
@@ -88,6 +94,7 @@ class PartialMapSet:
             self.chunkmap = ChunkMap(
                 self.relation, self.head_attr, self.snapshot_rows,
                 self._recorder, self._excluded_keys,
+                policy=self.policy, rng=self._rng,
             )
             self.storage.register_chunkmap(self.chunkmap)
         return self.chunkmap
@@ -324,7 +331,14 @@ class PartialMapSet:
         if chunk.head_dropped:
             self._recover_head(pmap, chunk, area)
         clipped = interval_from_bounds(lower, upper)
-        chunk.crack(clipped)
+        cuts: list[Bound] = []
+        chunk.crack(clipped, self.policy, self._rng, cuts)
+        # Stochastic auxiliary cuts become explicit tape entries (before the
+        # query's own crack) so sibling chunks and head recovery replay the
+        # identical sequence without consulting the policy.
+        for pivot in cuts:
+            area.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+        self.stochastic_cuts += len(cuts)
         area.tape.append_crack(clipped)
         chunk.cursor = len(area.tape)
         return chunk.cursor
@@ -391,12 +405,16 @@ class PartialSidewaysCracker:
         recorder: StatsRecorder | None = None,
         storage: ChunkStorage | None = None,
         tombstone_keys=None,
+        policy: CrackPolicy | None = None,
+        crack_seed: int = 0,
     ) -> None:
         self.relation = relation
         self.config = config or PartialConfig()
         self._recorder = recorder or global_recorder()
         self.storage = storage or ChunkStorage(budget_tuples, self._recorder)
         self._tombstone_keys = tombstone_keys
+        self.policy = policy
+        self.crack_seed = crack_seed
         self.sets: dict[str, PartialMapSet] = {}
         self._domain_cache: dict[str, tuple[float, float]] = {}
 
@@ -409,6 +427,8 @@ class PartialSidewaysCracker:
             pset = PartialMapSet(
                 self.relation, head_attr, self.storage, self.config,
                 self._recorder, excluded_keys=dead,
+                policy=self.policy,
+                rng=policy_rng(self.crack_seed, "pset", self.relation.name, head_attr),
             )
             self.sets[head_attr] = pset
         return pset
@@ -587,15 +607,21 @@ class PartialSidewaysCracker:
         lines = [f"partial sideways cracker over {self.relation.name!r}: "
                  f"{len(self.sets)} map set(s), "
                  f"{self.storage_tuples():,.0f} tuples of auxiliary storage"]
+        if is_stochastic(self.policy):
+            lines.append(f"  crack policy: {self.policy.describe()}")
         for head, pset in sorted(self.sets.items()):
             if pset.chunkmap is None:
                 lines.append(f"  set S_{head}: (chunk map not yet created)")
                 continue
             areas = pset.chunkmap.areas
             fetched = sum(a.fetched for a in areas)
+            stochastic_note = ""
+            if is_stochastic(self.policy):
+                cuts = pset.stochastic_cuts + pset.chunkmap.stochastic_cuts
+                stochastic_note = f", {cuts} stochastic cut(s)"
             lines.append(
                 f"  set S_{head}: {len(areas)} areas ({fetched} fetched), "
-                f"{len(pset.maps)} partial map(s)"
+                f"{len(pset.maps)} partial map(s)" + stochastic_note
             )
             for tail, pmap in sorted(pset.maps.items()):
                 dropped = sum(c.head_dropped for c in pmap.chunks.values())

@@ -22,6 +22,7 @@ from repro.core.bitvector import BitVector
 from repro.core.histogram import estimate_result_size
 from repro.core.mapset import FullMapStorage, MapSet
 from repro.cracking.bounds import Interval
+from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
 from repro.errors import PlanError
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
@@ -36,11 +37,15 @@ class SidewaysCracker:
         recorder: StatsRecorder | None = None,
         storage: FullMapStorage | None = None,
         tombstone_keys=None,
+        policy: CrackPolicy | None = None,
+        crack_seed: int = 0,
     ) -> None:
         self.relation = relation
         self._recorder = recorder or global_recorder()
         self._storage = storage
         self._tombstone_keys = tombstone_keys
+        self.policy = policy
+        self.crack_seed = crack_seed
         self.sets: dict[str, MapSet] = {}
         self._domain_cache: dict[str, tuple[float, float]] = {}
 
@@ -49,7 +54,11 @@ class SidewaysCracker:
     def set_for(self, head_attr: str) -> MapSet:
         mapset = self.sets.get(head_attr)
         if mapset is None:
-            mapset = MapSet(self.relation, head_attr, self._recorder, self._storage)
+            mapset = MapSet(
+                self.relation, head_attr, self._recorder, self._storage,
+                policy=self.policy,
+                rng=policy_rng(self.crack_seed, "mapset", self.relation.name, head_attr),
+            )
             if self._tombstone_keys is not None:
                 dead = np.asarray(self._tombstone_keys(), dtype=np.int64)
                 if len(dead):
@@ -248,12 +257,19 @@ class SidewaysCracker:
         lines = [f"sideways cracker over {self.relation.name!r}: "
                  f"{len(self.sets)} map set(s), "
                  f"{self.storage_tuples():,} tuples of auxiliary storage"]
+        if is_stochastic(self.policy):
+            lines.append(f"  crack policy: {self.policy.describe()}")
         for head, mapset in sorted(self.sets.items()):
             lines.append(
                 f"  set S_{head}: {len(mapset.maps)} map(s), "
                 f"tape length {len(mapset.tape)}, "
                 f"{mapset.pending.insertion_count} pending insert(s), "
                 f"{mapset.pending.deletion_count} pending delete(s)"
+                + (
+                    f", {mapset.stochastic_cuts} stochastic cut(s)"
+                    if is_stochastic(self.policy)
+                    else ""
+                )
             )
             for tail, cmap in sorted(mapset.maps.items()):
                 behind = len(mapset.tape) - cmap.cursor

@@ -20,19 +20,34 @@ from repro.cracking.bounds import Interval
 from repro.cracking.crack import crack_into
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.ripple import delete_positions, locate_deletions, merge_insertions
+from repro.cracking.stochastic import CrackPolicy, policy_rng
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.bat import BAT
 
 
 class CrackerColumn:
-    """The cracked copy of one base column plus its index and pending buffers."""
+    """The cracked copy of one base column plus its index and pending buffers.
 
-    def __init__(self, base: BAT, recorder: StatsRecorder | None = None) -> None:
+    ``policy`` selects the crack policy (query-driven when ``None``); ``rng``
+    is the column's own seeded generator for stochastic pivots, so runs are
+    reproducible per structure.
+    """
+
+    def __init__(
+        self,
+        base: BAT,
+        recorder: StatsRecorder | None = None,
+        policy: CrackPolicy | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         self._recorder = recorder or global_recorder()
         self.head: np.ndarray = base.values.copy()
         self.keys: np.ndarray = base.materialized_keys().copy()
         self.index = CrackerIndex()
         self.pending = PendingUpdates(n_tails=1)
+        self.policy = policy
+        self._rng = rng if rng is not None else policy_rng(0, "column")
+        self.stochastic_cuts = 0
         # Creating the cracker column costs a full sequential copy.
         self._recorder.sequential(2 * len(self.head))
         self._recorder.write(2 * len(self.head))
@@ -49,14 +64,23 @@ class CrackerColumn:
         qualifying tail area.
         """
         self.apply_pending(interval)
-        lo, hi = crack_into(self.index, self.head, [self.keys], interval, self._recorder)
+        lo, hi = self._crack(interval)
         self._recorder.sequential(hi - lo)
         return self.keys[lo:hi].copy()
 
     def select_area(self, interval: Interval) -> tuple[int, int]:
         """Crack for ``interval`` and return the qualifying area ``[lo, hi)``."""
         self.apply_pending(interval)
-        return crack_into(self.index, self.head, [self.keys], interval, self._recorder)
+        return self._crack(interval)
+
+    def _crack(self, interval: Interval) -> tuple[int, int]:
+        cuts: list = []
+        lo, hi = crack_into(
+            self.index, self.head, [self.keys], interval, self._recorder,
+            policy=self.policy, rng=self._rng, cut_sink=cuts,
+        )
+        self.stochastic_cuts += len(cuts)
+        return lo, hi
 
     def count(self, interval: Interval) -> int:
         lo, hi = self.select_area(interval)

@@ -4,6 +4,12 @@
 maps, and partial-map chunks physically reorganize themselves.  Having one
 deterministic implementation is what makes tape replay produce identical
 permutations everywhere (see :mod:`repro.cracking.kernels`).
+
+A :class:`~repro.cracking.stochastic.CrackPolicy` may be threaded through to
+inject data-driven auxiliary cuts at *fresh* crack sites (stochastic
+cracking).  Replay paths never pass a policy: auxiliary cuts performed at
+primary sites are logged to the owner's tape as ordinary crack entries, so
+replays are policy-free and deterministic.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import numpy as np
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
 from repro.cracking.kernels import crack_three, crack_two
+from repro.cracking.stochastic import CrackPolicy, account_partition, is_stochastic
 from repro.stats.counters import StatsRecorder, global_recorder
 
 
@@ -22,8 +29,7 @@ def _account_partition(
     recorder: StatsRecorder, width: int, n_arrays: int
 ) -> None:
     """Charge a partition pass over ``width`` elements of ``n_arrays`` arrays."""
-    recorder.sequential(width * n_arrays)
-    recorder.write(width * n_arrays)
+    account_partition(recorder, width, n_arrays)
     recorder.event("cracks")
 
 
@@ -33,10 +39,14 @@ def crack_bound(
     tails: Sequence[np.ndarray],
     bound: Bound,
     recorder: StatsRecorder | None = None,
+    policy: CrackPolicy | None = None,
+    rng: np.random.Generator | None = None,
+    cut_sink: list[Bound] | None = None,
 ) -> int:
     """Ensure ``bound`` is a piece boundary; crack its piece if it is not.
 
-    Returns the boundary's position.
+    Returns the boundary's position.  With a stochastic ``policy``, the
+    fresh crack may perform auxiliary cuts first (reported via ``cut_sink``).
     """
     recorder = recorder or global_recorder()
     recorder.event("index_lookups")
@@ -44,8 +54,13 @@ def crack_bound(
     if pos is not None:
         return pos
     lo, hi = index.enclosing(bound, len(head))
-    split = crack_two(head, tails, lo, hi, bound)
-    _account_partition(recorder, hi - lo, 1 + len(tails))
+    if is_stochastic(policy):
+        split = policy.crack_piece(
+            index, head, tails, lo, hi, bound, rng, recorder, cut_sink
+        )
+    else:
+        split = crack_two(head, tails, lo, hi, bound)
+        _account_partition(recorder, hi - lo, 1 + len(tails))
     index.insert(bound, split)
     return split
 
@@ -56,12 +71,17 @@ def crack_into(
     tails: Sequence[np.ndarray],
     interval: Interval,
     recorder: StatsRecorder | None = None,
+    policy: CrackPolicy | None = None,
+    rng: np.random.Generator | None = None,
+    cut_sink: list[Bound] | None = None,
 ) -> tuple[int, int]:
     """Physically cluster the tuples qualifying ``interval`` into one area.
 
     Cracks the enclosing piece(s) as needed (crack-in-three when both new
     bounds fall into the same piece, crack-in-two otherwise) and returns the
-    contiguous qualifying area ``[w_lo, w_hi)``.
+    contiguous qualifying area ``[w_lo, w_hi)``.  A stochastic ``policy``
+    routes both bounds through the policy-assisted :func:`crack_bound` so
+    each fresh crack can inject auxiliary cuts.
     """
     recorder = recorder or global_recorder()
     n = len(head)
@@ -72,7 +92,7 @@ def crack_into(
         recorder.event("index_lookups", 2)
         lo_pos = index.position_of(lower)
         hi_pos = index.position_of(upper)
-        if lo_pos is None and hi_pos is None:
+        if lo_pos is None and hi_pos is None and not is_stochastic(policy):
             piece_lo_l, piece_hi_l = index.enclosing(lower, n)
             piece_lo_u, piece_hi_u = index.enclosing(upper, n)
             if (piece_lo_l, piece_hi_l) == (piece_lo_u, piece_hi_u):
@@ -84,17 +104,17 @@ def crack_into(
                 index.insert(upper, p2)
                 return p1, p2
         w_lo = lo_pos if lo_pos is not None else crack_bound(
-            index, head, tails, lower, recorder
+            index, head, tails, lower, recorder, policy, rng, cut_sink
         )
         w_hi = hi_pos if hi_pos is not None else crack_bound(
-            index, head, tails, upper, recorder
+            index, head, tails, upper, recorder, policy, rng, cut_sink
         )
         return w_lo, w_hi
 
     w_lo = 0
     w_hi = n
     if lower is not None:
-        w_lo = crack_bound(index, head, tails, lower, recorder)
+        w_lo = crack_bound(index, head, tails, lower, recorder, policy, rng, cut_sink)
     if upper is not None:
-        w_hi = crack_bound(index, head, tails, upper, recorder)
+        w_hi = crack_bound(index, head, tails, upper, recorder, policy, rng, cut_sink)
     return w_lo, w_hi

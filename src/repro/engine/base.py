@@ -170,6 +170,11 @@ class Engine(abc.ABC):
         lines.append(f"  reconstruct [{needed}] via {self._reconstruction_pattern()}")
         for func, attr in query.aggregates:
             lines.append(f"  aggregate {func}({attr})")
+        policy = getattr(self.db, "crack_policy", None)
+        if policy is not None and self.name in {
+            "selection_cracking", "sideways", "partial_sideways"
+        }:
+            lines.append(f"  crack policy: {policy.describe()}")
         return "\n".join(lines)
 
     def _selection_structure(self, table: str, attr: str) -> str:

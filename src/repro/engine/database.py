@@ -23,6 +23,7 @@ from repro.core.partial.engine import PartialConfig, PartialSidewaysCracker
 from repro.core.partial.storage import ChunkStorage
 from repro.core.sideways import SidewaysCracker
 from repro.cracking.column import CrackerColumn
+from repro.cracking.stochastic import CrackPolicy, policy_rng, resolve_policy
 from repro.errors import CatalogError, UpdateError
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.catalog import Catalog
@@ -51,8 +52,12 @@ class Database:
         full_map_budget: int | None = None,
         chunk_budget: int | None = None,
         partial_config: PartialConfig | None = None,
+        crack_policy: "CrackPolicy | str | None" = None,
+        crack_seed: int = 42,
     ) -> None:
         self.recorder = recorder or global_recorder()
+        self.crack_policy = resolve_policy(crack_policy)
+        self.crack_seed = crack_seed
         self.catalog = Catalog()
         self._tables: dict[str, _TableState] = {}
         self._crackers: dict[tuple[str, str], CrackerColumn] = {}
@@ -62,6 +67,27 @@ class Database:
         self.full_map_storage = FullMapStorage(full_map_budget, self.recorder)
         self.chunk_storage = ChunkStorage(chunk_budget, self.recorder)
         self.partial_config = partial_config or PartialConfig()
+
+    def set_crack_policy(self, policy: "CrackPolicy | str | None") -> None:
+        """Select the crack policy for every current and future structure.
+
+        Existing structures keep their physical state; only future cracks
+        change behavior.
+        """
+        resolved = resolve_policy(policy)
+        self.crack_policy = resolved
+        for cracker in self._crackers.values():
+            cracker.policy = resolved
+        for sideways in self._sideways.values():
+            sideways.policy = resolved
+            for mapset in sideways.sets.values():
+                mapset.policy = resolved
+        for partial in self._partial.values():
+            partial.policy = resolved
+            for pset in partial.sets.values():
+                pset.policy = resolved
+                if pset.chunkmap is not None:
+                    pset.chunkmap.policy = resolved
 
     # -- schema ----------------------------------------------------------------
 
@@ -149,7 +175,11 @@ class Database:
         cracker = self._crackers.get(key)
         if cracker is None:
             relation = self.table(table)
-            cracker = CrackerColumn(relation.column(attr), self.recorder)
+            cracker = CrackerColumn(
+                relation.column(attr), self.recorder,
+                policy=self.crack_policy,
+                rng=policy_rng(self.crack_seed, "column", table, attr),
+            )
             tombstoned = np.flatnonzero(self.tombstones(table))
             if len(tombstoned):
                 cracker.add_deletions(
@@ -165,6 +195,7 @@ class Database:
             cracker = SidewaysCracker(
                 self.table(table), self.recorder, self.full_map_storage,
                 tombstone_keys=lambda: np.flatnonzero(state.tombstones),
+                policy=self.crack_policy, crack_seed=self.crack_seed,
             )
             self._sideways[table] = cracker
         return cracker
@@ -179,6 +210,7 @@ class Database:
                 recorder=self.recorder,
                 storage=self.chunk_storage,
                 tombstone_keys=lambda: np.flatnonzero(state.tombstones),
+                policy=self.crack_policy, crack_seed=self.crack_seed,
             )
             self._partial[table] = cracker
         return cracker

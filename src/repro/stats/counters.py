@@ -39,6 +39,11 @@ class AccessStats:
     chunk_creations: int = 0
     chunk_drops: int = 0
     alignment_replays: int = 0
+    # Stochastic cracking: auxiliary (data-driven) cuts, the random subset of
+    # them, and a per-policy breakdown keyed by policy name.
+    dd_cuts: int = 0
+    random_cracks: int = 0
+    policy_cuts: dict = field(default_factory=dict)
 
     def touch_sequential(self, count: int) -> None:
         self.sequential += int(count)
@@ -62,10 +67,19 @@ class AccessStats:
     def total_touches(self) -> int:
         return self.sequential + self.clustered_random + self.scattered_random + self.writes
 
+    def record_policy_cut(self, policy_name: str, count: int = 1) -> None:
+        self.policy_cuts[policy_name] = self.policy_cuts.get(policy_name, 0) + count
+
     def add(self, other: "AccessStats") -> None:
         """Accumulate ``other`` into this tally in place."""
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            else:
+                setattr(self, f.name, mine + theirs)
 
     def __add__(self, other: "AccessStats") -> "AccessStats":
         out = AccessStats()
@@ -74,10 +88,33 @@ class AccessStats:
         return out
 
     def snapshot(self) -> "AccessStats":
-        return AccessStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+        return AccessStats(**{
+            f.name: (dict(v) if isinstance(v := getattr(self, f.name), dict) else v)
+            for f in fields(self)
+        })
 
-    def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    def as_dict(self) -> dict[str, object]:
+        return {
+            f.name: (dict(v) if isinstance(v := getattr(self, f.name), dict) else v)
+            for f in fields(self)
+        }
+
+    def summary(self) -> str:
+        """A readable tally: touches, events, and the per-policy cut breakdown."""
+        lines = [
+            f"touches: {self.sequential:,} sequential, "
+            f"{self.clustered_random:,} clustered random, "
+            f"{self.scattered_random:,} scattered random, "
+            f"{self.writes:,} writes",
+            f"cracks: {self.cracks:,} query-driven, {self.dd_cuts:,} data-driven "
+            f"({self.random_cracks:,} random)",
+        ]
+        if self.policy_cuts:
+            breakdown = ", ".join(
+                f"{name}={count:,}" for name, count in sorted(self.policy_cuts.items())
+            )
+            lines.append(f"policy cuts: {breakdown}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -139,6 +176,11 @@ class StatsRecorder:
         """Record a structural event (``cracks``, ``map_creations``, ...)."""
         for f in self._frames:
             setattr(f, name, getattr(f, name) + count)
+
+    def policy_cut(self, policy_name: str, count: int = 1) -> None:
+        """Attribute ``count`` auxiliary cuts to a crack policy by name."""
+        for f in self._frames:
+            f.record_policy_cut(policy_name, count)
 
     def reset(self) -> None:
         self._frames = [AccessStats()]

@@ -57,6 +57,83 @@ def random_range(
     return Interval(lo, lo + width + 1, lo_inclusive=False, hi_inclusive=False)
 
 
+ADVERSARIAL_PATTERNS = (
+    "sequential",
+    "reverse_sequential",
+    "zoom_in",
+    "periodic",
+    "skewed_jump",
+)
+
+
+def adversarial_intervals(
+    pattern: str,
+    domain: int,
+    n_queries: int,
+    selectivity: float,
+    seed: int = 0,
+    periods: int = 8,
+    jump_probability: float = 0.1,
+) -> list[Interval]:
+    """Query sequences that defeat plain query-driven cracking.
+
+    These are the workload patterns of the stochastic-cracking study (Halim
+    et al., PVLDB 2012): access locality makes every query crack a huge
+    still-unindexed piece, so per-query cost never converges.
+
+    ``sequential``
+        ranges sweeping the domain left to right (each crack re-scans the
+        whole untouched right side).
+    ``reverse_sequential``
+        the same sweep right to left.
+    ``zoom_in``
+        alternating queries from both ends converging on the middle.
+    ``periodic``
+        ``periods`` repetitions of a shorter sequential sweep.
+    ``skewed_jump``
+        a sequential walk that random-restarts with ``jump_probability``.
+    """
+    if pattern not in ADVERSARIAL_PATTERNS:
+        raise ValueError(
+            f"unknown adversarial pattern {pattern!r}; "
+            f"choose one of {ADVERSARIAL_PATTERNS}"
+        )
+    width = max(1, int(round(selectivity * domain)))
+    span = max(0, domain - width)
+    rng = np.random.default_rng(seed)
+    positions: list[int] = []
+    if pattern == "sequential":
+        for i in range(n_queries):
+            positions.append((i * span) // max(1, n_queries - 1))
+    elif pattern == "reverse_sequential":
+        for i in range(n_queries):
+            positions.append(span - (i * span) // max(1, n_queries - 1))
+    elif pattern == "zoom_in":
+        lo_ptr, hi_ptr = 0, span
+        step = max(1, (span // 2) // max(1, (n_queries + 1) // 2))
+        for i in range(n_queries):
+            if i % 2 == 0:
+                positions.append(lo_ptr)
+                lo_ptr = min(lo_ptr + step, span // 2)
+            else:
+                positions.append(hi_ptr)
+                hi_ptr = max(hi_ptr - step, span // 2)
+    elif pattern == "periodic":
+        plen = max(1, n_queries // max(1, periods))
+        for i in range(n_queries):
+            j = i % plen
+            positions.append((j * span) // max(1, plen - 1) if plen > 1 else 0)
+    else:  # skewed_jump
+        cursor = 0
+        for _ in range(n_queries):
+            positions.append(cursor)
+            if rng.random() < jump_probability:
+                cursor = int(rng.integers(0, span + 1))
+            else:
+                cursor = min(cursor + width, span)
+    return [Interval.half_open(lo, lo + width) for lo in positions]
+
+
 def skewed_range(
     rng: np.random.Generator,
     domain: int,
