@@ -1,0 +1,34 @@
+"""Static and runtime correctness tooling for the cracking structures.
+
+Two complementary layers live here:
+
+* :mod:`repro.analysis.sanitizer` — **CrackSan**, a runtime sanitizer that
+  registers every live cracking structure and validates the unified
+  invariant catalog at configurable checkpoints (``off`` / ``post-crack`` /
+  ``post-query`` / ``deep``);
+* :mod:`repro.analysis.lint` — a custom AST lint pass enforcing repo
+  contracts the type system cannot express (payload-mutation confinement,
+  seeded randomness, counter/tape API discipline, ...), runnable as
+  ``python -m repro.analysis.lint``.
+
+The shared invariant catalog both layers' docs refer to is
+:mod:`repro.analysis.invariants`.
+"""
+
+from repro.analysis.sanitizer import (
+    LEVELS,
+    Sanitizer,
+    checkpoint_crack,
+    checkpoint_query,
+    register_structure,
+    resolve_level,
+)
+
+__all__ = [
+    "LEVELS",
+    "Sanitizer",
+    "checkpoint_crack",
+    "checkpoint_query",
+    "register_structure",
+    "resolve_level",
+]

@@ -1,0 +1,336 @@
+"""Repo-contract AST lint: ``python -m repro.analysis.lint [paths...]``.
+
+The type system cannot express the repo's physical-layer contracts, so this
+pass enforces them syntactically:
+
+``payload-mutation``
+    BAT payload arrays (``head`` / ``tail`` / ``tails`` / ``keys``) may be
+    mutated in place (subscript assignment) only inside the stable partition
+    kernels (``cracking/kernels.py``) and the crack driver
+    (``cracking/crack.py``).  Everywhere else payloads are rebound to arrays
+    the kernels returned — in-place writes elsewhere would desynchronize
+    tape replay.
+``unseeded-random``
+    No ``np.random.*`` calls outside the seeded-Generator plumbing: only
+    ``np.random.default_rng(seed)`` *with* an explicit seed is allowed
+    (structures derive their generators via ``policy_rng``).  Unseeded
+    randomness would break replay determinism and violation reproduction.
+``counter-mutation``
+    The access counters (``sequential``, ``writes``, ``cracks``, ...) are
+    mutated only inside ``stats/counters.py`` — everyone else goes through
+    the ``StatsRecorder`` API, which is what the cost model audits.
+``tape-append``
+    ``.entries`` of a cracker tape is grown/modified only inside
+    ``core/tape.py`` — callers use ``tape.append`` / ``tape.append_crack``,
+    which maintain the update-safety watermark.
+``mutable-default``
+    No mutable default arguments (lists/dicts/sets or calls constructing
+    them).
+``bare-except``
+    No ``except:`` without an exception type.
+
+Each rule carries a file allowlist (suffix-matched, ``/``-normalized).
+Exit status is 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Attribute/variable names holding BAT payload arrays.
+PAYLOAD_NAMES = frozenset({"head", "tail", "tails", "keys"})
+
+#: Counter fields of ``repro.stats.counters.AccessStats``.
+COUNTER_FIELDS = frozenset({
+    "sequential", "clustered_random", "scattered_random", "writes", "cracks",
+    "index_lookups", "map_creations", "chunk_creations", "chunk_drops",
+    "alignment_replays", "dd_cuts", "random_cracks", "policy_cuts",
+})
+
+#: rule name -> (description, file-suffix allowlist)
+RULES: dict[str, tuple[str, tuple[str, ...]]] = {
+    "payload-mutation": (
+        "BAT payload arrays mutated outside the partition kernels",
+        ("cracking/kernels.py", "cracking/crack.py"),
+    ),
+    "unseeded-random": (
+        "np.random used outside the seeded-Generator plumbing",
+        (),
+    ),
+    "counter-mutation": (
+        "access counters mutated outside the Counters API",
+        ("stats/counters.py",),
+    ),
+    "tape-append": (
+        "tape entries grown outside the tape API",
+        ("core/tape.py",),
+    ),
+    "mutable-default": ("mutable default argument", ()),
+    "bare-except": ("bare except: clause", ()),
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _allowed(path: Path, rule: str) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in RULES[rule][1])
+
+
+def _attr_or_name(node: ast.AST) -> str | None:
+    """The trailing identifier of a Name or Attribute, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as ``a.b.c``; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict",
+                            "Counter", "deque"})
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One file's lint pass; collects violations for the enabled rules."""
+
+    def __init__(self, path: Path, numpy_aliases: frozenset[str]) -> None:
+        self.path = path
+        self.numpy_aliases = numpy_aliases
+        self.violations: list[LintViolation] = []
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if _allowed(self.path, rule):
+            return
+        self.violations.append(LintViolation(
+            self.path.as_posix(), node.lineno, node.col_offset, rule, message,
+        ))
+
+    # -- payload / counter / tape writes ------------------------------------------
+
+    def _check_store_target(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element, node)
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            name = _attr_or_name(base)
+            if name in PAYLOAD_NAMES:
+                self._report(
+                    node, "payload-mutation",
+                    f"in-place write to payload array {name!r}; only the "
+                    f"partition kernels may do this — rebind to a kernel "
+                    f"result instead",
+                )
+            elif name == "entries":
+                self._report(
+                    node, "tape-append",
+                    "direct write into tape entries; use the tape API",
+                )
+            # Subscripted payloads of a subscripted container
+            # (e.g. tails[0][lo:hi] = ...) count too.
+            elif isinstance(base, ast.Subscript):
+                inner = _attr_or_name(base.value)
+                if inner in PAYLOAD_NAMES:
+                    self._report(
+                        node, "payload-mutation",
+                        f"in-place write through payload container {inner!r}; "
+                        f"only the partition kernels may do this",
+                    )
+            return
+        if isinstance(target, ast.Attribute) and target.attr in COUNTER_FIELDS:
+            self._report(
+                node, "counter-mutation",
+                f"direct mutation of counter field {target.attr!r}; go "
+                f"through the StatsRecorder API",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target, node)
+        self.generic_visit(node)
+
+    # -- tape API calls --------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("append", "extend", "insert", "pop", "remove",
+                              "clear")
+            and _attr_or_name(func.value) == "entries"
+        ):
+            self._report(
+                node, "tape-append",
+                f"tape entries .{func.attr}() outside the tape API; use "
+                f"tape.append / tape.append_crack",
+            )
+        self._check_random_call(node)
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) < 2:
+            return
+        head, rest = parts[0], parts[1:]
+        if head not in self.numpy_aliases or rest[0] != "random":
+            return
+        if rest[1:] == ["default_rng"]:
+            if not node.args and not node.keywords:
+                self._report(
+                    node, "unseeded-random",
+                    "np.random.default_rng() without a seed; pass an "
+                    "explicit seed (see policy_rng)",
+                )
+            return
+        if rest[1:]:  # np.random.rand / randint / seed / ...
+            self._report(
+                node, "unseeded-random",
+                f"legacy np.random.{'.'.join(rest[1:])}() call; use a seeded "
+                f"Generator from policy_rng instead",
+            )
+
+    # -- defaults and handlers -----------------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, _MUTABLE_LITERALS):
+                self._report(
+                    default, "mutable-default",
+                    f"mutable default argument in {node.name}(); use None "
+                    f"and create inside",
+                )
+            elif isinstance(default, ast.Call):
+                called = _attr_or_name(default.func)
+                if called in _MUTABLE_CALLS:
+                    self._report(
+                        default, "mutable-default",
+                        f"mutable default argument {called}() in "
+                        f"{node.name}(); use None and create inside",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node, "bare-except",
+                "bare except: clause; name the exception types",
+            )
+        self.generic_visit(node)
+
+
+def _numpy_aliases(tree: ast.Module) -> frozenset[str]:
+    """Names the file binds to the numpy module (``import numpy as np``)."""
+    aliases = {"numpy"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return frozenset(aliases)
+
+
+def lint_file(path: Path) -> list[LintViolation]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as err:
+        return [LintViolation(path.as_posix(), getattr(err, "lineno", 1) or 1,
+                              0, "parse-error", str(err))]
+    linter = _FileLinter(path, _numpy_aliases(tree))
+    linter.visit(tree)
+    return linter.violations
+
+
+def iter_python_files(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: list[str]) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repo-contract AST lint for the cracking codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog",
+    )
+    opts = parser.parse_args(argv)
+    if opts.list_rules:
+        for rule, (description, allowed) in RULES.items():
+            where = f" (allowed in: {', '.join(allowed)})" if allowed else ""
+            print(f"{rule}: {description}{where}")
+        return 0
+    violations = lint_paths(opts.paths)
+    for violation in violations:
+        print(violation.describe())
+    checked = len(iter_python_files(opts.paths))
+    status = "clean" if not violations else f"{len(violations)} violation(s)"
+    print(f"repro-lint: {checked} file(s) checked, {status}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

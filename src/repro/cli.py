@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
@@ -142,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--crack-policy", default=None,
                      help="crack policy for experiments that support one "
                           "(query_driven, ddc, ddr, dd1c, dd1r, mdd1r)")
+    _add_sanitize_flag(run)
     run.set_defaults(func=cmd_run)
 
     verify = sub.add_parser(
@@ -149,13 +151,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--scale", type=float, default=1.0)
     verify.add_argument("--variations", type=int, default=2)
+    _add_sanitize_flag(verify)
     verify.set_defaults(func=cmd_verify)
     return parser
+
+
+def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.analysis.sanitizer import LEVELS
+
+    parser.add_argument(
+        "--sanitize", choices=LEVELS, default=None, metavar="LEVEL",
+        help="run under the CrackSan invariant sanitizer "
+             f"({', '.join(LEVELS)}); sets $REPRO_SANITIZE so every Database "
+             "the experiment creates is watched",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "sanitize", None) is not None:
+        os.environ["REPRO_SANITIZE"] = args.sanitize
     return args.func(args)
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
 from repro.cracking.crack import crack_into
@@ -69,6 +70,7 @@ class CrackerMap:
         self._recorder.event("map_creations")
         self._recorder.sequential(2 * len(head))
         self._recorder.write(2 * len(head))
+        register_structure(self, "map", f"M_{head_attr},{tail_attr}")
 
     def __len__(self) -> int:
         return len(self.head)
@@ -94,10 +96,12 @@ class CrackerMap:
         (:meth:`replay_entry`) never passes a policy.
         """
         self.accesses += 1
-        return crack_into(
+        area = crack_into(
             self.index, self.head, [self.tail], interval, self._recorder,
             policy=policy, rng=rng, cut_sink=cut_sink,
         )
+        checkpoint_crack(self, "map")
+        return area
 
     def area_of(self, interval: Interval) -> tuple[int, int] | None:
         """The qualifying area if ``interval``'s bounds already exist, else None."""
@@ -154,17 +158,8 @@ class CrackerMap:
 
     # -- invariants ---------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        self.index.validate(len(self.head))
-        for piece in self.index.pieces(len(self.head)):
-            seg = self.head[piece.lo_pos:piece.hi_pos]
-            if len(seg) == 0:
-                continue
-            if piece.lo_bound is not None:
-                assert not piece.lo_bound.below_mask(seg).any(), (
-                    f"{self.head_attr}->{self.tail_attr}: values below {piece.lo_bound}"
-                )
-            if piece.hi_bound is not None:
-                assert piece.hi_bound.below_mask(seg).all(), (
-                    f"{self.head_attr}->{self.tail_attr}: values above {piece.hi_bound}"
-                )
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "map", deep=deep)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.core.map import CrackerMap
 from repro.core.tape import CrackEntry, CrackerTape, DeleteEntry, InsertEntry
 from repro.cracking import stochastic
@@ -25,7 +26,12 @@ from repro.cracking.bounds import Bound, Interval, interval_from_bounds
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.ripple import locate_deletions
 from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
-from repro.errors import AlignmentError, CatalogError
+from repro.errors import (
+    AlignmentError,
+    CatalogError,
+    InvariantError,
+    InvariantViolation,
+)
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
 
@@ -62,6 +68,7 @@ class MapSet:
         # the Database facade or never seen by it).
         self.snapshot_rows = len(relation)
         self._snapshot_excluded: np.ndarray = np.empty(0, dtype=np.int64)
+        register_structure(self, "mapset", f"S_{head_attr}")
 
     # -- snapshot --------------------------------------------------------------
 
@@ -176,10 +183,23 @@ class MapSet:
             (bound.value, int(bound.side), pos) for bound, pos in cmap.index.inorder()
         )
         if self._sig is not None and self._sig[0] == end and self._sig[1] != sig:
-            raise AlignmentError(
-                f"stochastic replay mismatch in S_{self.head_attr}: map "
-                f"{cmap.tail_attr!r} reproduced different piece boundaries"
-            )
+            from repro.analysis.invariants import format_boundaries
+
+            expected, actual = self._sig[1], sig
+            raise InvariantError.from_violations([InvariantViolation(
+                structure=f"S_{self.head_attr}",
+                invariant="replay-boundaries",
+                detail=(
+                    f"map {cmap.tail_attr!r} reproduced different piece "
+                    f"boundaries at tape position {end}: expected "
+                    f"{format_boundaries(expected)}, got "
+                    f"{format_boundaries(actual)}"
+                ),
+                context=(
+                    ("map", cmap.tail_attr), ("tape_position", end),
+                    ("expected", expected), ("actual", actual),
+                ),
+            )])
         self._sig = (end, sig)
 
     def _locate_delete(self, entry_idx: int) -> None:
@@ -247,7 +267,16 @@ class MapSet:
         self.tape.append_crack(interval)
         cmap.cursor = len(self.tape)
         self._sig = None
+        checkpoint_crack(self, "mapset")
         return cmap, lo, hi
+
+    # -- invariants -----------------------------------------------------------------------------
+
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "mapset", deep=deep)
 
     # -- introspection --------------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.core.tape import (
     SortEntry,
     TapeEntry,
 )
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
 from repro.cracking.crack import crack_into
@@ -59,6 +60,7 @@ class Chunk:
         self._fetch_tail = fetch_tail
         self._recorder = recorder or global_recorder()
         self._recorder.event("chunk_creations")
+        register_structure(self, "chunk", f"chunk[area {area_id}]")
 
     def __len__(self) -> int:
         return len(self.tail)
@@ -92,10 +94,12 @@ class Chunk:
             raise AlignmentError("chunk head was dropped; recover it before cracking")
         self.cracks_seen += 1
         self.last_crack_access = self.accesses
-        return crack_into(
+        area = crack_into(
             self.index, self.head, [self.tail], interval, self._recorder,
             policy=policy, rng=rng, cut_sink=cut_sink,
         )
+        checkpoint_crack(self, "chunk")
+        return area
 
     def bounds_present(self, bounds: list[Bound]) -> bool:
         return all(self.index.position_of(b) is not None for b in bounds)
@@ -221,15 +225,8 @@ class Chunk:
 
     # -- invariants ------------------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        if self.head is None:
-            return
-        self.index.validate(len(self.head))
-        for piece in self.index.pieces(len(self.head)):
-            seg = self.head[piece.lo_pos:piece.hi_pos]
-            if len(seg) == 0:
-                continue
-            if piece.lo_bound is not None:
-                assert not piece.lo_bound.below_mask(seg).any()
-            if piece.hi_bound is not None:
-                assert piece.hi_bound.below_mask(seg).all()
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "chunk", deep=deep)

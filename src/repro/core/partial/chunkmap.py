@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.core.tape import CrackerTape
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval, Side
@@ -107,6 +108,7 @@ class ChunkMap:
         self._recorder.sequential(2 * snapshot_rows)
         self._recorder.write(2 * snapshot_rows)
         self._recorder.event("map_creations")
+        register_structure(self, "chunkmap", f"H_{head_attr}")
 
     def __len__(self) -> int:
         return len(self.head)
@@ -235,6 +237,7 @@ class ChunkMap:
             lo = edge
         pieces.append(Area(lo_bound=lo, hi_bound=area.hi_bound))
         self.areas[idx:idx + 1] = pieces
+        checkpoint_crack(self, "chunkmap")
 
     def _fetch(self, area: Area) -> None:
         area.fetched = True
@@ -289,24 +292,12 @@ class ChunkMap:
             self.index.apply_shifts([(hi, delta)])
         self._recorder.sequential(2 * len(head))
         self._recorder.write(2 * len(head))
+        checkpoint_crack(self, "chunkmap")
 
     # -- invariants -------------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        self.index.validate(len(self.head))
-        prev_hi: Bound | None = None
-        for i, area in enumerate(self.areas):
-            if i == 0:
-                assert area.lo_bound is None, "first area must be unbounded below"
-            else:
-                assert area.lo_bound == prev_hi, "areas must be contiguous"
-            prev_hi = area.hi_bound
-            lo, hi = self.area_positions(area)
-            assert lo <= hi, f"area {area.area_id} has inverted positions"
-            seg = self.head[lo:hi]
-            if len(seg):
-                if area.lo_bound is not None:
-                    assert not area.lo_bound.below_mask(seg).any()
-                if area.hi_bound is not None:
-                    assert area.hi_bound.below_mask(seg).all()
-        assert prev_hi is None, "last area must be unbounded above"
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "chunkmap", deep=deep)

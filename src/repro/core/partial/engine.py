@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.core.bitvector import BitVector
 from repro.core.histogram import estimate_result_size
 from repro.core.partial.chunk import Chunk
@@ -86,6 +87,7 @@ class PartialMapSet:
         self.chunkmap: ChunkMap | None = None
         self.maps: dict[str, PartialMap] = {}
         self.pending = PendingUpdates(n_tails=1)
+        register_structure(self, "partial_set", f"P_{head_attr}")
 
     # -- lazy construction --------------------------------------------------------
 
@@ -341,7 +343,16 @@ class PartialMapSet:
         self.stochastic_cuts += len(cuts)
         area.tape.append_crack(clipped)
         chunk.cursor = len(area.tape)
+        checkpoint_crack(self, "partial_set")
         return chunk.cursor
+
+    # -- invariants ------------------------------------------------------------------------------
+
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "partial_set", deep=deep)
 
     # -- planning --------------------------------------------------------------------------------
 

@@ -18,8 +18,9 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.analysis.sanitizer import register_structure
 from repro.cracking.bounds import Bound
-from repro.errors import CrackError
+from repro.errors import CrackError, InvariantError, InvariantViolation
 
 
 class _Node:
@@ -102,6 +103,7 @@ class CrackerIndex:
     def __init__(self) -> None:
         self._root: _Node | None = None
         self._count = 0
+        register_structure(self, "index")
 
     def __len__(self) -> int:
         return self._count
@@ -266,24 +268,50 @@ class CrackerIndex:
 
     # -- sanity -------------------------------------------------------------------
 
-    def validate(self, n: int | None = None) -> None:
-        """Check AVL balance and monotone positions; raises on violation."""
+    def validate(self, n: int | None = None, deep: bool = False) -> None:
+        """Check AVL balance and monotone positions.
+
+        Raises :class:`~repro.errors.InvariantError` carrying structured
+        violations (the unified ``check_invariants`` shape; ``deep`` is
+        accepted for signature uniformity — the index has no deep checks).
+        """
+        violations: list[InvariantViolation] = []
 
         def rec(node: _Node | None) -> int:
             if node is None:
                 return 0
             lh, rh = rec(node.left), rec(node.right)
             if abs(lh - rh) > 1:
-                raise CrackError(f"AVL imbalance at {node.bound}")
+                violations.append(InvariantViolation(
+                    "cracker_index", "index-balance",
+                    f"AVL imbalance at {node.bound} "
+                    f"(subtree heights {lh} vs {rh})",
+                    (("bound", str(node.bound)),),
+                ))
             if node.height != 1 + max(lh, rh):
-                raise CrackError(f"stale height at {node.bound}")
+                violations.append(InvariantViolation(
+                    "cracker_index", "index-heights",
+                    f"stale height at {node.bound}: stored {node.height}, "
+                    f"actual {1 + max(lh, rh)}",
+                    (("bound", str(node.bound)),),
+                ))
             return node.height
 
         rec(self._root)
         prev = -1
         for bound, pos in self.inorder():
             if pos < prev:
-                raise CrackError(f"non-monotone position at {bound}: {pos} < {prev}")
+                violations.append(InvariantViolation(
+                    "cracker_index", "index-monotone",
+                    f"non-monotone position at {bound}: {pos} < {prev}",
+                    (("bound", str(bound)), ("pos", pos), ("prev", prev)),
+                ))
             if n is not None and not (0 <= pos <= n):
-                raise CrackError(f"position {pos} of {bound} outside [0, {n}]")
+                violations.append(InvariantViolation(
+                    "cracker_index", "index-position-range",
+                    f"position {pos} of {bound} outside [0, {n}]",
+                    (("bound", str(bound)), ("pos", pos), ("n", n)),
+                ))
             prev = pos
+        if violations:
+            raise InvariantError.from_violations(violations)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Interval
 from repro.cracking.crack import crack_into
@@ -39,6 +40,7 @@ class CrackerColumn:
         recorder: StatsRecorder | None = None,
         policy: CrackPolicy | None = None,
         rng: np.random.Generator | None = None,
+        label: str | None = None,
     ) -> None:
         self._recorder = recorder or global_recorder()
         self.head: np.ndarray = base.values.copy()
@@ -48,9 +50,14 @@ class CrackerColumn:
         self.policy = policy
         self._rng = rng if rng is not None else policy_rng(0, "column")
         self.stochastic_cuts = 0
+        self.label = label
+        # The base BAT, kept for the sanitizer's deep permutation check
+        # (refreshed by the Database facade when appends replace the BAT).
+        self._base = base
         # Creating the cracker column costs a full sequential copy.
         self._recorder.sequential(2 * len(self.head))
         self._recorder.write(2 * len(self.head))
+        register_structure(self, "column", label)
 
     def __len__(self) -> int:
         return len(self.head)
@@ -80,6 +87,7 @@ class CrackerColumn:
             policy=self.policy, rng=self._rng, cut_sink=cuts,
         )
         self.stochastic_cuts += len(cuts)
+        checkpoint_crack(self, "column")
         return lo, hi
 
     def count(self, interval: Interval) -> int:
@@ -114,18 +122,10 @@ class CrackerColumn:
             )
             self.keys = tails[0]
 
-    # -- invariants (used by tests) ---------------------------------------------------
+    # -- invariants (used by tests and CrackSan) ---------------------------------------
 
-    def check_invariants(self) -> None:
-        """Verify every piece respects its boundary predicates."""
-        self.index.validate(len(self.head))
-        for piece in self.index.pieces(len(self.head)):
-            seg = self.head[piece.lo_pos:piece.hi_pos]
-            if piece.lo_bound is not None and len(seg):
-                assert not piece.lo_bound.below_mask(seg).any(), (
-                    f"piece {piece} contains values below its lower bound"
-                )
-            if piece.hi_bound is not None and len(seg):
-                assert piece.hi_bound.below_mask(seg).all(), (
-                    f"piece {piece} contains values above its upper bound"
-                )
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "column", deep=deep, label=self.label)

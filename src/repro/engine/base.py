@@ -16,6 +16,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_query
 from repro.engine.database import Database
 from repro.engine.join import hash_join
 from repro.engine.query import (
@@ -68,6 +69,8 @@ class Engine(abc.ABC):
             result.aggregates = compute_aggregates(query.aggregates, columns)
         result.row_count = len(next(iter(columns.values()))) if columns else 0
         result.stats = stats
+        # Outside the recorder frame, so sanitizer sweeps never skew counters.
+        checkpoint_query()
         return result
 
     def _grouped(self, query: Query, columns: dict) -> dict:
@@ -114,6 +117,7 @@ class Engine(abc.ABC):
         result.aggregates = compute_aggregates(query.aggregates, columns)
         result.row_count = len(li)
         result.stats = stats
+        checkpoint_query()
         return result
 
     @abc.abstractmethod

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.sanitizer import Sanitizer
 from repro.core.mapset import FullMapStorage
 from repro.core.partial.engine import PartialConfig, PartialSidewaysCracker
 from repro.core.partial.storage import ChunkStorage
@@ -54,10 +55,14 @@ class Database:
         partial_config: PartialConfig | None = None,
         crack_policy: "CrackPolicy | str | None" = None,
         crack_seed: int = 42,
+        sanitize: "str | bool | None" = None,
     ) -> None:
         self.recorder = recorder or global_recorder()
         self.crack_policy = resolve_policy(crack_policy)
         self.crack_seed = crack_seed
+        # CrackSan: None falls back to $REPRO_SANITIZE (default "off").
+        # Activated before any structure exists so everything is watched.
+        self.sanitizer = Sanitizer(sanitize, seed=crack_seed).activate()
         self.catalog = Catalog()
         self._tables: dict[str, _TableState] = {}
         self._crackers: dict[tuple[str, str], CrackerColumn] = {}
@@ -133,6 +138,9 @@ class Database:
         for (tbl, attr), cracker in self._crackers.items():
             if tbl == name:
                 cracker.add_insertions(arrays[attr], keys)
+                # Appends replace the BAT object; keep the sanitizer's deep
+                # permutation check pointed at the current base column.
+                cracker._base = relation.column(attr)
         if name in self._sideways:
             self._sideways[name].notify_insertions(arrays, keys)
         if name in self._partial:
@@ -179,6 +187,7 @@ class Database:
                 relation.column(attr), self.recorder,
                 policy=self.crack_policy,
                 rng=policy_rng(self.crack_seed, "column", table, attr),
+                label=f"cracker_column[{table}.{attr}]",
             )
             tombstoned = np.flatnonzero(self.tombstones(table))
             if len(tombstoned):

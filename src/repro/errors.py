@@ -6,6 +6,9 @@ can catch library failures without masking programming errors.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -29,6 +32,54 @@ class CrackError(ReproError):
 
 class AlignmentError(CrackError):
     """A cracker map's tape cursor or replay state is inconsistent."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough context to reproduce and debug it.
+
+    ``structure`` identifies the live structure (``M_A,B``, ``S_A``,
+    ``H_A``, ``cracker_column[R.A]``, ...), ``invariant`` names the catalog
+    entry that failed (see :mod:`repro.analysis.invariants`), ``context``
+    carries piece/area positions and bounds, and ``seed`` is the crack seed
+    of the owning database when known, so a violating run can be replayed.
+    """
+
+    structure: str
+    invariant: str
+    detail: str
+    context: tuple = field(default_factory=tuple)
+    seed: int | None = None
+
+    def describe(self) -> str:
+        parts = [f"[{self.structure}] {self.invariant}: {self.detail}"]
+        if self.context:
+            ctx = ", ".join(f"{k}={v}" for k, v in self.context)
+            parts.append(f"({ctx})")
+        if self.seed is not None:
+            parts.append(f"(crack_seed={self.seed})")
+        return " ".join(parts)
+
+
+class InvariantError(CrackError):
+    """A catalogued physical invariant does not hold.
+
+    Raised by the unified ``check_invariants`` methods and by the CrackSan
+    sanitizer in strict mode; carries the structured
+    :class:`InvariantViolation` records instead of a bare assertion message.
+    """
+
+    def __init__(self, message: str, violations: Iterable[InvariantViolation] = ()) -> None:
+        super().__init__(message)
+        self.violations: tuple[InvariantViolation, ...] = tuple(violations)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[InvariantViolation]) -> "InvariantError":
+        violations = tuple(violations)
+        lines = [v.describe() for v in violations]
+        count = len(violations)
+        header = f"{count} invariant violation{'s' if count != 1 else ''}"
+        return cls("\n".join([header] + lines), violations)
 
 
 class StorageBudgetError(ReproError):

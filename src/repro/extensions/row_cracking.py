@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Interval
 from repro.errors import CrackError
@@ -50,6 +51,7 @@ class RowCracker:
         cells = len(relation) * (self.width + 1)
         self._recorder.sequential(cells)
         self._recorder.write(cells)
+        register_structure(self, "rowstore", f"rowstore[{crack_attr}]")
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -122,6 +124,7 @@ class RowCracker:
         self._recorder.sequential(cells)
         self._recorder.write(cells)
         self._recorder.event("cracks")
+        checkpoint_crack(self, "rowstore")
 
     # -- querying ------------------------------------------------------------------------
 
@@ -144,14 +147,8 @@ class RowCracker:
 
     # -- invariants -------------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        self.index.validate(len(self.rows))
-        values = self.rows[self.crack_attr]
-        for piece in self.index.pieces(len(self.rows)):
-            segment = values[piece.lo_pos:piece.hi_pos]
-            if len(segment) == 0:
-                continue
-            if piece.lo_bound is not None:
-                assert not piece.lo_bound.below_mask(segment).any()
-            if piece.hi_bound is not None:
-                assert piece.hi_bound.below_mask(segment).all()
+    def check_invariants(self, deep: bool = False) -> None:
+        """Run the shared invariant catalog; raises ``InvariantError``."""
+        from repro.analysis.invariants import check_or_raise
+
+        check_or_raise(self, "rowstore", deep=deep)

@@ -5,8 +5,41 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import Sanitizer, active_sanitizers, resolve_level
 from repro.engine.database import Database
 from repro.storage.relation import Relation
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize", action="store", default="off",
+        choices=("off", "post-crack", "post-query", "deep"),
+        help="run the whole suite under the CrackSan invariant sanitizer "
+             "at the given checkpoint level",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _cracksan(request: pytest.FixtureRequest):
+    """Suite-wide CrackSan: watch every structure each test builds.
+
+    At ``--sanitize off`` (the default) this is a no-op.  Otherwise every
+    structure constructed during the test registers with this sanitizer and
+    any invariant violation fails the test with structured diagnostics.
+    """
+    level = resolve_level(request.config.getoption("--sanitize"))
+    if level == "off":
+        yield None
+    else:
+        with Sanitizer(level).activated() as sanitizer:
+            yield sanitizer
+    # Isolation: a test that built a ``Database(sanitize=...)`` leaves that
+    # sanitizer active for as long as the garbage collector keeps the
+    # database alive.  Deactivate stragglers so they cannot watch (and fail
+    # on) structures a later test builds — e.g. one that tampers with a map
+    # on purpose.
+    for stray in active_sanitizers():
+        stray.deactivate()
 
 
 @pytest.fixture

@@ -16,7 +16,7 @@ from repro.cracking.stochastic import (
 )
 from repro.core.mapset import MapSet
 from repro.core.tape import CrackEntry
-from repro.errors import AlignmentError, PlanError
+from repro.errors import AlignmentError, InvariantError, PlanError
 from repro.stats.counters import AccessStats, StatsRecorder
 from repro.storage.bat import BAT
 from repro.storage.relation import Relation
@@ -164,8 +164,15 @@ def test_replay_boundary_mismatch_raises():
     map_b = mapset.maps["B"]
     # Tamper with the boundary set: alignment must detect the skew.
     map_b.index.insert(Bound(1.5, Side.LE), 0)
-    with pytest.raises(AlignmentError):
+    with pytest.raises(InvariantError) as excinfo:
         mapset.align(map_b)
+    # The violation is diagnostic-rich: map name, tape position, both lists.
+    (violation,) = excinfo.value.violations
+    assert violation.invariant == "replay-boundaries"
+    context = dict(violation.context)
+    assert context["map"] == "B"
+    assert context["tape_position"] == len(mapset.tape)
+    assert len(context["actual"]) == len(context["expected"]) + 1
 
 
 def test_boundary_checks_can_be_disabled():
