@@ -639,53 +639,92 @@ def check_or_raise(
 # -- change signatures (skip-cache keys for the sanitizer) ------------------------
 
 
-def _sig_column(obj):
-    return (len(obj.head), len(obj.index),
-            obj.pending.insertion_count, obj.pending.deletion_count)
+def content_checksum(arr) -> int:
+    """A cheap order-sensitive checksum of a strided sample of ``arr``.
+
+    Samples at most ~64 elements (every ``len//64``-th), reinterprets their
+    raw bytes as ``uint64`` words, and xor-folds them together with the
+    length.  Not cryptographic — it exists to catch *accidental* in-place
+    corruption (a buggy kernel scrambling a payload without changing any
+    length or cursor), closing the skip-cache blind spot documented in
+    ``docs/sanitizer.md``.  Cost is O(64) per array regardless of size.
+    """
+    n = len(arr)
+    if n == 0:
+        return 0
+    step = max(1, n // 64)
+    raw = np.ascontiguousarray(arr[::step]).tobytes()
+    if len(raw) % 8:
+        raw += b"\0" * (8 - len(raw) % 8)
+    words = np.frombuffer(raw, dtype=np.uint64)
+    return int(np.bitwise_xor.reduce(words)) ^ n
 
 
-def _sig_map(obj):
-    return (len(obj.head), len(obj.index), obj.cursor)
+def _sig_column(obj, content=False):
+    sig = (len(obj.head), len(obj.index),
+           obj.pending.insertion_count, obj.pending.deletion_count)
+    if content:
+        sig += (content_checksum(obj.head), content_checksum(obj.keys))
+    return sig
 
 
-def _sig_mapset(obj):
+def _sig_map(obj, content=False):
+    sig = (len(obj.head), len(obj.index), obj.cursor)
+    if content:
+        sig += (content_checksum(obj.head), content_checksum(obj.tail))
+    return sig
+
+
+def _sig_mapset(obj, content=False):
     return (
         len(obj.tape),
         obj.pending.insertion_count, obj.pending.deletion_count,
         tuple(sorted(
-            (attr, _sig_map(cmap)) for attr, cmap in obj.maps.items()
+            (attr, _sig_map(cmap, content)) for attr, cmap in obj.maps.items()
         )),
     )
 
 
-def _sig_chunk(obj):
-    return (len(obj.tail), len(obj.index), obj.cursor, obj.head_dropped)
+def _sig_chunk(obj, content=False):
+    sig = (len(obj.tail), len(obj.index), obj.cursor, obj.head_dropped)
+    if content:
+        sig += (
+            content_checksum(obj.tail),
+            content_checksum(obj.head) if obj.head is not None else 0,
+        )
+    return sig
 
 
-def _sig_chunkmap(obj):
-    return (
+def _sig_chunkmap(obj, content=False):
+    sig = (
         len(obj.head), len(obj.index),
         tuple(
             (a.area_id, a.fetched, len(a.tape) if a.tape is not None else -1)
             for a in obj.areas
         ),
     )
+    if content:
+        sig += (content_checksum(obj.head), content_checksum(obj.keys))
+    return sig
 
 
-def _sig_partial_set(obj):
+def _sig_partial_set(obj, content=False):
     return (
-        _sig_chunkmap(obj.chunkmap) if obj.chunkmap is not None else None,
+        _sig_chunkmap(obj.chunkmap, content) if obj.chunkmap is not None else None,
         obj.pending.insertion_count, obj.pending.deletion_count,
         tuple(sorted(
-            (attr, area_id, _sig_chunk(chunk))
+            (attr, area_id, _sig_chunk(chunk, content))
             for attr, pmap in obj.maps.items()
             for area_id, chunk in pmap.chunks.items()
         )),
     )
 
 
-def _sig_rowstore(obj):
-    return (len(obj.rows), len(obj.index))
+def _sig_rowstore(obj, content=False):
+    sig = (len(obj.rows), len(obj.index))
+    if content:
+        sig += (content_checksum(obj.rows[obj.crack_attr]),)
+    return sig
 
 
 _SIGNATURES: dict[str, Callable] = {
@@ -699,12 +738,18 @@ _SIGNATURES: dict[str, Callable] = {
 }
 
 
-def signature(obj: object, kind: str) -> object | None:
-    """A cheap state fingerprint; ``None`` means "always re-validate"."""
+def signature(obj: object, kind: str, content: bool = False) -> object | None:
+    """A cheap state fingerprint; ``None`` means "always re-validate".
+
+    With ``content=True`` the fingerprint additionally folds in
+    :func:`content_checksum` of each payload array, so purely in-place
+    corruption (same lengths, same cursors) no longer hides from the
+    sanitizer's skip cache until the next legitimate change.
+    """
     fn = _SIGNATURES.get(kind)
     if fn is None:
         return None
     try:
-        return fn(obj)
+        return fn(obj, content)
     except Exception:
         return None

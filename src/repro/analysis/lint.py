@@ -6,10 +6,11 @@ pass enforces them syntactically:
 ``payload-mutation``
     BAT payload arrays (``head`` / ``tail`` / ``tails`` / ``keys``) may be
     mutated in place (subscript assignment) only inside the stable partition
-    kernels (``cracking/kernels.py``) and the crack driver
-    (``cracking/crack.py``).  Everywhere else payloads are rebound to arrays
-    the kernels returned — in-place writes elsewhere would desynchronize
-    tape replay.
+    kernels (``cracking/kernels.py``), the crack driver
+    (``cracking/crack.py``), and the kernel scratch arena
+    (``cracking/arena.py``, whose buffers payloads round-trip through).
+    Everywhere else payloads are rebound to arrays the kernels returned —
+    in-place writes elsewhere would desynchronize tape replay.
 ``unseeded-random``
     No ``np.random.*`` calls outside the seeded-Generator plumbing: only
     ``np.random.default_rng(seed)`` *with* an explicit seed is allowed
@@ -55,7 +56,7 @@ COUNTER_FIELDS = frozenset({
 RULES: dict[str, tuple[str, tuple[str, ...]]] = {
     "payload-mutation": (
         "BAT payload arrays mutated outside the partition kernels",
-        ("cracking/kernels.py", "cracking/crack.py"),
+        ("cracking/kernels.py", "cracking/crack.py", "cracking/arena.py"),
     ),
     "unseeded-random": (
         "np.random used outside the seeded-Generator plumbing",

@@ -150,6 +150,12 @@ class Sanitizer:
     deep_replay_budget:
         Skip a deep tape-replay check when ``len(tape) * len(structure)``
         exceeds this; ``None`` removes the cap.
+    checksums:
+        Fold a strided-sample content checksum of every payload array into
+        the skip-cache signature, so purely in-place corruption (same
+        lengths, same cursors) is caught at the next checkpoint instead of
+        hiding until the structure legitimately changes.  Defaults to on at
+        level ``deep``, off below.
     """
 
     def __init__(
@@ -158,11 +164,13 @@ class Sanitizer:
         seed: int | None = None,
         strict: bool = True,
         deep_replay_budget: int | None = DEFAULT_DEEP_REPLAY_BUDGET,
+        checksums: bool | None = None,
     ) -> None:
         self.level = resolve_level(level)
         self.seed = seed
         self.strict = strict
         self.deep_replay_budget = deep_replay_budget
+        self.checksums = self.enabled("deep") if checksums is None else bool(checksums)
         self.violations: list[InvariantViolation] = []
         self.checks_run = 0
         self.checks_skipped = 0
@@ -222,7 +230,7 @@ class Sanitizer:
         from repro.analysis import invariants
 
         key = (id(obj), deep)
-        sig = invariants.signature(obj, kind)
+        sig = invariants.signature(obj, kind, content=self.checksums)
         if sig is not None and self._clean_sigs.get(key) == sig:
             self.checks_skipped += 1
             return []

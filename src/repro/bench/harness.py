@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -23,6 +25,40 @@ from repro.stats.memory_model import DEFAULT_MODEL, MemoryModel
 def default_scale() -> float:
     """Benchmark scale factor; override with the ``REPRO_SCALE`` env var."""
     return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 7,
+    warmup: int = 2,
+    setup: Callable[[], object] | None = None,
+) -> dict[str, float]:
+    """Median-of-k wall-clock timing with warmup, for the microbenchmarks.
+
+    ``setup`` runs untimed before every invocation (warmups included) — the
+    kernel benchmarks use it to restore the input arrays so each repeat
+    partitions identical data.  Returns the median plus interquartile range
+    so ``bench.micro`` can report variance alongside the point estimate.
+    """
+    for _ in range(warmup):
+        if setup is not None:
+            setup()
+        fn()
+    samples = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    ordered = sorted(samples)
+    return {
+        "median_s": float(np.median(ordered)),
+        "min_s": float(ordered[0]),
+        "max_s": float(ordered[-1]),
+        "iqr_s": float(np.percentile(ordered, 75) - np.percentile(ordered, 25)),
+        "repeats": float(repeats),
+    }
 
 
 ENGINE_FACTORIES = {

@@ -23,6 +23,7 @@ from repro.core.map import CrackerMap
 from repro.core.tape import CrackEntry, CrackerTape, DeleteEntry, InsertEntry
 from repro.cracking import stochastic
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
+from repro.cracking.crack import gang_replay_crack
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.ripple import locate_deletions
 from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
@@ -152,18 +153,41 @@ class MapSet:
     # -- alignment -------------------------------------------------------------------
 
     def align(self, cmap: CrackerMap, upto: int | None = None) -> None:
-        """Replay tape entries from ``cmap``'s cursor to ``upto`` (default end)."""
+        """Replay tape entries from ``cmap``'s cursor to ``upto`` (default end).
+
+        Sibling maps standing at the same cursor are dragged along as a
+        *gang*: crack entries are replayed once through a shared permutation
+        (:func:`~repro.cracking.crack.gang_replay_crack`) instead of
+        recomputing the identical partition per map.  Gang members hold
+        bit-identical heads (the ``aligned-head-equality`` invariant), so
+        the shared replay is exactly equivalent to individual replay.
+        """
         end = len(self.tape) if upto is None else upto
         if cmap.cursor > end:
             raise AlignmentError(
                 f"map cursor {cmap.cursor} already past requested position {end}"
             )
+        group = [cmap]
+        if cmap.cursor < end:
+            group += [
+                m
+                for m in self.maps.values()
+                if m is not cmap and m.cursor == cmap.cursor
+            ]
         while cmap.cursor < end:
             entry = self.tape[cmap.cursor]
             if isinstance(entry, DeleteEntry) and entry.positions is None:
                 self._locate_delete(cmap.cursor)
-            cmap.replay_entry(entry)
-        self._check_replay_boundaries(cmap, end)
+            if len(group) > 1 and isinstance(entry, CrackEntry):
+                gang_replay_crack(group, entry.interval, self._recorder)
+                for m in group:
+                    self._recorder.event("alignment_replays")
+                    m.cursor += 1
+            else:
+                for m in group:
+                    m.replay_entry(entry)
+        for m in group:
+            self._check_replay_boundaries(m, end)
 
     def _check_replay_boundaries(self, cmap: CrackerMap, end: int) -> None:
         """Assert sibling maps agree on piece boundaries after full alignment.

@@ -276,22 +276,37 @@ class ChunkMap:
         if not has_updates:
             return
         lo, hi = self.area_positions(area)
-        head = self.head[lo:hi].copy()
-        keys = self.keys[lo:hi].copy()
+        # Accumulate into buffers sized for the worst case (all inserts land,
+        # no deletes match) instead of reconcatenating per entry — the old
+        # growth loop copied the whole region once per insert entry.
+        base = hi - lo
+        capacity = base + sum(
+            len(e.values) for e in area.tape.entries if isinstance(e, InsertEntry)
+        )
+        head_acc = np.empty(capacity, dtype=self.head.dtype)
+        keys_acc = np.empty(capacity, dtype=self.keys.dtype)
+        head_acc[:base] = self.head[lo:hi]
+        keys_acc[:base] = self.keys[lo:hi]
+        n = base
         for entry in area.tape.entries:
             if isinstance(entry, InsertEntry):
-                head = np.concatenate([head, entry.values])
-                keys = np.concatenate([keys, entry.keys])
+                end = n + len(entry.values)
+                head_acc[n:end] = entry.values
+                keys_acc[n:end] = entry.keys
+                n = end
             elif isinstance(entry, DeleteEntry):
-                keep = ~np.isin(keys, entry.keys)
-                head, keys = head[keep], keys[keep]
-        delta = len(head) - (hi - lo)
-        self.head = np.concatenate([self.head[:lo], head, self.head[hi:]])
-        self.keys = np.concatenate([self.keys[:lo], keys, self.keys[hi:]])
+                keep = ~np.isin(keys_acc[:n], entry.keys)
+                kept = int(np.count_nonzero(keep))
+                head_acc[:kept] = head_acc[:n][keep]
+                keys_acc[:kept] = keys_acc[:n][keep]
+                n = kept
+        delta = n - base
+        self.head = np.concatenate([self.head[:lo], head_acc[:n], self.head[hi:]])
+        self.keys = np.concatenate([self.keys[:lo], keys_acc[:n], self.keys[hi:]])
         if delta:
             self.index.apply_shifts([(hi, delta)])
-        self._recorder.sequential(2 * len(head))
-        self._recorder.write(2 * len(head))
+        self._recorder.sequential(2 * n)
+        self._recorder.write(2 * n)
         checkpoint_crack(self, "chunkmap")
 
     # -- invariants -------------------------------------------------------------------------

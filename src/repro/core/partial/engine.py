@@ -29,8 +29,9 @@ from repro.core.partial.chunk import Chunk
 from repro.core.partial.chunkmap import Area, ChunkMap
 from repro.core.partial.partial_map import KEY_TAIL, PartialMap
 from repro.core.partial.storage import ChunkStorage
-from repro.core.tape import CrackEntry, DeleteEntry, InsertEntry
+from repro.core.tape import CrackEntry, DeleteEntry, InsertEntry, SortEntry
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
+from repro.cracking.crack import gang_replay_crack, gang_replay_sort
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
 from repro.cracking.ripple import (
@@ -38,7 +39,7 @@ from repro.cracking.ripple import (
     locate_deletions,
     merge_insertions,
 )
-from repro.errors import PlanError
+from repro.errors import AlignmentError, PlanError
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
 
@@ -261,6 +262,66 @@ class PartialMapSet:
 
             chunk.recover_head(area.tape, head_slice, CrackerIndex(), 0)
 
+    def _bring_group_to(
+        self,
+        area: Area,
+        pairs: "list[tuple[PartialMap, Chunk]]",
+        target: int,
+    ) -> None:
+        """Align several chunks of one area to ``target``, ganging replays.
+
+        Chunks standing at the same cursor hold bit-identical heads (the
+        ``aligned-head-equality`` invariant), so each crack/sort entry is
+        replayed once through a shared permutation
+        (:func:`~repro.cracking.crack.gang_replay_crack`) instead of being
+        recomputed per chunk.  Chunks starting at different cursors are
+        absorbed into the gang as soon as they catch up to its position.
+        """
+        assert area.tape is not None
+        todo = [(pmap, chunk) for pmap, chunk in pairs if chunk.cursor < target]
+        if not todo:
+            return
+        if len(todo) == 1:
+            self._bring_to(todo[0][0], todo[0][1], area, target)
+            return
+        self._ensure_located(area, target)
+        for pmap, chunk in todo:
+            if chunk.head_dropped:
+                self._recover_head(pmap, chunk, area)
+        while True:
+            active = [chunk for _, chunk in todo if chunk.cursor < target]
+            if not active:
+                break
+            cursor = min(chunk.cursor for chunk in active)
+            gang = [chunk for chunk in active if chunk.cursor == cursor]
+            entry = area.tape[cursor]
+            if len(gang) > 1 and isinstance(entry, CrackEntry):
+                gang_replay_crack(gang, entry.interval, self._recorder)
+                for chunk in gang:
+                    self._recorder.event("alignment_replays")
+                    chunk.cursor += 1
+            elif len(gang) > 1 and isinstance(entry, SortEntry):
+                leader = gang[0]
+                lo = (
+                    0
+                    if entry.lo_bound is None
+                    else leader.index.position_of(entry.lo_bound)
+                )
+                hi = (
+                    len(leader.tail)
+                    if entry.hi_bound is None
+                    else leader.index.position_of(entry.hi_bound)
+                )
+                if lo is None or hi is None:
+                    raise AlignmentError("sort entry references unknown piece bounds")
+                gang_replay_sort(gang, lo, hi, self._recorder)
+                for chunk in gang:
+                    self._recorder.event("alignment_replays")
+                    chunk.cursor += 1
+            else:
+                for chunk in gang:
+                    chunk.replay_entry(entry)
+
     # -- the per-area preparation core -------------------------------------------------------
 
     def prepare_area(
@@ -295,9 +356,7 @@ class PartialMapSet:
         else:
             target = baseline
             self._bring_to(first_map, first_chunk, area, target)
-        for attr in ordered[1:]:
-            pmap, chunk = chunks[attr]
-            self._bring_to(pmap, chunk, area, target)
+        self._bring_group_to(area, [chunks[attr] for attr in ordered[1:]], target)
 
         out: dict[str, tuple[Chunk, int, int]] = {}
         for attr in ordered:

@@ -27,6 +27,7 @@ predicate endpoint        boundary isolating it
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,6 +54,24 @@ class Bound:
         if self.side is Side.LT:
             return arr < self.value
         return arr <= self.value
+
+    def below_mask_into(self, arr: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """:meth:`below_mask` written into a preallocated boolean buffer.
+
+        The allocation-free form the fused kernels use with arena buffers.
+        Integer arrays are compared against an integer threshold (``x < v``
+        is ``x < ceil(v)``, ``x <= v`` is ``x <= floor(v)`` for integer
+        ``x``), which skips the per-element int-to-float conversion a float
+        pivot would force; the resulting mask is bit-identical.
+        """
+        value: float | int = self.value
+        if arr.dtype.kind == "i" and math.isfinite(value):
+            iv = math.ceil(value) if self.side is Side.LT else math.floor(value)
+            if -(2**63) < iv < 2**63:
+                value = iv
+        if self.side is Side.LT:
+            return np.less(arr, value, out=out)
+        return np.less_equal(arr, value, out=out)
 
     def __repr__(self) -> str:
         op = "<" if self.side is Side.LT else "<="

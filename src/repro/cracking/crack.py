@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
-from repro.cracking.kernels import crack_three, crack_two
+from repro.cracking.kernels import crack_three, crack_two, sort_piece
 from repro.cracking.stochastic import CrackPolicy, account_partition, is_stochastic
 from repro.stats.counters import StatsRecorder, global_recorder
 
@@ -118,3 +118,64 @@ def crack_into(
     if upper is not None:
         w_hi = crack_bound(index, head, tails, upper, recorder, policy, rng, cut_sink)
     return w_lo, w_hi
+
+
+# ---------------------------------------------------------------------------
+# Gang replay: one shared permutation for every same-cursor sibling.
+# ---------------------------------------------------------------------------
+#
+# Sibling maps / chunks standing at the same tape cursor hold bit-identical
+# head arrays (the `aligned-head-equality` invariant), so replaying a crack
+# entry computes the *same* permutation on each of them.  Gang replay
+# exploits that: the leader cracks once with every follower's head and tail
+# passed as extra tails, then the new boundaries are mirrored into the
+# followers' indexes at the leader's positions.  Work charged to the
+# recorder is identical to replaying each member individually (the partition
+# pass covers 2·k arrays either way); the saved work — one mask + one
+# permutation instead of k — is real wall-clock, not model cost.
+
+
+def gang_replay_crack(
+    members: Sequence,
+    interval: Interval,
+    recorder: StatsRecorder | None = None,
+) -> None:
+    """Replay one crack entry over same-cursor siblings via a shared permutation.
+
+    ``members`` need ``.head`` / ``.tail`` / ``.index`` attributes (cracker
+    maps and partial-map chunks both qualify) and must all stand at the tape
+    position of the entry being replayed, with bit-identical heads.  Replay
+    is policy-free, exactly like :meth:`CrackerMap.replay_entry`.
+    """
+    recorder = recorder or global_recorder()
+    leader = members[0]
+    extra: list[np.ndarray] = []
+    for member in members[1:]:
+        extra.append(member.head)
+        extra.append(member.tail)
+    crack_into(leader.index, leader.head, [leader.tail, *extra], interval, recorder)
+    for bound in (interval.lower_bound(), interval.upper_bound()):
+        if bound is None:
+            continue
+        pos = leader.index.position_of(bound)
+        if pos is None:
+            continue
+        for member in members[1:]:
+            if member.index.position_of(bound) is None:
+                member.index.insert(bound, pos)
+
+
+def gang_replay_sort(
+    members: Sequence,
+    lo: int,
+    hi: int,
+    recorder: StatsRecorder | None = None,
+) -> None:
+    """Replay one sort entry over same-cursor siblings via a shared permutation."""
+    recorder = recorder or global_recorder()
+    leader = members[0]
+    extra = [arr for member in members[1:] for arr in (member.head, member.tail)]
+    sort_piece(leader.head, [leader.tail, *extra], lo, hi)
+    for _ in members:
+        recorder.sequential(2 * (hi - lo))
+        recorder.write(2 * (hi - lo))

@@ -1,4 +1,4 @@
-"""Vectorized crack kernels.
+"""Vectorized crack kernels: reference and fused backends.
 
 The original cracking papers use in-place swap-based partitioning; in Python
 that would be orders of magnitude too slow, so we use NumPy *stable*
@@ -10,17 +10,43 @@ same start state reproduces the same permutation on every map of a set.
 
 Each kernel reorders a segment ``[lo, hi)`` of the *head* array and applies
 the identical permutation to any number of *tail* arrays (cracker maps have
-one tail; key-carrying structures may have more).
+one tail; key-carrying structures may have more; gang replay passes the
+head+tail pairs of every sibling map as extra tails so one permutation
+serves them all).
+
+Two backends compute the same permutations (bit-identical, covered by the
+golden tests in ``tests/test_fused_kernels.py``):
+
+- ``reference`` — the original allocating kernels, kept as the semantic
+  oracle and as the baseline the perf gate measures against.
+- ``fused`` (default) — allocation-light kernels that reuse
+  :class:`~repro.cracking.arena.KernelArena` buffers: comparison masks are
+  written into arena storage with ``np.less(..., out=)`` (with an integer
+  fast-path threshold for integer payloads), the permutation stays as the
+  per-group ``flatnonzero`` index arrays — each group is gathered straight
+  into its slice of a dtype-keyed scratch buffer via ``np.take(...,
+  out=scratch[pos:end], mode="wrap")`` and copied back in one contiguous
+  pass.  ``wrap`` elides the bounds check; indices come from
+  ``flatnonzero`` so they are always in range.
+
+See ``docs/kernels.md`` for the design rationale and the measured numbers.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.cracking.arena import KernelArena, default_arena
 from repro.cracking.bounds import Bound
 from repro.errors import CrackError
+
+# ---------------------------------------------------------------------------
+# Reference backend: the original allocating kernels, kept verbatim as the
+# semantic oracle for the golden-equivalence tests and the perf baseline.
+# ---------------------------------------------------------------------------
 
 
 def _apply_order(
@@ -31,18 +57,14 @@ def _apply_order(
         tail[lo:hi] = tail[lo:hi][order]
 
 
-def crack_two(
+def reference_crack_two(
     head: np.ndarray,
     tails: Sequence[np.ndarray],
     lo: int,
     hi: int,
     bound: Bound,
+    arena: KernelArena | None = None,
 ) -> int:
-    """Stable two-way partition of ``head[lo:hi]`` around ``bound``.
-
-    After the call, elements in ``[lo, split)`` satisfy the bound's left side
-    and elements in ``[split, hi)`` its right side.  Returns ``split``.
-    """
     if not (0 <= lo <= hi <= len(head)):
         raise CrackError(f"crack_two range [{lo}, {hi}) outside array of {len(head)}")
     seg = head[lo:hi]
@@ -55,19 +77,15 @@ def crack_two(
     return lo + k
 
 
-def crack_three(
+def reference_crack_three(
     head: np.ndarray,
     tails: Sequence[np.ndarray],
     lo: int,
     hi: int,
     lower: Bound,
     upper: Bound,
+    arena: KernelArena | None = None,
 ) -> tuple[int, int]:
-    """Stable three-way partition around two bounds in one pass.
-
-    Produces ``[lo, p1)`` below ``lower``, ``[p1, p2)`` between the bounds,
-    and ``[p2, hi)`` above ``upper``; returns ``(p1, p2)``.
-    """
     if not (0 <= lo <= hi <= len(head)):
         raise CrackError(f"crack_three range [{lo}, {hi}) outside array of {len(head)}")
     if upper < lower:
@@ -86,8 +104,235 @@ def crack_three(
     return lo + k1, lo + k2
 
 
+def reference_sort_piece(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    arena: KernelArena | None = None,
+) -> None:
+    order = np.argsort(head[lo:hi], kind="stable")
+    _apply_order(head, tails, lo, hi, order)
+
+
+# ---------------------------------------------------------------------------
+# Fused backend: same permutations, arena-backed storage.
+# ---------------------------------------------------------------------------
+
+
+def apply_permutation(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    order: np.ndarray,
+    arena: KernelArena | None = None,
+) -> None:
+    """Apply one permutation to ``head[lo:hi]`` and every tail segment.
+
+    The multi-tail "gang apply" primitive: the permutation is computed once
+    and each array round-trips through an arena scratch buffer —
+    ``np.take`` into scratch, contiguous copy back — so applying to *k*
+    arrays costs *k* gathers and zero allocations.  ``order`` must be a
+    permutation of ``range(hi - lo)``; ``mode="wrap"`` only skips the
+    bounds check, it never remaps valid indices.
+    """
+    arena = arena if arena is not None else default_arena()
+    n = hi - lo
+    for arr in (head, *tails):
+        seg = arr[lo:hi]
+        scratch = arena.scratch(seg.dtype, n)
+        np.take(seg, order, out=scratch, mode="wrap")
+        seg[:] = scratch
+
+
+def _apply_index_groups(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    groups: Sequence[np.ndarray],
+    arena: KernelArena,
+) -> None:
+    """Apply the permutation given as concatenated index groups to all arrays.
+
+    Gathering each group straight into its scratch slice skips materializing
+    the concatenated order (measured faster than both ``np.concatenate`` and
+    copying into a reusable ``intp`` buffer — the gather reads the group
+    arrays exactly once either way).
+    """
+    n = hi - lo
+    for arr in (head, *tails):
+        seg = arr[lo:hi]
+        scratch = arena.scratch(seg.dtype, n)
+        pos = 0
+        for idx in groups:
+            end = pos + len(idx)
+            np.take(seg, idx, out=scratch[pos:end], mode="wrap")
+            pos = end
+        seg[:] = scratch
+
+
+def fused_crack_two(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    bound: Bound,
+    arena: KernelArena | None = None,
+) -> int:
+    if not (0 <= lo <= hi <= len(head)):
+        raise CrackError(f"crack_two range [{lo}, {hi}) outside array of {len(head)}")
+    arena = arena if arena is not None else default_arena()
+    n = hi - lo
+    seg = head[lo:hi]
+    below = arena.mask(n)
+    bound.below_mask_into(seg, below)
+    idx_lo = np.flatnonzero(below)
+    k = len(idx_lo)
+    if k == 0 or k == n:
+        return lo + k
+    np.logical_not(below, out=below)
+    idx_hi = np.flatnonzero(below)
+    _apply_index_groups(head, tails, lo, hi, (idx_lo, idx_hi), arena)
+    return lo + k
+
+
+def fused_crack_three(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    lower: Bound,
+    upper: Bound,
+    arena: KernelArena | None = None,
+) -> tuple[int, int]:
+    if not (0 <= lo <= hi <= len(head)):
+        raise CrackError(f"crack_three range [{lo}, {hi}) outside array of {len(head)}")
+    if upper < lower:
+        raise CrackError(f"crack_three bounds out of order: {lower} vs {upper}")
+    arena = arena if arena is not None else default_arena()
+    n = hi - lo
+    seg = head[lo:hi]
+    below_low = arena.mask(n)
+    below_high = arena.mask2(n)
+    lower.below_mask_into(seg, below_low)
+    upper.below_mask_into(seg, below_high)
+    # upper >= lower, so x < lower implies x < upper: below_low ⊆ below_high.
+    idx_lo = np.flatnonzero(below_low)
+    k1 = len(idx_lo)
+    np.logical_xor(below_high, below_low, out=below_low)
+    idx_mid = np.flatnonzero(below_low)
+    k2 = k1 + len(idx_mid)
+    if k1 == n or k2 == 0 or (k1 == 0 and k2 == n):
+        return lo + k1, lo + k2
+    np.logical_not(below_high, out=below_high)
+    idx_hi = np.flatnonzero(below_high)
+    _apply_index_groups(head, tails, lo, hi, (idx_lo, idx_mid, idx_hi), arena)
+    return lo + k1, lo + k2
+
+
+def fused_sort_piece(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    arena: KernelArena | None = None,
+) -> None:
+    order = np.argsort(head[lo:hi], kind="stable")
+    apply_permutation(head, tails, lo, hi, order, arena)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry and public dispatchers.
+# ---------------------------------------------------------------------------
+
+KernelSet = dict[str, Callable]
+
+KERNEL_BACKENDS: dict[str, KernelSet] = {
+    "reference": {
+        "crack_two": reference_crack_two,
+        "crack_three": reference_crack_three,
+        "sort_piece": reference_sort_piece,
+    },
+    "fused": {
+        "crack_two": fused_crack_two,
+        "crack_three": fused_crack_three,
+        "sort_piece": fused_sort_piece,
+    },
+}
+
+_active_backend = "fused"
+
+
+def get_backend() -> str:
+    """Name of the backend the public kernels currently dispatch to."""
+    return _active_backend
+
+
+def set_backend(name: str) -> None:
+    if name not in KERNEL_BACKENDS:
+        raise CrackError(
+            f"unknown kernel backend {name!r}; have {sorted(KERNEL_BACKENDS)}"
+        )
+    global _active_backend
+    _active_backend = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch kernel backend (tests and the microbenchmark)."""
+    prev = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(prev)
+
+
+def crack_two(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    bound: Bound,
+    arena: KernelArena | None = None,
+) -> int:
+    """Stable two-way partition of ``head[lo:hi]`` around ``bound``.
+
+    After the call, elements in ``[lo, split)`` satisfy the bound's left side
+    and elements in ``[split, hi)`` its right side.  Returns ``split``.
+    """
+    return KERNEL_BACKENDS[_active_backend]["crack_two"](
+        head, tails, lo, hi, bound, arena
+    )
+
+
+def crack_three(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    lower: Bound,
+    upper: Bound,
+    arena: KernelArena | None = None,
+) -> tuple[int, int]:
+    """Stable three-way partition around two bounds in one pass.
+
+    Produces ``[lo, p1)`` below ``lower``, ``[p1, p2)`` between the bounds,
+    and ``[p2, hi)`` above ``upper``; returns ``(p1, p2)``.
+    """
+    return KERNEL_BACKENDS[_active_backend]["crack_three"](
+        head, tails, lo, hi, lower, upper, arena
+    )
+
+
 def sort_piece(
-    head: np.ndarray, tails: Sequence[np.ndarray], lo: int, hi: int
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    arena: KernelArena | None = None,
 ) -> None:
     """Stable-sort ``head[lo:hi]`` and co-reorder the tails.
 
@@ -96,5 +341,4 @@ def sort_piece(
     search, and being stable it is deterministic, so it can be logged to a
     tape and replayed for alignment.
     """
-    order = np.argsort(head[lo:hi], kind="stable")
-    _apply_order(head, tails, lo, hi, order)
+    KERNEL_BACKENDS[_active_backend]["sort_piece"](head, tails, lo, hi, arena)

@@ -50,10 +50,28 @@ from repro.cracking.bounds import Bound, Side
 from repro.cracking.kernels import crack_three, crack_two
 from repro.errors import PlanError
 from repro.stats.counters import StatsRecorder
+from repro.stats.memory_model import MemoryModel, DEFAULT_MODEL
 
-#: Pieces at or below this size are cracked purely query-driven; auxiliary
-#: cuts only target pieces still large enough to hurt.
-DEFAULT_MIN_PIECE = 4096
+
+def default_min_piece(model: MemoryModel | None = None) -> int:
+    """Smallest piece auxiliary cuts still target, derived from the cache.
+
+    Pieces at or below this size are cracked purely query-driven: once a
+    piece is a small fraction of the cache (1/16th — head and tail of
+    several such pieces co-resident), further data-driven cuts cannot
+    reduce memory traffic, they only add boundary bookkeeping.  The
+    ``min_piece`` constructor argument of :class:`CrackPolicy` overrides
+    the derivation; ``bench.micro``'s sensitivity sweep measures how flat
+    the optimum is around this default.
+    """
+    model = model or DEFAULT_MODEL
+    return max(1, model.cache_elements // 16)
+
+
+#: Derived default for the standard memory model (see
+#: :func:`default_min_piece`); kept as a module constant so tests and docs
+#: have a stable name for "the default".
+DEFAULT_MIN_PIECE = default_min_piece()
 
 #: Global switch for the replay-boundary assertion in map-set alignment.
 #: On by default (it is a cheap tripwire at test scale); large benchmark
@@ -91,8 +109,8 @@ class CrackPolicy(abc.ABC):
     name = "abstract"
     is_query_driven = False
 
-    def __init__(self, min_piece: int = DEFAULT_MIN_PIECE) -> None:
-        self.min_piece = int(min_piece)
+    def __init__(self, min_piece: int | None = None) -> None:
+        self.min_piece = default_min_piece() if min_piece is None else int(min_piece)
 
     @abc.abstractmethod
     def crack_piece(
@@ -337,8 +355,14 @@ POLICIES: dict[str, type[CrackPolicy]] = {
 POLICY_NAMES = tuple(POLICIES)
 
 
-def resolve_policy(policy: "CrackPolicy | str | None") -> CrackPolicy | None:
-    """Normalize a policy spec: instance, name, or ``None`` (query-driven)."""
+def resolve_policy(
+    policy: "CrackPolicy | str | None", min_piece: int | None = None
+) -> CrackPolicy | None:
+    """Normalize a policy spec: instance, name, or ``None`` (query-driven).
+
+    ``min_piece`` overrides the cache-derived default when the policy is
+    constructed from a name; an already-built instance keeps its own value.
+    """
     if policy is None or isinstance(policy, CrackPolicy):
         return policy
     if isinstance(policy, str):
@@ -348,7 +372,7 @@ def resolve_policy(policy: "CrackPolicy | str | None") -> CrackPolicy | None:
             raise PlanError(
                 f"unknown crack policy {policy!r}; choose one of {POLICY_NAMES}"
             )
-        return cls()
+        return cls(min_piece=min_piece)
     raise PlanError(f"cannot interpret {policy!r} as a crack policy")
 
 

@@ -1,0 +1,274 @@
+"""Golden-permutation equivalence of the fused kernels vs the reference
+backend, arena reuse/resize behavior, and gang replay equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.map import CrackerMap
+from repro.core.mapset import MapSet
+from repro.cracking.arena import KernelArena, default_arena
+from repro.cracking.bounds import Bound, Interval, Side
+from repro.cracking.crack import gang_replay_crack, gang_replay_sort
+from repro.cracking.kernels import (
+    KERNEL_BACKENDS,
+    crack_three,
+    crack_two,
+    fused_crack_three,
+    fused_crack_two,
+    get_backend,
+    reference_crack_three,
+    reference_crack_two,
+    set_backend,
+    sort_piece,
+    use_backend,
+)
+from repro.errors import CrackError
+from repro.stats.counters import StatsRecorder
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _arrays(rng, n, lo=0, hi=1000):
+    head = rng.integers(lo, hi, size=n).astype(np.int64)
+    keys = np.arange(n, dtype=np.int64)
+    tail = rng.integers(0, 10**6, size=n).astype(np.int64)
+    return head, keys, tail
+
+
+# -- golden equivalence -----------------------------------------------------------
+
+
+BOUNDS = [
+    Bound(500, Side.LT),
+    Bound(500, Side.LE),
+    Bound(500.5, Side.LT),     # non-integral pivot exercises the int fast path
+    Bound(-1, Side.LT),        # all-above
+    Bound(10**9, Side.LE),     # all-below
+    Bound(0, Side.LT),         # empty below side
+]
+
+
+@pytest.mark.parametrize("bound", BOUNDS, ids=repr)
+@pytest.mark.parametrize("n", [0, 1, 2, 257, 5000])
+def test_crack_two_matches_reference(rng, bound, n):
+    head, keys, tail = _arrays(rng, n)
+    h_ref, k_ref, t_ref = head.copy(), keys.copy(), tail.copy()
+    split_ref = reference_crack_two(h_ref, [k_ref, t_ref], 0, n, bound)
+    h_fus, k_fus, t_fus = head.copy(), keys.copy(), tail.copy()
+    split_fus = fused_crack_two(h_fus, [k_fus, t_fus], 0, n, bound)
+    assert split_ref == split_fus
+    assert np.array_equal(h_ref, h_fus)
+    assert np.array_equal(k_ref, k_fus)
+    assert np.array_equal(t_ref, t_fus)
+
+
+@pytest.mark.parametrize(
+    "lower,upper",
+    [
+        (Bound(200, Side.LE), Bound(700, Side.LT)),
+        (Bound(200, Side.LT), Bound(200, Side.LE)),   # point range
+        (Bound(-5, Side.LT), Bound(-1, Side.LT)),     # fully below the data
+        (Bound(10**8, Side.LE), Bound(10**9, Side.LE)),  # fully above
+        (Bound(-1, Side.LT), Bound(10**9, Side.LE)),  # everything in the middle
+        (Bound(250.5, Side.LT), Bound(749.5, Side.LE)),  # non-integral pivots
+    ],
+    ids=str,
+)
+@pytest.mark.parametrize("n", [0, 3, 1000])
+def test_crack_three_matches_reference(rng, lower, upper, n):
+    head, keys, tail = _arrays(rng, n)
+    h_ref, k_ref, t_ref = head.copy(), keys.copy(), tail.copy()
+    p_ref = reference_crack_three(h_ref, [k_ref, t_ref], 0, n, lower, upper)
+    h_fus, k_fus, t_fus = head.copy(), keys.copy(), tail.copy()
+    p_fus = fused_crack_three(h_fus, [k_fus, t_fus], 0, n, lower, upper)
+    assert p_ref == p_fus
+    assert np.array_equal(h_ref, h_fus)
+    assert np.array_equal(k_ref, k_fus)
+    assert np.array_equal(t_ref, t_fus)
+
+
+def test_subrange_and_float_dtype_match(rng):
+    n = 4000
+    head = rng.normal(size=n)  # float payload skips the int fast path
+    keys = np.arange(n, dtype=np.int64)
+    bound = Bound(0.25, Side.LE)
+    h_ref, k_ref = head.copy(), keys.copy()
+    split_ref = reference_crack_two(h_ref, [k_ref], 1000, 3000, bound)
+    h_fus, k_fus = head.copy(), keys.copy()
+    split_fus = fused_crack_two(h_fus, [k_fus], 1000, 3000, bound)
+    assert split_ref == split_fus
+    assert np.array_equal(h_ref, h_fus)
+    assert np.array_equal(k_ref, k_fus)
+    # Outside the subrange nothing moved.
+    assert np.array_equal(h_fus[:1000], head[:1000])
+    assert np.array_equal(h_fus[3000:], head[3000:])
+
+
+def test_multi_tail_gang_equivalence(rng):
+    """One fused call over 2k arrays == k independent crack_twos."""
+    n = 3000
+    head, keys, _ = _arrays(rng, n)
+    bound = Bound(500, Side.LT)
+    pairs = [(head.copy(), keys.copy()) for _ in range(4)]
+    for h, k in pairs:
+        reference_crack_two(h, [k], 0, n, bound)
+    gang_head, gang_keys = head.copy(), keys.copy()
+    extra = [arr for _ in range(3) for arr in (head.copy(), keys.copy())]
+    fused_crack_two(gang_head, [gang_keys, *extra], 0, n, bound)
+    assert np.array_equal(gang_head, pairs[0][0])
+    assert np.array_equal(gang_keys, pairs[0][1])
+    for i in range(3):
+        assert np.array_equal(extra[2 * i], pairs[i + 1][0])
+        assert np.array_equal(extra[2 * i + 1], pairs[i + 1][1])
+
+
+def test_fused_raises_like_reference(rng):
+    head, keys, _ = _arrays(rng, 10)
+    with pytest.raises(CrackError):
+        fused_crack_two(head, [keys], 5, 20, Bound(1, Side.LT))
+    with pytest.raises(CrackError):
+        fused_crack_three(
+            head, [keys], 0, 10, Bound(9, Side.LT), Bound(1, Side.LT)
+        )
+
+
+# -- backend registry -------------------------------------------------------------
+
+
+def test_backend_registry_dispatch(rng):
+    assert get_backend() == "fused"
+    assert set(KERNEL_BACKENDS) == {"reference", "fused"}
+    with use_backend("reference"):
+        assert get_backend() == "reference"
+        head, keys, _ = _arrays(rng, 100)
+        crack_two(head, [keys], 0, 100, Bound(500, Side.LT))
+    assert get_backend() == "fused"
+    with pytest.raises(CrackError):
+        set_backend("simd")
+
+
+def test_backends_identical_through_dispatcher(rng):
+    n = 2000
+    head, keys, _ = _arrays(rng, n)
+    results = {}
+    for backend in KERNEL_BACKENDS:
+        h, k = head.copy(), keys.copy()
+        with use_backend(backend):
+            crack_two(h, [k], 0, n, Bound(300, Side.LE))
+            crack_three(h, [k], 0, n, Bound(300, Side.LE), Bound(800, Side.LT))
+            sort_piece(h, [k], 100, 900)
+        results[backend] = (h, k)
+    assert np.array_equal(results["reference"][0], results["fused"][0])
+    assert np.array_equal(results["reference"][1], results["fused"][1])
+
+
+# -- arena ------------------------------------------------------------------------
+
+
+def test_arena_reuse_and_resize():
+    arena = KernelArena()
+    m1 = arena.mask(100)
+    assert len(m1) == 100 and arena.resizes == 1
+    m2 = arena.mask(50)
+    assert len(m2) == 50 and arena.resizes == 1  # shrink reuses the buffer
+    assert m2.base is m1.base or m2.base is m1  # same backing storage
+    arena.mask(150)  # grow: doubles from 100
+    assert arena.resizes == 2
+    assert arena.capacity()["mask"] == 200
+    arena.mask(190)
+    assert arena.resizes == 2  # within doubled capacity
+
+    s1 = arena.scratch(np.int64, 64)
+    s2 = arena.scratch(np.float64, 64)
+    assert s1.dtype == np.int64 and s2.dtype == np.float64
+    before = arena.resizes
+    arena.scratch(np.int64, 32)
+    assert arena.resizes == before  # per-dtype buffers are independent
+    assert arena.peak_request == 190
+
+    arena.clear()
+    assert arena.capacity()["mask"] == 0
+
+
+def test_arena_isolation_from_default(rng):
+    head, keys, _ = _arrays(rng, 500)
+    arena = KernelArena()
+    before = default_arena().resizes
+    fused_crack_two(head, [keys], 0, 500, Bound(500, Side.LT), arena)
+    assert arena.resizes > 0
+    assert default_arena().resizes == before
+
+
+# -- gang replay over real structures ---------------------------------------------
+
+
+def _make_mapset(rng, n=1200):
+    arrays = {
+        c: rng.integers(0, 5000, size=n).astype(np.int64) for c in "ABC"
+    }
+    relation = Relation.from_arrays("R", arrays)
+    return MapSet(relation, "A", recorder=StatsRecorder())
+
+
+def test_gang_replay_crack_matches_individual_replay(rng):
+    mapset = _make_mapset(rng)
+    for lo in (100, 900, 2500, 1700):
+        mapset.select("B", Interval.half_open(lo, lo + 300))
+    # Two fresh maps at cursor 0: replay one individually, gang the other
+    # against a third, and compare.
+    solo = mapset.get_map("C")
+    mapset.align(solo)
+
+    fresh = mapset._snapshot_arrays("C")
+    gang_members = [
+        CrackerMap("A", f"g{i}", fresh[0].copy(), fresh[1].copy(),
+                   lambda keys: np.asarray(keys), StatsRecorder())
+        for i in range(3)
+    ]
+    for entry in mapset.tape.entries:
+        gang_replay_crack(gang_members, entry.interval)
+        for member in gang_members:
+            member.cursor += 1
+    for member in gang_members:
+        assert np.array_equal(member.head, solo.head)
+        assert np.array_equal(member.tail, solo.tail)
+        assert [b for b, _ in member.index.inorder()] == [
+            b for b, _ in solo.index.inorder()
+        ]
+
+
+def test_mapset_align_gangs_same_cursor_maps(rng):
+    mapset = _make_mapset(rng)
+    for lo in (200, 1400, 3100):
+        mapset.select("B", Interval.half_open(lo, lo + 250))
+    # Create two stale maps; both sit at cursor 0.
+    c_map = mapset.get_map("C")
+    key_map = mapset.get_map("@key")
+    assert c_map.cursor == 0 and key_map.cursor == 0
+    mapset.align(c_map)  # drags the same-cursor sibling along
+    assert c_map.cursor == len(mapset.tape)
+    assert key_map.cursor == len(mapset.tape)
+    assert np.array_equal(c_map.head, mapset.get_map("B", align=True).head)
+    assert np.array_equal(c_map.head, key_map.head)
+    mapset.check_invariants(deep=True)
+
+
+def test_gang_replay_sort_matches_individual(rng):
+    n = 800
+    head, keys, _ = _arrays(rng, n)
+    solo_h, solo_k = head.copy(), keys.copy()
+    sort_piece(solo_h, [solo_k], 100, 700)
+
+    members = [
+        CrackerMap("A", f"s{i}", head.copy(), keys.copy(),
+                   lambda k: np.asarray(k), StatsRecorder())
+        for i in range(3)
+    ]
+    gang_replay_sort(members, 100, 700, StatsRecorder())
+    for member in members:
+        assert np.array_equal(member.head, solo_h)
+        assert np.array_equal(member.tail, solo_k)

@@ -254,3 +254,54 @@ def test_engine_queries_run_clean_under_deep(monkeypatch):
     assert db.sanitizer.checks_run > 0
     assert db.sanitizer.violations == []
     assert "0 violation(s)" in db.sanitizer.report()
+
+
+# -- content checksums (skip-cache blind spot) ----------------------------------
+
+
+def test_content_checksum_basics():
+    assert invariants.content_checksum(np.empty(0, dtype=np.int64)) == 0
+    arr = np.arange(1_000, dtype=np.int64)
+    ck = invariants.content_checksum(arr)
+    assert ck == invariants.content_checksum(arr.copy())  # deterministic
+    mutated = arr.copy()
+    mutated[0] = -1  # position 0 is always in the strided sample
+    assert invariants.content_checksum(mutated) != ck
+    # Same sampled values but different length -> different checksum.
+    assert invariants.content_checksum(arr[:999]) != ck
+
+
+def test_checksums_default_from_level():
+    assert Sanitizer("deep").checksums is True
+    assert Sanitizer("post-query").checksums is False
+    assert Sanitizer("post-query", checksums=True).checksums is True
+    assert Sanitizer("deep", checksums=False).checksums is False
+
+
+def test_content_signature_sees_in_place_mutation():
+    column, _ = make_column(cracks=2)
+    plain = invariants.signature(column, "column")
+    content = invariants.signature(column, "column", content=True)
+    column.head[0] ^= 1  # purely in-place: lengths and cursors unchanged
+    assert invariants.signature(column, "column") == plain
+    assert invariants.signature(column, "column", content=True) != content
+
+
+def test_checksums_catch_purely_in_place_corruption():
+    # Without checksums the skip cache hides an in-place flip until the
+    # structure legitimately changes; with them the next sweep catches it.
+    others = active_sanitizers()
+    for other in others:
+        other.deactivate()
+    sanitizer = Sanitizer("post-query", strict=False, checksums=True)
+    try:
+        with sanitizer.activated():
+            column, _ = make_column(cracks=2)
+            column.select(Interval.half_open(2_000, 2_300))
+            checkpoint_query()  # caches a clean signature
+            column.head[0] = 99_999  # in-place corruption, no legitimate change
+            checkpoint_query()
+    finally:
+        for other in others:
+            other.activate()
+    assert any(v.invariant == "piece-bounds" for v in sanitizer.violations)
