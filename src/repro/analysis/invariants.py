@@ -751,5 +751,8 @@ def signature(obj: object, kind: str, content: bool = False) -> object | None:
         return None
     try:
         return fn(obj, content)
-    except Exception:
+    except (AttributeError, TypeError, IndexError, KeyError, ValueError):
+        # A half-built or deliberately damaged structure may not expose the
+        # fields the fingerprint reads; "no signature" just disables the
+        # skip cache so the sanitizer re-validates every sweep.
         return None

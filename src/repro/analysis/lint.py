@@ -29,6 +29,14 @@ pass enforces them syntactically:
     them).
 ``bare-except``
     No ``except:`` without an exception type.
+``broad-except``
+    No ``except Exception`` / ``except BaseException`` handlers.  The fault
+    subsystem (:mod:`repro.faults`) injects :class:`InjectedFault` at
+    registered failpoint sites and relies on it propagating to the atomic
+    guard; a blanket handler anywhere on that path would swallow the fault
+    and defeat both the rollback journal and the chaos suite.  Name the
+    exception types instead (``repro.faults.guard.RECOVERABLE`` exists for
+    exactly this purpose).
 
 Each rule carries a file allowlist (suffix-matched, ``/``-normalized).
 Exit status is 0 when clean, 1 when any violation is found.
@@ -72,6 +80,11 @@ RULES: dict[str, tuple[str, tuple[str, ...]]] = {
     ),
     "mutable-default": ("mutable default argument", ()),
     "bare-except": ("bare except: clause", ()),
+    "broad-except": (
+        "over-broad except Exception/BaseException handler "
+        "(would swallow injected faults)",
+        (),
+    ),
 }
 
 
@@ -262,6 +275,18 @@ class _FileLinter(ast.NodeVisitor):
                 node, "bare-except",
                 "bare except: clause; name the exception types",
             )
+        else:
+            caught = (node.type.elts if isinstance(node.type, ast.Tuple)
+                      else [node.type])
+            for exc_type in caught:
+                name = _attr_or_name(exc_type)
+                if name in ("Exception", "BaseException"):
+                    self._report(
+                        node, "broad-except",
+                        f"except {name} handler; it would swallow injected "
+                        f"faults — name the exception types (see "
+                        f"repro.faults.guard.RECOVERABLE)",
+                    )
         self.generic_visit(node)
 
 

@@ -105,6 +105,17 @@ def suspended() -> Iterator[None]:
         _SUSPEND_DEPTH -= 1
 
 
+def is_suspended() -> bool:
+    """True while validation/replay scratch work is in flight.
+
+    FaultSan consults this: injection sites fired from inside the validator
+    (ghost replay reuses the production crack/ripple code) must stay inert,
+    or a fault plan would corrupt the sanitizer's own scratch structures and
+    make hit counts depend on the sanitize level.
+    """
+    return _SUSPEND_DEPTH > 0
+
+
 def register_structure(obj: object, kind: str, label: str | None = None) -> None:
     """Hook called from structure constructors; registers with active sanitizers."""
     if not _ACTIVE or _SUSPEND_DEPTH:
@@ -229,6 +240,12 @@ class Sanitizer:
         """Run the catalog checks for one structure, honoring the skip cache."""
         from repro.analysis import invariants
 
+        if getattr(obj, "_quarantined", None) is not None:
+            # FaultSan quarantined the structure: it is known-broken and
+            # awaiting a lazy rebuild, so validating it would only re-report
+            # the same damage.
+            self.checks_skipped += 1
+            return []
         key = (id(obj), deep)
         sig = invariants.signature(obj, kind, content=self.checksums)
         if sig is not None and self._clean_sigs.get(key) == sig:

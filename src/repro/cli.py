@@ -32,6 +32,8 @@ EXPERIMENTS = {
     "exp13": ("exp13_tpch_mixed", "Section 5 mixed TPC-H workload"),
     "exp14": ("exp14_robustness",
               "Stochastic cracking robustness (policies x adversarial patterns)"),
+    "exp15": ("exp15_faults",
+              "FaultSan overhead (journal cost, recovery cost, rebuild cost)"),
 }
 
 ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
@@ -144,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="crack policy for experiments that support one "
                           "(query_driven, ddc, ddr, dd1c, dd1r, mdd1r)")
     _add_sanitize_flag(run)
+    _add_faults_flag(run)
     run.set_defaults(func=cmd_run)
 
     verify = sub.add_parser(
@@ -152,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--scale", type=float, default=1.0)
     verify.add_argument("--variations", type=int, default=2)
     _add_sanitize_flag(verify)
+    _add_faults_flag(verify)
     verify.set_defaults(func=cmd_verify)
     return parser
 
@@ -167,11 +171,26 @@ def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="run under a FaultSan fault-injection plan, e.g. "
+             "'mapset.align@3=error' or 'arena.alloc=oom,chunkmap.fetch=corrupt'; "
+             "sets $REPRO_FAULTS so every Database the experiment creates "
+             "arms the plan",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "sanitize", None) is not None:
         os.environ["REPRO_SANITIZE"] = args.sanitize
+    if getattr(args, "faults", None) is not None:
+        from repro.faults.plan import FaultPlan
+
+        FaultPlan.parse(args.faults)  # fail fast on a malformed plan
+        os.environ["REPRO_FAULTS"] = args.faults
     return args.func(args)
 
 

@@ -33,6 +33,8 @@ from repro.errors import (
     InvariantError,
     InvariantViolation,
 )
+from repro.faults.guard import atomic
+from repro.faults.plan import fault_hook
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
 
@@ -167,27 +169,31 @@ class MapSet:
             raise AlignmentError(
                 f"map cursor {cmap.cursor} already past requested position {end}"
             )
-        group = [cmap]
-        if cmap.cursor < end:
-            group += [
-                m
-                for m in self.maps.values()
-                if m is not cmap and m.cursor == cmap.cursor
-            ]
-        while cmap.cursor < end:
-            entry = self.tape[cmap.cursor]
-            if isinstance(entry, DeleteEntry) and entry.positions is None:
-                self._locate_delete(cmap.cursor)
-            if len(group) > 1 and isinstance(entry, CrackEntry):
-                gang_replay_crack(group, entry.interval, self._recorder)
-                for m in group:
-                    self._recorder.event("alignment_replays")
-                    m.cursor += 1
-            else:
-                for m in group:
-                    m.replay_entry(entry)
-        for m in group:
-            self._check_replay_boundaries(m, end)
+        with atomic(self, "mapset"):
+            if cmap.cursor < end:
+                fault_hook("mapset.align", cmap.head)
+            group = [cmap]
+            if cmap.cursor < end:
+                group += [
+                    m
+                    for m in self.maps.values()
+                    if m is not cmap and m.cursor == cmap.cursor
+                ]
+            while cmap.cursor < end:
+                entry = self.tape[cmap.cursor]
+                if isinstance(entry, DeleteEntry) and entry.positions is None:
+                    self._locate_delete(cmap.cursor)
+                if len(group) > 1 and isinstance(entry, CrackEntry):
+                    fault_hook("mapset.gang_replay")
+                    gang_replay_crack(group, entry.interval, self._recorder)
+                    for m in group:
+                        self._recorder.event("alignment_replays")
+                        m.cursor += 1
+                else:
+                    for m in group:
+                        m.replay_entry(entry)
+            for m in group:
+                self._check_replay_boundaries(m, end)
 
     def _check_replay_boundaries(self, cmap: CrackerMap, end: int) -> None:
         """Assert sibling maps agree on piece boundaries after full alignment.
@@ -262,12 +268,13 @@ class MapSet:
         """
         if not self.pending.has_pending(interval):
             return
-        ins_values, ins_tails = self.pending.take_insertions(interval)
-        if len(ins_values):
-            self.tape.append(InsertEntry(ins_values, ins_tails[0]))
-        del_values, del_keys = self.pending.take_deletions(interval)
-        if len(del_values):
-            self.tape.append(DeleteEntry(del_values, del_keys))
+        with atomic(self, "mapset"):
+            ins_values, ins_tails = self.pending.take_insertions(interval)
+            if len(ins_values):
+                self.tape.append(InsertEntry(ins_values, ins_tails[0]))
+            del_values, del_keys = self.pending.take_deletions(interval)
+            if len(del_values):
+                self.tape.append(DeleteEntry(del_values, del_keys))
 
     # -- the sideways.select core ------------------------------------------------------------
 
@@ -277,21 +284,22 @@ class MapSet:
         Returns the map and the qualifying area ``[lo, hi)``; the tail slice
         of that area is the (non-materialized view of the) result.
         """
-        cmap = self.get_map(tail_attr)
-        self.merge_pending(interval)
-        self.align(cmap)
-        cuts: list[Bound] = []
-        lo, hi = cmap.crack(interval, self.policy, self._rng, cuts)
-        # Auxiliary (stochastic) cuts go on the tape first, as one-sided crack
-        # entries, so sibling maps replay the identical sequence without ever
-        # consulting the policy or RNG.
-        for pivot in cuts:
-            self.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
-        self.stochastic_cuts += len(cuts)
-        self.tape.append_crack(interval)
-        cmap.cursor = len(self.tape)
-        self._sig = None
-        checkpoint_crack(self, "mapset")
+        with atomic(self, "mapset"):
+            cmap = self.get_map(tail_attr)
+            self.merge_pending(interval)
+            self.align(cmap)
+            cuts: list[Bound] = []
+            lo, hi = cmap.crack(interval, self.policy, self._rng, cuts)
+            # Auxiliary (stochastic) cuts go on the tape first, as one-sided
+            # crack entries, so sibling maps replay the identical sequence
+            # without ever consulting the policy or RNG.
+            for pivot in cuts:
+                self.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+            self.stochastic_cuts += len(cuts)
+            self.tape.append_crack(interval)
+            cmap.cursor = len(self.tape)
+            self._sig = None
+            checkpoint_crack(self, "mapset")
         return cmap, lo, hi
 
     # -- invariants -----------------------------------------------------------------------------
@@ -339,6 +347,15 @@ class FullMapStorage:
 
     def register(self, mapset: MapSet, tail_attr: str, cmap: CrackerMap) -> None:
         self._registry[(id(mapset), tail_attr)] = (mapset, tail_attr, cmap)
+
+    def unregister(self, mapset: MapSet, tail_attr: str) -> None:
+        """Forget one map (fault rollback / quarantine healing)."""
+        self._registry.pop((id(mapset), tail_attr), None)
+
+    def unregister_set(self, mapset: MapSet) -> None:
+        """Forget every map of ``mapset`` (quarantine healing)."""
+        for key in [k for k in self._registry if k[0] == id(mapset)]:
+            del self._registry[key]
 
     @property
     def used_tuples(self) -> int:

@@ -29,6 +29,7 @@ from repro.cracking.bounds import Bound, Interval, Side
 from repro.cracking.crack import crack_bound
 from repro.cracking.stochastic import CrackPolicy, policy_rng
 from repro.errors import CrackError
+from repro.faults.plan import fault_hook
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
 
@@ -139,6 +140,7 @@ class ChunkMap:
     def area_slice(self, area: Area) -> tuple[np.ndarray, np.ndarray]:
         """The frozen ``(A values, keys)`` content of an area."""
         lo, hi = self.area_positions(area)
+        fault_hook("chunkmap.fetch", self.head[lo:hi])
         self._recorder.sequential(2 * (hi - lo))
         return self.head[lo:hi], self.keys[lo:hi]
 

@@ -40,6 +40,8 @@ from repro.cracking.ripple import (
     merge_insertions,
 )
 from repro.errors import AlignmentError, PlanError
+from repro.faults.guard import atomic
+from repro.faults.plan import fault_hook
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.relation import Relation
 
@@ -123,13 +125,14 @@ class PartialMapSet:
         regions, tape entries for fetched areas."""
         if not self.pending.has_pending(interval):
             return
-        cmap = self._chunkmap()
-        ins_values, ins_tails = self.pending.take_insertions(interval)
-        if len(ins_values):
-            self._route_insertions(cmap, ins_values, ins_tails[0])
-        del_values, del_keys = self.pending.take_deletions(interval)
-        if len(del_values):
-            self._route_deletions(cmap, del_values, del_keys)
+        with atomic(self, "partial_set"):
+            cmap = self._chunkmap()
+            ins_values, ins_tails = self.pending.take_insertions(interval)
+            if len(ins_values):
+                self._route_insertions(cmap, ins_values, ins_tails[0])
+            del_values, del_keys = self.pending.take_deletions(interval)
+            if len(del_values):
+                self._route_deletions(cmap, del_values, del_keys)
 
     def _area_membership(self, cmap: ChunkMap, values: np.ndarray) -> list[np.ndarray]:
         """Boolean masks grouping ``values`` by the area they belong to."""
@@ -235,6 +238,7 @@ class PartialMapSet:
         assert area.tape is not None
         if chunk.cursor >= target:
             return
+        fault_hook("partial.align", chunk.head if chunk.head is not None else None)
         self._ensure_located(area, target)
         if chunk.head_dropped:
             self._recover_head(pmap, chunk, area)
@@ -296,6 +300,7 @@ class PartialMapSet:
             gang = [chunk for chunk in active if chunk.cursor == cursor]
             entry = area.tape[cursor]
             if len(gang) > 1 and isinstance(entry, CrackEntry):
+                fault_hook("partial.gang_replay")
                 gang_replay_crack(gang, entry.interval, self._recorder)
                 for chunk in gang:
                     self._recorder.event("alignment_replays")
@@ -336,27 +341,28 @@ class PartialMapSet:
         reached.
         """
         assert area.tape is not None
-        lower, upper = area.clip(interval)
-        needed = [b for b in (lower, upper) if b is not None]
-        ordered = list(tail_attrs)
-        chunks: dict[str, tuple[PartialMap, Chunk]] = {}
-        for attr in ordered:
-            chunks[attr] = self.acquire_chunk(attr, area)
+        with atomic(self, "partial_set"):
+            lower, upper = area.clip(interval)
+            needed = [b for b in (lower, upper) if b is not None]
+            ordered = list(tail_attrs)
+            chunks: dict[str, tuple[PartialMap, Chunk]] = {}
+            for attr in ordered:
+                chunks[attr] = self.acquire_chunk(attr, area)
 
-        baseline = max(chunk.cursor for _, chunk in chunks.values())
-        # Never stop short of merged updates: membership must be current.
-        baseline = max(baseline, area.tape.min_safe_cursor)
-        if not self.config.partial_alignment:
-            baseline = len(area.tape)
+            baseline = max(chunk.cursor for _, chunk in chunks.values())
+            # Never stop short of merged updates: membership must be current.
+            baseline = max(baseline, area.tape.min_safe_cursor)
+            if not self.config.partial_alignment:
+                baseline = len(area.tape)
 
-        first_map, first_chunk = chunks[ordered[0]]
-        if needed:
-            target = self._align_and_crack(first_map, first_chunk, area, needed,
-                                           lower, upper, baseline)
-        else:
-            target = baseline
-            self._bring_to(first_map, first_chunk, area, target)
-        self._bring_group_to(area, [chunks[attr] for attr in ordered[1:]], target)
+            first_map, first_chunk = chunks[ordered[0]]
+            if needed:
+                target = self._align_and_crack(first_map, first_chunk, area, needed,
+                                               lower, upper, baseline)
+            else:
+                target = baseline
+                self._bring_to(first_map, first_chunk, area, target)
+            self._bring_group_to(area, [chunks[attr] for attr in ordered[1:]], target)
 
         out: dict[str, tuple[Chunk, int, int]] = {}
         for attr in ordered:
@@ -421,9 +427,10 @@ class PartialMapSet:
         The returned areas are pinned (they stay fetched even if eviction
         drops all their chunks mid-query); callers must :meth:`release` them.
         """
-        cmap = self._chunkmap()
-        self.merge_pending(interval)
-        areas = cmap.cover(interval, self.config.max_chunk_tuples)
+        with atomic(self, "partial_set"):
+            cmap = self._chunkmap()
+            self.merge_pending(interval)
+            areas = cmap.cover(interval, self.config.max_chunk_tuples)
         for area in areas:
             area.pin_count += 1
         return areas

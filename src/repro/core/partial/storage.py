@@ -51,6 +51,16 @@ class ChunkStorage:
         if cmap not in self._chunkmaps:
             self._chunkmaps.append(cmap)
 
+    def unregister_map(self, pmap: PartialMap) -> None:
+        """Forget a partial map (fault rollback or quarantine healing)."""
+        if pmap in self._maps:
+            self._maps.remove(pmap)
+        self._pinned = {(name, aid) for name, aid in self._pinned if name != pmap.name}
+
+    def unregister_chunkmap(self, cmap: ChunkMap) -> None:
+        if cmap in self._chunkmaps:
+            self._chunkmaps.remove(cmap)
+
     # -- accounting -------------------------------------------------------------------
 
     @property

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cracking.bounds import Bound, Interval
+from repro.faults.plan import fault_hook
 
 
 @dataclass
@@ -89,10 +90,28 @@ class CrackerTape:
 
     def append(self, entry: TapeEntry) -> int:
         """Append ``entry``; returns its index."""
+        fault_hook("tape.append")
         self.entries.append(entry)
         if isinstance(entry, (InsertEntry, DeleteEntry)):
             self.min_safe_cursor = len(self.entries)
         return len(self.entries) - 1
+
+    def truncate(self, length: int) -> None:
+        """Drop entries past ``length`` (journal rollback only).
+
+        The tape is append-only from the structures' point of view; the fault
+        journal truncates it back to a snapshot boundary when an operation
+        rolls back, recomputing ``min_safe_cursor`` from the surviving
+        entries.
+        """
+        if length >= len(self.entries):
+            return
+        del self.entries[length:]
+        self.min_safe_cursor = 0
+        for i in range(len(self.entries) - 1, -1, -1):
+            if isinstance(self.entries[i], (InsertEntry, DeleteEntry)):
+                self.min_safe_cursor = i + 1
+                break
 
     def append_crack(self, interval: Interval) -> int:
         """Append a crack entry, deduplicating an immediate repeat.

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.plan import fault_hook
+
 
 class KernelArena:
     """One set of reusable kernel scratch buffers.
@@ -54,24 +56,28 @@ class KernelArena:
 
     def mask(self, n: int) -> np.ndarray:
         """A boolean buffer of length ``n`` (contents undefined)."""
+        fault_hook("arena.alloc")
         self.peak_request = max(self.peak_request, n)
         self._mask = self._fit(self._mask, n)
         return self._mask[:n]
 
     def mask2(self, n: int) -> np.ndarray:
         """A second, independent boolean buffer (for three-way partitions)."""
+        fault_hook("arena.alloc")
         self.peak_request = max(self.peak_request, n)
         self._mask2 = self._fit(self._mask2, n)
         return self._mask2[:n]
 
     def order(self, n: int) -> np.ndarray:
         """An ``intp`` permutation buffer of length ``n``."""
+        fault_hook("arena.alloc")
         self.peak_request = max(self.peak_request, n)
         self._order = self._fit(self._order, n)
         return self._order[:n]
 
     def scratch(self, dtype: np.dtype, n: int) -> np.ndarray:
         """A gather target of ``dtype`` and length ``n``."""
+        fault_hook("arena.alloc")
         self.peak_request = max(self.peak_request, n)
         dtype = np.dtype(dtype)
         buf = self._scratch.get(dtype)

@@ -22,6 +22,7 @@ from repro.cracking.crack import crack_into
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.ripple import delete_positions, locate_deletions, merge_insertions
 from repro.cracking.stochastic import CrackPolicy, policy_rng
+from repro.faults.guard import atomic
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.bat import BAT
 
@@ -70,15 +71,17 @@ class CrackerColumn:
         Merges relevant pending updates, cracks, and returns a copy of the
         qualifying tail area.
         """
-        self.apply_pending(interval)
-        lo, hi = self._crack(interval)
+        with atomic(self, "column"):
+            self.apply_pending(interval)
+            lo, hi = self._crack(interval)
         self._recorder.sequential(hi - lo)
         return self.keys[lo:hi].copy()
 
     def select_area(self, interval: Interval) -> tuple[int, int]:
         """Crack for ``interval`` and return the qualifying area ``[lo, hi)``."""
-        self.apply_pending(interval)
-        return self._crack(interval)
+        with atomic(self, "column"):
+            self.apply_pending(interval)
+            return self._crack(interval)
 
     def _crack(self, interval: Interval) -> tuple[int, int]:
         cuts: list = []
@@ -106,21 +109,24 @@ class CrackerColumn:
         """Merge pending updates whose values fall inside ``interval``."""
         if not self.pending.has_pending(interval):
             return
-        ins_head, ins_tails = self.pending.take_insertions(interval)
-        if len(ins_head):
-            self.head, tails = merge_insertions(
-                self.index, self.head, [self.keys], ins_head, ins_tails, self._recorder
-            )
-            self.keys = tails[0]
-        del_values, del_keys = self.pending.take_deletions(interval)
-        if len(del_values):
-            positions = locate_deletions(
-                self.index, self.head, self.keys, del_values, del_keys, self._recorder
-            )
-            self.head, tails = delete_positions(
-                self.index, self.head, [self.keys], positions, self._recorder
-            )
-            self.keys = tails[0]
+        with atomic(self, "column"):
+            ins_head, ins_tails = self.pending.take_insertions(interval)
+            if len(ins_head):
+                self.head, tails = merge_insertions(
+                    self.index, self.head, [self.keys], ins_head, ins_tails,
+                    self._recorder,
+                )
+                self.keys = tails[0]
+            del_values, del_keys = self.pending.take_deletions(interval)
+            if len(del_values):
+                positions = locate_deletions(
+                    self.index, self.head, self.keys, del_values, del_keys,
+                    self._recorder,
+                )
+                self.head, tails = delete_positions(
+                    self.index, self.head, [self.keys], positions, self._recorder
+                )
+                self.keys = tails[0]
 
     # -- invariants (used by tests and CrackSan) ---------------------------------------
 

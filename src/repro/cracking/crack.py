@@ -22,6 +22,7 @@ from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
 from repro.cracking.kernels import crack_three, crack_two, sort_piece
 from repro.cracking.stochastic import CrackPolicy, account_partition, is_stochastic
+from repro.faults.plan import fault_hook
 from repro.stats.counters import StatsRecorder, global_recorder
 
 
@@ -48,6 +49,7 @@ def crack_bound(
     Returns the boundary's position.  With a stochastic ``policy``, the
     fresh crack may perform auxiliary cuts first (reported via ``cut_sink``).
     """
+    fault_hook("crack.crack_bound")
     recorder = recorder or global_recorder()
     recorder.event("index_lookups")
     pos = index.position_of(bound)

@@ -41,7 +41,8 @@ import numpy as np
 
 from repro.cracking.arena import KernelArena, default_arena
 from repro.cracking.bounds import Bound
-from repro.errors import CrackError
+from repro.errors import ArenaPressure, CrackError
+from repro.faults.plan import fault_hook
 
 # ---------------------------------------------------------------------------
 # Reference backend: the original allocating kernels, kept verbatim as the
@@ -120,6 +121,24 @@ def reference_sort_piece(
 # ---------------------------------------------------------------------------
 
 
+def _reserve_scratch(
+    arena: KernelArena, arrays: Sequence[np.ndarray], n: int
+) -> dict[np.dtype, np.ndarray]:
+    """Acquire every scratch buffer a gang apply will need, up front.
+
+    All arena requests happen *before* any array is mutated, so an
+    allocation failure (:class:`~repro.errors.ArenaPressure`, real or
+    injected) can only strike while the inputs are still pristine — which is
+    what lets the dispatchers transparently retry on the allocation-free
+    ``reference`` backend.
+    """
+    scratch: dict[np.dtype, np.ndarray] = {}
+    for arr in arrays:
+        if arr.dtype not in scratch:
+            scratch[arr.dtype] = arena.scratch(arr.dtype, n)
+    return scratch
+
+
 def apply_permutation(
     head: np.ndarray,
     tails: Sequence[np.ndarray],
@@ -139,11 +158,12 @@ def apply_permutation(
     """
     arena = arena if arena is not None else default_arena()
     n = hi - lo
+    scratch = _reserve_scratch(arena, (head, *tails), n)
     for arr in (head, *tails):
         seg = arr[lo:hi]
-        scratch = arena.scratch(seg.dtype, n)
-        np.take(seg, order, out=scratch, mode="wrap")
-        seg[:] = scratch
+        buf = scratch[seg.dtype]
+        np.take(seg, order, out=buf, mode="wrap")
+        seg[:] = buf
 
 
 def _apply_index_groups(
@@ -162,15 +182,16 @@ def _apply_index_groups(
     arrays exactly once either way).
     """
     n = hi - lo
+    scratch = _reserve_scratch(arena, (head, *tails), n)
     for arr in (head, *tails):
         seg = arr[lo:hi]
-        scratch = arena.scratch(seg.dtype, n)
+        buf = scratch[seg.dtype]
         pos = 0
         for idx in groups:
             end = pos + len(idx)
-            np.take(seg, idx, out=scratch[pos:end], mode="wrap")
+            np.take(seg, idx, out=buf[pos:end], mode="wrap")
             pos = end
-        seg[:] = scratch
+        seg[:] = buf
 
 
 def fused_crack_two(
@@ -303,9 +324,17 @@ def crack_two(
     After the call, elements in ``[lo, split)`` satisfy the bound's left side
     and elements in ``[split, hi)`` its right side.  Returns ``split``.
     """
-    return KERNEL_BACKENDS[_active_backend]["crack_two"](
-        head, tails, lo, hi, bound, arena
-    )
+    fault_hook("kernels.crack_two", head[lo:hi])
+    try:
+        return KERNEL_BACKENDS[_active_backend]["crack_two"](
+            head, tails, lo, hi, bound, arena
+        )
+    except ArenaPressure:
+        if _active_backend == "reference":
+            raise
+        # Arena failures strike before any mutation (masks and scratch are
+        # reserved up front), so the inputs are intact: retry without it.
+        return KERNEL_BACKENDS["reference"]["crack_two"](head, tails, lo, hi, bound)
 
 
 def crack_three(
@@ -322,9 +351,17 @@ def crack_three(
     Produces ``[lo, p1)`` below ``lower``, ``[p1, p2)`` between the bounds,
     and ``[p2, hi)`` above ``upper``; returns ``(p1, p2)``.
     """
-    return KERNEL_BACKENDS[_active_backend]["crack_three"](
-        head, tails, lo, hi, lower, upper, arena
-    )
+    fault_hook("kernels.crack_three", head[lo:hi])
+    try:
+        return KERNEL_BACKENDS[_active_backend]["crack_three"](
+            head, tails, lo, hi, lower, upper, arena
+        )
+    except ArenaPressure:
+        if _active_backend == "reference":
+            raise
+        return KERNEL_BACKENDS["reference"]["crack_three"](
+            head, tails, lo, hi, lower, upper
+        )
 
 
 def sort_piece(
@@ -341,4 +378,10 @@ def sort_piece(
     search, and being stable it is deterministic, so it can be logged to a
     tape and replayed for alignment.
     """
-    KERNEL_BACKENDS[_active_backend]["sort_piece"](head, tails, lo, hi, arena)
+    fault_hook("kernels.sort_piece", head[lo:hi])
+    try:
+        KERNEL_BACKENDS[_active_backend]["sort_piece"](head, tails, lo, hi, arena)
+    except ArenaPressure:
+        if _active_backend == "reference":
+            raise
+        KERNEL_BACKENDS["reference"]["sort_piece"](head, tails, lo, hi)

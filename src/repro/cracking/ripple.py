@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Side
+from repro.faults.plan import fault_hook
 from repro.stats.counters import StatsRecorder, global_recorder
 
 
@@ -57,6 +58,7 @@ def merge_insertions(
 
     The cracker index's boundary positions are shifted in place.
     """
+    fault_hook("ripple.merge_insertions", ins_head)
     recorder = recorder or global_recorder()
     if len(ins_head) == 0:
         return head, list(tails)
@@ -153,6 +155,7 @@ def delete_positions(
 
     Boundary positions in the index are shifted down accordingly.
     """
+    fault_hook("ripple.delete_positions")
     recorder = recorder or global_recorder()
     if len(positions) == 0:
         return head, list(tails)

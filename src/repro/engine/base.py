@@ -19,6 +19,9 @@ import numpy as np
 from repro.analysis.sanitizer import checkpoint_query
 from repro.engine.database import Database
 from repro.engine.join import hash_join
+from repro.errors import FaultError, InvariantError
+from repro.faults.guard import RECOVERABLE
+from repro.faults.plan import active_plan
 from repro.engine.query import (
     JoinQuery,
     JoinSide,
@@ -28,6 +31,11 @@ from repro.engine.query import (
 )
 from repro.stats.counters import StatsRecorder
 from repro.stats.timing import PhaseTimer
+
+#: What engine-level recovery catches: everything the atomic guards roll
+#: back on, plus the InvariantError a guard raises after undoing detected
+#: in-place corruption.
+_ENGINE_RECOVERABLE = RECOVERABLE + (InvariantError,)
 
 
 @dataclass
@@ -55,6 +63,22 @@ class Engine(abc.ABC):
     # -- single-table queries -------------------------------------------------------
 
     def run(self, query: Query) -> QueryResult:
+        """Answer ``query``; under an active fault plan, heal and fall back.
+
+        When an injected (or injected-corruption-detected) fault escapes the
+        per-structure atomic guards, every broken structure has already been
+        rolled back or quarantined; this wrapper drops the quarantined ones
+        and re-answers the query through the scan engine, so callers always
+        get a correct result or a structured :class:`FaultError`.
+        """
+        try:
+            return self._run_raw(query)
+        except _ENGINE_RECOVERABLE as exc:
+            if active_plan() is None:
+                raise
+            return self._recover(exc, lambda engine: engine._run_raw(query))
+
+    def _run_raw(self, query: Query) -> QueryResult:
         result = QueryResult()
         with self.recorder.frame() as stats:
             with result.timer.phase("total"):
@@ -93,9 +117,36 @@ class Engine(abc.ABC):
     def _execute(self, query: Query, timer: PhaseTimer) -> dict[str, np.ndarray]:
         """Evaluate the query, returning positionally aligned projections."""
 
+    # -- fault recovery ------------------------------------------------------------------
+
+    def _recover(self, exc: BaseException, rerun) -> QueryResult:
+        """Heal quarantined structures, then re-answer via the scan engine."""
+        from repro.engine.scan import PlainEngine
+
+        site = getattr(exc, "site", None)
+        self.db.heal_faults()
+        fallback = self if isinstance(self, PlainEngine) else PlainEngine(self.db)
+        try:
+            result = rerun(fallback)
+        except _ENGINE_RECOVERABLE as fallback_exc:
+            raise FaultError(
+                "scan fallback failed after fault recovery", site=site
+            ) from fallback_exc
+        result.fault_recovered = True
+        return result
+
     # -- join queries -------------------------------------------------------------------
 
     def run_join(self, query: JoinQuery) -> QueryResult:
+        """Join-query counterpart of :meth:`run` (same recovery contract)."""
+        try:
+            return self._run_join_raw(query)
+        except _ENGINE_RECOVERABLE as exc:
+            if active_plan() is None:
+                raise
+            return self._recover(exc, lambda engine: engine._run_join_raw(query))
+
+    def _run_join_raw(self, query: JoinQuery) -> QueryResult:
         result = QueryResult()
         timer = result.timer
         with self.recorder.frame() as stats:

@@ -26,6 +26,8 @@ from repro.core.sideways import SidewaysCracker
 from repro.cracking.column import CrackerColumn
 from repro.cracking.stochastic import CrackPolicy, policy_rng, resolve_policy
 from repro.errors import CatalogError, UpdateError
+from repro.faults.guard import is_quarantined
+from repro.faults.plan import FaultPlan, install_plan, resolve_plan
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
@@ -56,6 +58,7 @@ class Database:
         crack_policy: "CrackPolicy | str | None" = None,
         crack_seed: int = 42,
         sanitize: "str | bool | None" = None,
+        faults: "str | FaultPlan | None" = None,
     ) -> None:
         self.recorder = recorder or global_recorder()
         self.crack_policy = resolve_policy(crack_policy)
@@ -63,6 +66,12 @@ class Database:
         # CrackSan: None falls back to $REPRO_SANITIZE (default "off").
         # Activated before any structure exists so everything is watched.
         self.sanitizer = Sanitizer(sanitize, seed=crack_seed).activate()
+        # FaultSan: None falls back to $REPRO_FAULTS (default: no plan).
+        # The plan is process-global, mirroring the sanitizer's checkpoint
+        # hooks; installing from here keeps the CLI/env plumbing symmetric.
+        self.fault_plan = resolve_plan(faults, seed=crack_seed)
+        if self.fault_plan is not None:
+            install_plan(self.fault_plan)
         self.catalog = Catalog()
         self._tables: dict[str, _TableState] = {}
         self._crackers: dict[tuple[str, str], CrackerColumn] = {}
@@ -93,6 +102,60 @@ class Database:
                 pset.policy = resolved
                 if pset.chunkmap is not None:
                     pset.chunkmap.policy = resolved
+
+    # -- fault healing -----------------------------------------------------------
+
+    def heal_faults(self) -> list[str]:
+        """Drop quarantined (or still-broken) structures for a lazy rebuild.
+
+        Every auxiliary structure is redundant — base relations hold all
+        primary data — so healing is simply forgetting the broken copy; the
+        next query that needs it rebuilds it from scratch.  Structures that
+        are not flagged but fail a deep validation (corruption a rollback
+        could not undo, e.g. a mutated pre-snapshot tape entry) are treated
+        the same.  Returns the labels of the structures that were dropped.
+        """
+        from repro.analysis import invariants, sanitizer
+        from repro.faults.guard import quarantine
+
+        def broken(obj, kind: str) -> bool:
+            if is_quarantined(obj):
+                return True
+            with sanitizer.suspended():
+                return bool(invariants.check(obj, kind, deep=True))
+
+        healed: list[str] = []
+        for key, cracker in list(self._crackers.items()):
+            if broken(cracker, "column"):
+                quarantine(cracker, "healed")
+                healed.append(f"cracker_column[{key[0]}.{key[1]}]")
+                del self._crackers[key]
+        for table, sideways in self._sideways.items():
+            for attr, mapset in list(sideways.sets.items()):
+                if broken(mapset, "mapset"):
+                    quarantine(mapset, "healed")
+                    for cmap in mapset.maps.values():
+                        quarantine(cmap, "healed")
+                    healed.append(f"mapset[{table}.{attr}]")
+                    self.full_map_storage.unregister_set(mapset)
+                    del sideways.sets[attr]
+        for table, partial in self._partial.items():
+            for attr, pset in list(partial.sets.items()):
+                bad = broken(pset, "partial_set")
+                if not bad and pset.chunkmap is not None:
+                    bad = broken(pset.chunkmap, "chunkmap")
+                if bad:
+                    quarantine(pset, "healed")
+                    healed.append(f"partial_set[{table}.{attr}]")
+                    if pset.chunkmap is not None:
+                        quarantine(pset.chunkmap, "healed")
+                        self.chunk_storage.unregister_chunkmap(pset.chunkmap)
+                    for pmap in pset.maps.values():
+                        for chunk in pmap.chunks.values():
+                            quarantine(chunk, "healed")
+                        self.chunk_storage.unregister_map(pmap)
+                    del partial.sets[attr]
+        return healed
 
     # -- schema ----------------------------------------------------------------
 

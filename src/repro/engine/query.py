@@ -128,6 +128,9 @@ class QueryResult:
     row_count: int = 0
     timer: PhaseTimer = field(default_factory=PhaseTimer)
     stats: AccessStats = field(default_factory=AccessStats)
+    #: True when a fault interrupted the original engine and the answer was
+    #: re-computed through the scan fallback after healing.
+    fault_recovered: bool = False
 
     @property
     def total_seconds(self) -> float:

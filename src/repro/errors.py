@@ -86,6 +86,80 @@ class StorageBudgetError(ReproError):
     """The storage manager cannot satisfy an allocation within its budget."""
 
 
+class PersistError(ReproError):
+    """A persisted database image is truncated, corrupted, or unreadable.
+
+    Carries the offending ``path`` and, when known, the archive ``member``
+    and byte ``offset`` where the damage was detected, so a corrupt snapshot
+    can be diagnosed without re-running the load under a debugger.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        member: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        parts = [message]
+        if path is not None:
+            parts.append(f"path={path}")
+        if member is not None:
+            parts.append(f"member={member}")
+        if offset is not None:
+            parts.append(f"offset={offset}")
+        super().__init__(" ".join(parts))
+        self.path = path
+        self.member = member
+        self.offset = offset
+
+
+class FaultError(ReproError):
+    """A fault (injected or real) could not be recovered transparently.
+
+    Raised by the engine layer when rollback, quarantine-rebuild, *and* the
+    scan fallback all failed to produce a correct answer.  The original
+    failure is chained as ``__cause__``; ``site`` names the failpoint when
+    the fault was injected by :mod:`repro.faults`.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None) -> None:
+        if site is not None:
+            message = f"{message} (site={site})"
+        super().__init__(message)
+        self.site = site
+
+
+class InjectedFault(Exception):
+    """A deterministic fault raised by an armed :class:`repro.faults.FaultPlan`.
+
+    Deliberately *not* a :class:`ReproError`: library code that catches
+    ``ReproError`` (or any typed subset) can never swallow an injected fault
+    by accident — only the recovery guard and the engine fallback handle it.
+    """
+
+    def __init__(self, site: str, hit: int, kind: str = "error") -> None:
+        super().__init__(f"injected fault at {site} (hit #{hit}, kind={kind})")
+        self.site = site
+        self.hit = hit
+        self.kind = kind
+
+
+class ArenaPressure(MemoryError):
+    """Simulated (or real) allocation failure inside a :class:`KernelArena`.
+
+    Subclasses :class:`MemoryError` so generic out-of-memory handling
+    applies; the fused-kernel dispatchers catch it *before any array is
+    mutated* and transparently retry on the allocation-free ``reference``
+    backend.
+    """
+
+    def __init__(self, site: str = "arena.alloc", detail: str = "") -> None:
+        super().__init__(f"arena allocation failure at {site}" + (f": {detail}" if detail else ""))
+        self.site = site
+
+
 class UpdateError(ReproError):
     """A pending-update merge failed or saw inconsistent keys."""
 

@@ -1,0 +1,246 @@
+"""FaultSan: a deterministic, seedable failpoint registry.
+
+A :class:`FaultPlan` arms named *injection sites* threaded through the hot
+mutation paths (crack kernels, arena allocation, tape append, map alignment,
+gang replay, chunk fetch, ripple merge).  Each site is a single
+:func:`fault_hook` call; when no plan is installed the hook is one global
+``None`` check, so the fault-free path stays effectively free.
+
+Plans are written as a comma-separated spec string::
+
+    site[@N]=kind[,site[@N]=kind...]
+
+``N`` is the 1-based *hit count* at which the fault fires (default 1: the
+first time the site is reached).  ``kind`` is one of:
+
+* ``error``   — raise :class:`repro.errors.InjectedFault` (default);
+* ``oom``     — raise :class:`repro.errors.ArenaPressure`; only meaningful at
+  ``arena.alloc``, where the fused kernels fall back to the allocation-free
+  ``reference`` backend;
+* ``corrupt`` — flip payload values in place at a payload-carrying site and
+  mark the plan *dirty*; the atomic guard then forces a deep validation so
+  CrackSan checksums catch the damage.
+
+Hit counting is per-site and deterministic: the same workload under the same
+plan injects at exactly the same operation every run.  Corruption uses an RNG
+seeded from ``(seed, site)`` so the flipped positions replay too.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ArenaPressure, InjectedFault, ReproError
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every registered failpoint site.  Docs and the chaos CI job iterate this;
+#: ``fault_hook`` refuses unknown names so the catalog can never drift from
+#: the instrumented code.
+SITES: tuple[str, ...] = (
+    "kernels.crack_two",
+    "kernels.crack_three",
+    "kernels.sort_piece",
+    "crack.crack_bound",
+    "arena.alloc",
+    "tape.append",
+    "mapset.align",
+    "mapset.gang_replay",
+    "partial.align",
+    "partial.gang_replay",
+    "chunkmap.fetch",
+    "ripple.merge_insertions",
+    "ripple.delete_positions",
+)
+
+KINDS: tuple[str, ...] = ("error", "oom", "corrupt")
+
+#: Sites whose hook passes an array payload, i.e. where ``corrupt`` can act.
+PAYLOAD_SITES: frozenset[str] = frozenset(
+    {
+        "kernels.crack_two",
+        "kernels.crack_three",
+        "kernels.sort_piece",
+        "mapset.align",
+        "partial.align",
+        "chunkmap.fetch",
+        "ripple.merge_insertions",
+    }
+)
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan spec string is malformed or names an unknown site."""
+
+
+@dataclass
+class FaultSpec:
+    """One armed failpoint: fire ``kind`` on the ``hit``-th visit to ``site``."""
+
+    site: str
+    hit: int = 1
+    kind: str = "error"
+
+    def describe(self) -> str:
+        return f"{self.site}@{self.hit}={self.kind}"
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed failpoints plus the injection bookkeeping.
+
+    ``hits`` counts visits per site (grows even after the fault fired, so a
+    plan can report coverage); ``injected`` logs every fault actually fired;
+    ``dirty`` flags that a ``corrupt`` fault mutated live data — the atomic
+    guard uses it to force deep validation on an otherwise clean commit.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 42
+    hits: dict[str, int] = field(default_factory=dict)
+    injected: list[str] = field(default_factory=list)
+    dirty: bool = False
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 42) -> "FaultPlan":
+        """Parse ``site[@N]=kind`` comma-separated spec into a plan."""
+        specs: list[FaultSpec] = []
+        for raw in spec.split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            site_part, _, kind = part.partition("=")
+            kind = kind.strip() or "error"
+            site, _, hit_part = site_part.strip().partition("@")
+            site = site.strip()
+            try:
+                hit = int(hit_part) if hit_part else 1
+            except ValueError:
+                raise FaultPlanError(f"bad hit count in fault spec {part!r}") from None
+            if site not in SITES:
+                raise FaultPlanError(
+                    f"unknown fault site {site!r}; registered sites: {', '.join(SITES)}"
+                )
+            if kind not in KINDS:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r} in {part!r}; have {', '.join(KINDS)}"
+                )
+            if hit < 1:
+                raise FaultPlanError(f"hit count must be >= 1 in {part!r}")
+            if kind == "corrupt" and site not in PAYLOAD_SITES:
+                raise FaultPlanError(
+                    f"site {site!r} carries no payload; 'corrupt' applies only to: "
+                    + ", ".join(sorted(PAYLOAD_SITES))
+                )
+            specs.append(FaultSpec(site=site, hit=hit, kind=kind))
+        return cls(specs=tuple(specs), seed=seed)
+
+    def describe(self) -> str:
+        return ",".join(s.describe() for s in self.specs)
+
+    # -- injection -----------------------------------------------------------
+
+    def visit(self, site: str, payload: np.ndarray | None) -> None:
+        """Record one visit to ``site`` and fire any spec armed for this hit."""
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        for spec in self.specs:
+            if spec.site != site or spec.hit != count:
+                continue
+            self.injected.append(spec.describe())
+            if spec.kind == "oom":
+                raise ArenaPressure(site, f"injected at hit #{count}")
+            if spec.kind == "corrupt":
+                self._corrupt(site, payload)
+                continue
+            raise InjectedFault(site, count, spec.kind)
+
+    def _corrupt(self, site: str, payload: np.ndarray | None) -> None:
+        if payload is None or getattr(payload, "size", 0) == 0:
+            return
+        # zlib.crc32 (not hash()) keeps the flip position stable across
+        # processes regardless of PYTHONHASHSEED.
+        rng = np.random.default_rng((self.seed, zlib.crc32(site.encode())))
+        flat = payload.reshape(-1)
+        idx = int(rng.integers(0, flat.shape[0]))
+        if flat.dtype == np.bool_:
+            flat[idx] = not bool(flat[idx])
+        elif np.issubdtype(flat.dtype, np.integer):
+            flat[idx] = flat[idx] ^ np.asarray(0x5A, dtype=flat.dtype)
+        else:
+            flat[idx] = flat[idx] + 1.0
+        self.dirty = True
+
+
+# ---------------------------------------------------------------------------
+# Module-level active plan + the hook the instrumented sites call.
+# ---------------------------------------------------------------------------
+
+_ACTIVE_PLAN: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, or ``None`` when faults are off."""
+    return _ACTIVE_PLAN
+
+
+def install_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` as the process-wide active plan; returns the old one."""
+    global _ACTIVE_PLAN
+    prev = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    return prev
+
+
+def uninstall_plan() -> None:
+    install_plan(None)
+
+
+def fault_hook(site: str, payload: np.ndarray | None = None) -> None:
+    """The failpoint.  Near-free when no plan is armed (one ``None`` check).
+
+    ``site`` must be registered in :data:`SITES`; ``payload`` is the array a
+    ``corrupt`` fault may flip in place (omit at sites with no natural
+    payload).  Raises :class:`InjectedFault` / :class:`ArenaPressure` when
+    the active plan says this visit should fail.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return
+    # Sites reached from validation/replay scratch work (CrackSan's ghost
+    # structures, journal rollback checks) stay inert: faults target the
+    # production mutation paths, and firing here would corrupt the validator
+    # itself and make hit counts depend on the sanitize level.
+    from repro.analysis.sanitizer import is_suspended
+
+    if is_suspended():
+        return
+    if site not in _SITE_SET:
+        raise FaultPlanError(f"fault_hook called with unregistered site {site!r}")
+    plan.visit(site, payload)
+
+
+_SITE_SET = frozenset(SITES)
+
+
+def resolve_plan(
+    explicit: "FaultPlan | str | None" = None, seed: int = 42
+) -> FaultPlan | None:
+    """Resolve a plan from an explicit value or the ``$REPRO_FAULTS`` env var.
+
+    Mirrors ``repro.analysis.sanitizer.resolve_level``: an explicit argument
+    wins; otherwise the environment variable is consulted; empty/absent means
+    no faults.
+    """
+    if isinstance(explicit, FaultPlan):
+        return explicit
+    if isinstance(explicit, str):
+        return FaultPlan.parse(explicit, seed=seed) if explicit.strip() else None
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        return FaultPlan.parse(env, seed=seed)
+    return None

@@ -29,7 +29,7 @@ from repro.cracking.bounds import Interval
 from repro.engine.base import Engine
 from repro.engine.database import Database
 from repro.engine.query import AGGREGATE_FUNCS, Predicate, Query, QueryResult
-from repro.errors import PlanError
+from repro.errors import PlanError, PredicateError
 
 _TOKEN = re.compile(
     r"\s*(?:"
@@ -291,7 +291,7 @@ def _intersect_intervals(a: Interval, b: Interval, attr: str) -> Interval:
         hi, hi_inc = b.hi, b.hi_inclusive
     try:
         return Interval(lo, hi, lo_inclusive=lo_inc, hi_inclusive=hi_inc)
-    except Exception as exc:  # empty / inverted after intersection
+    except PredicateError as exc:  # empty / inverted after intersection
         raise PlanError(f"contradictory predicates on {attr!r}") from exc
 
 

@@ -7,6 +7,13 @@ or chunk can be dropped and relearned from the workload), so a reloaded
 database simply starts cold.
 
 Tombstones are persisted so deletions survive the round trip.
+
+Integrity: the manifest records a CRC32 per persisted array.  Loading
+verifies every array against its recorded checksum, so a truncated or
+bit-flipped snapshot raises a structured :class:`~repro.errors.PersistError`
+naming the offending path and archive member instead of silently serving
+damaged base data (which no amount of cracking-level self-healing could
+recover from — base relations are the primary copy).
 """
 
 from __future__ import annotations
@@ -14,14 +21,42 @@ from __future__ import annotations
 import io
 import json
 import pathlib
+import zipfile
+import zlib
 
 import numpy as np
 
 from repro.engine.database import Database
-from repro.errors import SchemaError
+from repro.errors import PersistError, SchemaError
 
 _MANIFEST_KEY = "__manifest__"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Low-level failures the loader converts into :class:`PersistError`.
+#: ``zipfile.BadZipFile`` subclasses more than one of these across Python
+#: versions, so it is listed explicitly.
+_IO_ERRORS = (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError)
+
+
+def _crc32(values: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(values).tobytes()) & 0xFFFFFFFF
+
+
+def _path_of(path: "str | pathlib.Path | io.IOBase") -> str | None:
+    if isinstance(path, (str, pathlib.Path)):
+        return str(path)
+    return getattr(path, "name", None)
+
+
+def _file_size(path: "str | pathlib.Path | io.IOBase") -> int | None:
+    try:
+        if isinstance(path, (str, pathlib.Path)):
+            return pathlib.Path(path).stat().st_size
+        if hasattr(path, "getbuffer"):
+            return len(path.getbuffer())
+    except OSError:
+        return None
+    return None
 
 
 def save_database(db: Database, path: "str | pathlib.Path") -> None:
@@ -38,26 +73,80 @@ def save_database(db: Database, path: "str | pathlib.Path") -> None:
             columns[attr] = {
                 "ctype": bat.ctype.value,
                 "dictionary": list(bat.dictionary.values) if bat.dictionary else None,
+                "crc32": _crc32(bat.values),
             }
-        arrays[f"{table}::@tombstones"] = db.tombstones(table)
-        manifest["tables"][table] = {"columns": columns}
+        tombstones = db.tombstones(table)
+        arrays[f"{table}::@tombstones"] = tombstones
+        manifest["tables"][table] = {
+            "columns": columns,
+            "tombstones_crc32": _crc32(tombstones),
+        }
     manifest_blob = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(path, **arrays, **{_MANIFEST_KEY: manifest_blob})
 
 
+def _read_member(archive, key: str, path_str: str | None) -> np.ndarray:
+    """One archive array, converting low-level damage into ``PersistError``."""
+    try:
+        return archive[key]
+    except KeyError as err:
+        raise PersistError(
+            "archive member missing", path=path_str, member=key
+        ) from err
+    except _IO_ERRORS as err:
+        raise PersistError(
+            f"archive member unreadable: {err}", path=path_str, member=key
+        ) from err
+
+
+def _verify_crc(
+    values: np.ndarray, expected: int | None, path_str: str | None, key: str
+) -> None:
+    if expected is None:  # a v1 archive: no checksums recorded
+        return
+    actual = _crc32(values)
+    if actual != expected:
+        raise PersistError(
+            f"checksum mismatch (recorded {expected:#010x}, "
+            f"computed {actual:#010x}) — the snapshot is corrupted",
+            path=path_str, member=key,
+        )
+
+
 def load_database(path: "str | pathlib.Path", db: Database | None = None) -> Database:
-    """Rebuild a :class:`Database` saved by :func:`save_database`."""
+    """Rebuild a :class:`Database` saved by :func:`save_database`.
+
+    Raises :class:`SchemaError` for files that are not repro archives at
+    all, and :class:`PersistError` (with path/member context) for archives
+    that are truncated, bit-flipped, or otherwise damaged.
+    """
     from repro.storage.bat import BAT
     from repro.storage.relation import Relation
     from repro.storage.types import ColumnType, Dictionary
 
-    with np.load(path, allow_pickle=False) as archive:
+    path_str = _path_of(path)
+    try:
+        archive_cm = np.load(path, allow_pickle=False)
+    except _IO_ERRORS as err:
+        raise PersistError(
+            f"cannot open database archive: {err}",
+            path=path_str, offset=_file_size(path),
+        ) from err
+    with archive_cm as archive:
         if _MANIFEST_KEY not in archive:
             raise SchemaError(f"{path} is not a repro database archive")
-        manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
-        if manifest.get("version") != _FORMAT_VERSION:
+        try:
+            manifest = json.loads(
+                bytes(_read_member(archive, _MANIFEST_KEY, path_str)).decode("utf-8")
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            raise PersistError(
+                f"manifest is not valid JSON: {err}",
+                path=path_str, member=_MANIFEST_KEY,
+            ) from err
+        if manifest.get("version") not in (1, _FORMAT_VERSION):
             raise SchemaError(
                 f"unsupported archive version {manifest.get('version')!r}"
             )
@@ -65,8 +154,10 @@ def load_database(path: "str | pathlib.Path", db: Database | None = None) -> Dat
         for table, spec in manifest["tables"].items():
             relation = Relation(table)
             for attr, column_spec in spec["columns"].items():
+                key = f"{table}::{attr}"
                 ctype = ColumnType(column_spec["ctype"])
-                values = archive[f"{table}::{attr}"]
+                values = _read_member(archive, key, path_str)
+                _verify_crc(values, column_spec.get("crc32"), path_str, key)
                 dictionary = None
                 if column_spec["dictionary"] is not None:
                     dictionary = Dictionary(tuple(column_spec["dictionary"]))
@@ -76,7 +167,16 @@ def load_database(path: "str | pathlib.Path", db: Database | None = None) -> Dat
             db.catalog.add(relation)
             from repro.engine.database import _TableState
 
-            tombstones = archive[f"{table}::@tombstones"].astype(bool)
+            key = f"{table}::@tombstones"
+            tombstones = _read_member(archive, key, path_str).astype(bool)
+            _verify_crc(
+                tombstones, spec.get("tombstones_crc32"), path_str, key
+            )
+            if len(tombstones) != len(relation):
+                raise PersistError(
+                    f"tombstone mask has {len(tombstones)} entries for "
+                    f"{len(relation)} rows", path=path_str, member=key,
+                )
             db._tables[table] = _TableState(relation, tombstones.copy())
     return db
 

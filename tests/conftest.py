@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis.sanitizer import Sanitizer, active_sanitizers, resolve_level
 from repro.engine.database import Database
+from repro.faults.plan import FaultPlan, install_plan, uninstall_plan
 from repro.storage.relation import Relation
 
 
@@ -16,6 +17,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         choices=("off", "post-crack", "post-query", "deep"),
         help="run the whole suite under the CrackSan invariant sanitizer "
              "at the given checkpoint level",
+    )
+    parser.addoption(
+        "--faults", action="store", default=None, metavar="PLAN",
+        help="run the whole suite under a FaultSan fault-injection plan "
+             "(e.g. 'mapset.align=error'); every engine must still answer "
+             "correctly or raise a structured FaultError",
     )
 
 
@@ -40,6 +47,23 @@ def _cracksan(request: pytest.FixtureRequest):
     # on purpose.
     for stray in active_sanitizers():
         stray.deactivate()
+
+
+@pytest.fixture(autouse=True)
+def _faultsan(request: pytest.FixtureRequest):
+    """Suite-wide FaultSan: arm a fault plan for every test (``--faults``).
+
+    With no ``--faults`` option this only provides isolation: any plan a
+    test installed (directly or via ``Database(faults=...)``) is uninstalled
+    afterwards so it cannot fire in a later test.
+    """
+    spec = request.config.getoption("--faults")
+    if spec:
+        install_plan(FaultPlan.parse(spec))
+    try:
+        yield
+    finally:
+        uninstall_plan()
 
 
 @pytest.fixture

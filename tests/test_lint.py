@@ -113,6 +113,24 @@ def test_bare_except_detected(tmp_path):
     assert [v.rule for v in lint_file(path)] == ["bare-except"]
 
 
+def test_broad_except_detected(tmp_path):
+    path = write(tmp_path, "core/bad_broad.py", (
+        "try:\n"
+        "    pass\n"
+        "except Exception:\n"
+        "    pass\n"
+        "try:\n"
+        "    pass\n"
+        "except (ValueError, BaseException) as exc:\n"
+        "    pass\n"
+        "try:\n"
+        "    pass\n"
+        "except (KeyError, OSError):\n"  # typed: fine
+        "    pass\n"
+    ))
+    assert [v.rule for v in lint_file(path)] == ["broad-except"] * 2
+
+
 def test_syntax_error_reported_not_raised(tmp_path):
     path = write(tmp_path, "broken.py", "def f(:\n")
     violations = lint_file(path)

@@ -1,12 +1,21 @@
 """Database persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cracking.bounds import Interval
 from repro.engine import Database, PlainEngine, Predicate, Query, SidewaysEngine
-from repro.errors import SchemaError
-from repro.storage.persist import dumps, load_database, loads, save_database
+from repro.errors import PersistError, SchemaError
+from repro.storage.persist import (
+    _MANIFEST_KEY,
+    _crc32,
+    dumps,
+    load_database,
+    loads,
+    save_database,
+)
 
 
 @pytest.fixture
@@ -94,3 +103,111 @@ class TestErrors:
         np.savez(path, foo=np.arange(3))
         with pytest.raises(SchemaError):
             load_database(path)
+
+    def test_unsupported_version(self, populated, tmp_path):
+        path = _tampered(populated, tmp_path, _set_version(99))
+        with pytest.raises(SchemaError, match="version"):
+            load_database(path)
+
+
+def _tampered(db, tmp_path, mutate):
+    """Save ``db``, apply ``mutate(members, manifest)``, re-archive."""
+    original = tmp_path / "db.npz"
+    save_database(db, original)
+    with np.load(original, allow_pickle=False) as archive:
+        members = {key: archive[key] for key in archive.files}
+    manifest = json.loads(bytes(members[_MANIFEST_KEY]).decode("utf-8"))
+    mutate(members, manifest)
+    members[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    tampered = tmp_path / "tampered.npz"
+    np.savez_compressed(tampered, **members)
+    return tampered
+
+
+def _set_version(version):
+    def mutate(_members, manifest):
+        manifest["version"] = version
+
+    return mutate
+
+
+class TestCorruption:
+    """Damaged snapshots raise structured PersistError, never load silently."""
+
+    def test_truncated_file(self, populated, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(populated, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(PersistError) as exc_info:
+            load_database(path)
+        assert exc_info.value.path == str(path)
+        assert exc_info.value.offset == len(blob) // 2
+
+    def test_bit_flipped_file(self, populated, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(populated, path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # one byte, somewhere in member data
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistError) as exc_info:
+            load_database(path)
+        assert exc_info.value.path == str(path)
+
+    def test_bit_flipped_array_fails_checksum(self, populated, tmp_path):
+        def flip(members, _manifest):
+            members["R::A"] = members["R::A"].copy()
+            members["R::A"][17] ^= 0x5A  # recorded CRC no longer matches
+
+        path = _tampered(populated, tmp_path, flip)
+        with pytest.raises(PersistError, match="checksum mismatch") as exc_info:
+            load_database(path)
+        assert exc_info.value.member == "R::A"
+        assert exc_info.value.path == str(path)
+
+    def test_missing_member(self, populated, tmp_path):
+        def drop(members, _manifest):
+            del members["R::price"]
+
+        path = _tampered(populated, tmp_path, drop)
+        with pytest.raises(PersistError, match="missing") as exc_info:
+            load_database(path)
+        assert exc_info.value.member == "R::price"
+
+    def test_corrupt_manifest_json(self, populated, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(populated, path)
+        with np.load(path, allow_pickle=False) as archive:
+            members = {key: archive[key] for key in archive.files}
+        members[_MANIFEST_KEY] = np.frombuffer(b'{"ver', dtype=np.uint8)
+        np.savez_compressed(path, **members)
+        with pytest.raises(PersistError, match="JSON") as exc_info:
+            load_database(path)
+        assert exc_info.value.member == _MANIFEST_KEY
+
+    def test_tombstone_length_mismatch(self, populated, tmp_path):
+        def shorten(members, manifest):
+            short = members["R::@tombstones"][:-5].copy()
+            members["R::@tombstones"] = short
+            # Keep the CRC consistent so only the length check can object.
+            manifest["tables"]["R"]["tombstones_crc32"] = _crc32(short)
+
+        path = _tampered(populated, tmp_path, shorten)
+        with pytest.raises(PersistError, match="tombstone"):
+            load_database(path)
+
+    def test_v1_archive_without_checksums_loads(self, populated, tmp_path):
+        def downgrade(_members, manifest):
+            manifest["version"] = 1
+            for spec in manifest["tables"].values():
+                spec.pop("tombstones_crc32", None)
+                for column in spec["columns"].values():
+                    column.pop("crc32", None)
+
+        path = _tampered(populated, tmp_path, downgrade)
+        restored = load_database(path)
+        assert np.array_equal(
+            restored.table("R").values("A"), populated.table("R").values("A")
+        )
