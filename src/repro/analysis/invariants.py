@@ -24,8 +24,15 @@ Shallow invariants (cheap, run at ``post-crack``/``post-query``):
 ``area-contiguity`` / ``area-positions`` / ``area-bounds`` /
 ``area-edges-mirror-index``
     A chunk map's areas tile the value domain contiguously, their positions
-    are ordered, their contents respect the edges, and the set of area
-    edges is exactly the set of ``H_A`` index boundaries.
+    are ordered, their contents respect the edges, and every area edge is an
+    ``H_A`` index boundary.  Boundaries that are *not* edges must lie
+    strictly inside an unfetched area — they are auxiliary cuts awaiting
+    lazy promotion; fetched areas never contain interior boundaries.
+``pending-cracks``
+    Every in-flight progressive crack has ordered markers
+    ``lo <= left <= right <= hi`` inside the structure, its classified
+    prefix/suffix really are below/not-below the bound, the bound is not yet
+    an index boundary, and the recorded piece is the bound's enclosing piece.
 
 Deep invariants (expensive, run at level ``deep``):
 
@@ -83,6 +90,14 @@ def format_boundaries(sig: Iterable[tuple]) -> str:
     return "[" + ", ".join(parts) + "]"
 
 
+def _pending_signature(pending) -> tuple:
+    """Order-independent fingerprint of a structure's in-flight cracks."""
+    return tuple(sorted(
+        (p.bound.value, int(p.bound.side), p.lo, p.hi, p.left, p.right)
+        for p in (pending or {}).values()
+    ))
+
+
 # -- shared building blocks -----------------------------------------------------
 
 
@@ -134,6 +149,78 @@ def _piece_violations(
                     seed, piece_lo=piece.lo_pos, piece_hi=piece.hi_pos,
                     bound=str(piece.hi_bound),
                 ))
+    return out
+
+
+def _pending_violations(
+    structure: str,
+    index: "CrackerIndex",
+    head: np.ndarray | None,
+    n: int,
+    pending,
+    seed: int | None,
+) -> list[InvariantViolation]:
+    """Validate every in-flight progressive crack of one structure.
+
+    ``head`` may be ``None`` (a head-dropped chunk): marker ordering and
+    index checks still run, value classification checks are skipped.
+    """
+    out: list[InvariantViolation] = []
+    for key, p in (pending or {}).items():
+        bound = p.bound
+        if key != bound:
+            out.append(_violation(
+                structure, "pending-cracks",
+                f"pending crack keyed {key} records bound {bound}",
+                seed, key=str(key), bound=str(bound),
+            ))
+            continue
+        if not (0 <= p.lo <= p.left <= p.right <= p.hi <= n):
+            out.append(_violation(
+                structure, "pending-cracks",
+                f"pending crack of {bound} has disordered markers "
+                f"lo={p.lo} left={p.left} right={p.right} hi={p.hi} (n={n})",
+                seed, bound=str(bound), lo=p.lo, left=p.left,
+                right=p.right, hi=p.hi, n=n,
+            ))
+            continue
+        if index.position_of(bound) is not None:
+            out.append(_violation(
+                structure, "pending-cracks",
+                f"in-flight bound {bound} is already an index boundary",
+                seed, bound=str(bound),
+            ))
+            continue
+        enclosing = index.enclosing(bound, n)
+        if enclosing != (p.lo, p.hi):
+            out.append(_violation(
+                structure, "pending-cracks",
+                f"pending crack of {bound} records piece [{p.lo}, {p.hi}) "
+                f"but the enclosing piece is [{enclosing[0]}, {enclosing[1]})",
+                seed, bound=str(bound), recorded=(p.lo, p.hi),
+                enclosing=enclosing,
+            ))
+            continue
+        if head is None:
+            continue
+        below = head[p.lo:p.left]
+        if len(below) and not bound.below_mask(below).all():
+            at = p.lo + int(np.flatnonzero(~bound.below_mask(below))[0])
+            out.append(_violation(
+                structure, "pending-cracks",
+                f"value {head[at]!r} at position {at} sits in the "
+                f"classified-below prefix of {bound} but is not below it",
+                seed, bound=str(bound), position=at,
+            ))
+        above = head[p.right:p.hi]
+        if len(above) and bound.below_mask(above).any():
+            at = p.right + int(np.flatnonzero(bound.below_mask(above))[0])
+            out.append(_violation(
+                structure, "pending-cracks",
+                f"value {head[at]!r} at position {at} sits in the "
+                f"classified-not-below suffix of {bound} but is below it",
+                seed, bound=str(bound), position=at,
+            ))
     return out
 
 
@@ -210,6 +297,10 @@ def _check_column(obj, deep: bool, seed, label, budget) -> list[InvariantViolati
     structure = label or getattr(obj, "label", None) or "cracker_column"
     out = _piece_violations(structure, obj.index, obj.head, seed)
     out += _length_violation(structure, seed, len(obj.head), len(obj.keys))
+    out += _pending_violations(
+        structure, obj.index, obj.head, len(obj.head),
+        getattr(obj, "pending_cracks", None), seed,
+    )
     if deep and not out:
         out += _duplicate_key_violations(structure, obj.keys, seed)
         base = getattr(obj, "_base", None)
@@ -229,6 +320,10 @@ def _check_map(obj, deep: bool, seed, label, budget) -> list[InvariantViolation]
     structure = label or _map_structure(obj)
     out = _piece_violations(structure, obj.index, obj.head, seed)
     out += _length_violation(structure, seed, len(obj.head), len(obj.tail))
+    out += _pending_violations(
+        structure, obj.index, obj.head, len(obj.head),
+        getattr(obj, "pending_cracks", None), seed,
+    )
     return out
 
 
@@ -256,9 +351,18 @@ def _check_mapset(obj, deep: bool, seed, label, budget) -> list[InvariantViolati
             continue
         reference = group[0]
         ref_sig = _boundary_signature(reference.index)
+        ref_pending = _pending_signature(reference.pending_cracks)
         for cmap in group[1:]:
             sig = _boundary_signature(cmap.index)
-            if sig != ref_sig:
+            if _pending_signature(cmap.pending_cracks) != ref_pending:
+                out.append(_violation(
+                    structure, "replay-boundaries",
+                    f"maps {reference.tail_attr!r} and {cmap.tail_attr!r} at "
+                    f"tape position {cursor} disagree on in-flight crack "
+                    f"markers", seed, tape_position=cursor,
+                    map_a=reference.tail_attr, map_b=cmap.tail_attr,
+                ))
+            elif sig != ref_sig:
                 out.append(_violation(
                     structure, "replay-boundaries",
                     f"maps {reference.tail_attr!r} and {cmap.tail_attr!r} at "
@@ -335,6 +439,10 @@ def _mapset_replay_violations(
         detail = "replay reproduces a different head permutation"
     elif not np.array_equal(ghost.tail, cmap.tail):
         detail = "replay reproduces a different tail permutation"
+    elif _pending_signature(ghost.pending_cracks) != _pending_signature(
+        cmap.pending_cracks
+    ):
+        detail = "replay reproduces different in-flight crack markers"
     else:
         ghost_sig = _boundary_signature(ghost.index)
         live_sig = _boundary_signature(cmap.index)
@@ -355,9 +463,17 @@ def _mapset_replay_violations(
 def _check_chunk(obj, deep: bool, seed, label, budget) -> list[InvariantViolation]:
     structure = label or f"chunk[area {obj.area_id}]"
     if obj.head is None:
-        return []  # head-dropped: only the tail remains, nothing checkable
+        # Head-dropped: only marker ordering of in-flight cracks is checkable.
+        return _pending_violations(
+            structure, obj.index, None, len(obj.tail),
+            getattr(obj, "pending_cracks", None), seed,
+        )
     out = _piece_violations(structure, obj.index, obj.head, seed)
     out += _length_violation(structure, seed, len(obj.head), len(obj.tail))
+    out += _pending_violations(
+        structure, obj.index, obj.head, len(obj.head),
+        getattr(obj, "pending_cracks", None), seed,
+    )
     return out
 
 
@@ -426,16 +542,26 @@ def _check_chunkmap(obj, deep: bool, seed, label, budget) -> list[InvariantViola
         ))
     index_bounds = set(obj.index.bounds())
     if index_bounds != interior_edges:
-        extra = index_bounds - interior_edges
+        # Boundaries that are not edges are tolerated only as auxiliary cuts
+        # strictly inside an unfetched area, awaiting lazy promotion.
+        extra = {
+            b for b in index_bounds - interior_edges
+            if not any(
+                not area.fetched and area.contains_strictly(b)
+                for area in obj.areas
+            )
+        }
         missing = interior_edges - index_bounds
-        out.append(_violation(
-            structure, "area-edges-mirror-index",
-            f"H_A boundaries and area edges diverge: "
-            f"{len(extra)} boundary(ies) are not area edges, "
-            f"{len(missing)} edge(s) are not boundaries", seed,
-            extra=tuple(str(b) for b in sorted(extra)),
-            missing=tuple(str(b) for b in sorted(missing)),
-        ))
+        if extra or missing:
+            out.append(_violation(
+                structure, "area-edges-mirror-index",
+                f"H_A boundaries and area edges diverge: "
+                f"{len(extra)} boundary(ies) are not area edges or interior "
+                f"to an unfetched area, "
+                f"{len(missing)} edge(s) are not boundaries", seed,
+                extra=tuple(str(b) for b in sorted(extra)),
+                missing=tuple(str(b) for b in sorted(missing)),
+            ))
     if deep and not out:
         out += _duplicate_key_violations(structure, obj.keys, seed)
         out += _base_permutation_violations(
@@ -569,6 +695,10 @@ def _area_replay_violations(
         detail = "replay reproduces a different head permutation"
     elif not np.array_equal(ghost.tail, chunk.tail):
         detail = "replay reproduces a different tail permutation"
+    elif _pending_signature(ghost.pending_cracks) != _pending_signature(
+        chunk.pending_cracks
+    ):
+        detail = "replay reproduces different in-flight crack markers"
     else:
         ghost_sig = _boundary_signature(ghost.index)
         live_sig = _boundary_signature(chunk.index)
@@ -662,14 +792,16 @@ def content_checksum(arr) -> int:
 
 def _sig_column(obj, content=False):
     sig = (len(obj.head), len(obj.index),
-           obj.pending.insertion_count, obj.pending.deletion_count)
+           obj.pending.insertion_count, obj.pending.deletion_count,
+           _pending_signature(getattr(obj, "pending_cracks", None)))
     if content:
         sig += (content_checksum(obj.head), content_checksum(obj.keys))
     return sig
 
 
 def _sig_map(obj, content=False):
-    sig = (len(obj.head), len(obj.index), obj.cursor)
+    sig = (len(obj.head), len(obj.index), obj.cursor,
+           _pending_signature(getattr(obj, "pending_cracks", None)))
     if content:
         sig += (content_checksum(obj.head), content_checksum(obj.tail))
     return sig
@@ -686,7 +818,8 @@ def _sig_mapset(obj, content=False):
 
 
 def _sig_chunk(obj, content=False):
-    sig = (len(obj.tail), len(obj.index), obj.cursor, obj.head_dropped)
+    sig = (len(obj.tail), len(obj.index), obj.cursor, obj.head_dropped,
+           _pending_signature(getattr(obj, "pending_cracks", None)))
     if content:
         sig += (
             content_checksum(obj.tail),
@@ -699,7 +832,8 @@ def _sig_chunkmap(obj, content=False):
     sig = (
         len(obj.head), len(obj.index),
         tuple(
-            (a.area_id, a.fetched, len(a.tape) if a.tape is not None else -1)
+            (a.area_id, a.fetched, len(a.tape) if a.tape is not None else -1,
+             len(a.open_pendings))
             for a in obj.areas
         ),
     )

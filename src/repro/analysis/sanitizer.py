@@ -62,6 +62,49 @@ ENV_VAR = "REPRO_SANITIZE"
 #: keeping ``deep`` usable on long benchmark workloads.
 DEFAULT_DEEP_REPLAY_BUDGET = 8_000_000
 
+#: When set (to a directory path, or ``1`` for the working directory), every
+#: strict-mode :class:`InvariantError` also drops a
+#: ``cracksan-repro-<pid>-<n>.json`` file with the structured violations and
+#: the crack seed, so CI can attach reproduction material to a failed run.
+ARTIFACT_ENV_VAR = "REPRO_SANITIZE_ARTIFACTS"
+
+_ARTIFACT_COUNTER = 0
+
+
+def _dump_repro(violations: tuple[InvariantViolation, ...], level: str) -> None:
+    target = os.environ.get(ARTIFACT_ENV_VAR)
+    if not target:
+        return
+    global _ARTIFACT_COUNTER
+    _ARTIFACT_COUNTER += 1
+    directory = os.getcwd() if target in ("1", "true", "on") else target
+    path = os.path.join(
+        directory, f"cracksan-repro-{os.getpid()}-{_ARTIFACT_COUNTER}.json"
+    )
+    import json
+
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(
+                {
+                    "level": level,
+                    "violations": [
+                        {
+                            "structure": v.structure,
+                            "invariant": v.invariant,
+                            "detail": v.detail,
+                            "context": [[str(k), str(val)] for k, val in v.context],
+                            "crack_seed": v.seed,
+                        }
+                        for v in violations
+                    ],
+                },
+                handle, indent=2,
+            )
+    except OSError:
+        pass  # the artifact is best-effort; never mask the real error
+
 
 def resolve_level(level: str | bool | None = None) -> str:
     """Normalize a sanitize level spec; ``None`` falls back to $REPRO_SANITIZE.
@@ -264,6 +307,7 @@ class Sanitizer:
         self._clean_sigs.pop(key, None)
         self.violations.extend(found)
         if self.strict:
+            _dump_repro(tuple(found), self.level)
             raise InvariantError.from_violations(found)
         return found
 

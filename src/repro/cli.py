@@ -34,6 +34,8 @@ EXPERIMENTS = {
               "Stochastic cracking robustness (policies x adversarial patterns)"),
     "exp15": ("exp15_faults",
               "FaultSan overhead (journal cost, recovery cost, rebuild cost)"),
+    "exp16": ("exp16_progressive",
+              "Progressive cracking (per-query budgets x adaptive policy)"),
 }
 
 ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
@@ -42,18 +44,22 @@ EXTENSIONS = ("piece_max", "join_strategies", "row_vs_column")
 
 
 def _run_experiment(
-    name: str, scale: float | None, crack_policy: str | None = None
+    name: str, scale: float | None, crack_policy: str | None = None,
+    crack_budget: str | None = None,
 ) -> None:
     module_name, _ = EXPERIMENTS[name]
     module = importlib.import_module(f"repro.bench.{module_name}")
     kwargs: dict = {"scale": scale}
-    if crack_policy is not None:
-        import inspect
+    for flag, value in (("crack_policy", crack_policy),
+                        ("crack_budget", crack_budget)):
+        if value is not None:
+            import inspect
 
-        if "crack_policy" not in inspect.signature(module.run).parameters:
-            print(f"note: {name} ignores --crack-policy", file=sys.stderr)
-        else:
-            kwargs["crack_policy"] = crack_policy
+            if flag not in inspect.signature(module.run).parameters:
+                print(f"note: {name} ignores --{flag.replace('_', '-')}",
+                      file=sys.stderr)
+            else:
+                kwargs[flag] = value
     start = time.perf_counter()
     result = module.run(**kwargs)
     elapsed = time.perf_counter() - start
@@ -89,16 +95,17 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     target = args.experiment
     crack_policy = getattr(args, "crack_policy", None)
+    crack_budget = getattr(args, "crack_budget", None)
     if target == "all":
         for name in EXPERIMENTS:
-            _run_experiment(name, args.scale, crack_policy)
+            _run_experiment(name, args.scale, crack_policy, crack_budget)
         for name in ABLATIONS:
             _run_named("ablations", name, args.scale)
         for name in EXTENSIONS:
             _run_named("extensions", name, args.scale)
         return 0
     if target in EXPERIMENTS:
-        _run_experiment(target, args.scale, crack_policy)
+        _run_experiment(target, args.scale, crack_policy, crack_budget)
         return 0
     if target.startswith("abl:") and target[4:] in ABLATIONS:
         _run_named("ablations", target[4:], args.scale)
@@ -144,7 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="scale factor for rows/thresholds (default 1.0)")
     run.add_argument("--crack-policy", default=None,
                      help="crack policy for experiments that support one "
-                          "(query_driven, ddc, ddr, dd1c, dd1r, mdd1r)")
+                          "(query_driven, ddc, ddr, dd1c, dd1r, mdd1r, or "
+                          "auto for the workload-adaptive selector)")
+    run.add_argument("--crack-budget", default=None,
+                     help="progressive per-query crack budget for experiments "
+                          "that support one: a fraction of the column "
+                          "(e.g. 0.05) or an element count (e.g. 50000)")
     _add_sanitize_flag(run)
     _add_faults_flag(run)
     run.set_defaults(func=cmd_run)

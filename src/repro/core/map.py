@@ -19,12 +19,14 @@ from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
 from repro.cracking.crack import crack_into
 from repro.cracking.kernels import sort_piece
+from repro.cracking.progressive import CrackProgress, PendingMap, replay_progressive
 from repro.cracking.ripple import delete_positions, merge_insertions
 from repro.cracking.stochastic import CrackPolicy
 from repro.core.tape import (
     CrackEntry,
     DeleteEntry,
     InsertEntry,
+    ProgressiveCrackEntry,
     SortEntry,
     TapeEntry,
 )
@@ -65,6 +67,7 @@ class CrackerMap:
         self.index = CrackerIndex()
         self.cursor = 0
         self.accesses = 0
+        self.pending_cracks: PendingMap = {}
         self._fetch_tail = fetch_tail
         self._recorder = recorder or global_recorder()
         self._recorder.event("map_creations")
@@ -88,17 +91,20 @@ class CrackerMap:
         policy: CrackPolicy | None = None,
         rng: np.random.Generator | None = None,
         cut_sink: list[Bound] | None = None,
+        progress: CrackProgress | None = None,
     ) -> tuple[int, int]:
         """Crack on a head predicate; returns the qualifying area ``[lo, hi)``.
 
         A stochastic ``policy`` may add auxiliary cuts (reported through
-        ``cut_sink`` so the owning set can log them to its tape).  Replay
-        (:meth:`replay_entry`) never passes a policy.
+        ``cut_sink`` so the owning set can log them to its tape).  A
+        ``progress`` context makes the crack budget-aware: the returned area
+        is then the certain window and ``progress.holes`` the undecided
+        ranges.  Replay (:meth:`replay_entry`) never passes either.
         """
         self.accesses += 1
         area = crack_into(
             self.index, self.head, [self.tail], interval, self._recorder,
-            policy=policy, rng=rng, cut_sink=cut_sink,
+            policy=policy, rng=rng, cut_sink=cut_sink, progress=progress,
         )
         checkpoint_crack(self, "map")
         return area
@@ -123,8 +129,22 @@ class CrackerMap:
         """
         self._recorder.event("alignment_replays")
         if isinstance(entry, CrackEntry):
-            crack_into(self.index, self.head, [self.tail], entry.interval, self._recorder)
+            crack_into(
+                self.index, self.head, [self.tail], entry.interval, self._recorder,
+                progress=(
+                    CrackProgress(self.pending_cracks) if self.pending_cracks else None
+                ),
+            )
+        elif isinstance(entry, ProgressiveCrackEntry):
+            replay_progressive(
+                self.index, self.head, [self.tail], self.pending_cracks,
+                entry.bound, entry.step, self._recorder,
+            )
         elif isinstance(entry, InsertEntry):
+            if self.pending_cracks:
+                raise AlignmentError(
+                    "insert entry replayed with in-flight progressive cracks"
+                )
             tail_values = self._fetch_tail(entry.keys)
             self.head, tails = merge_insertions(
                 self.index, self.head, [self.tail], entry.values, [tail_values],

@@ -20,11 +20,24 @@ import numpy as np
 
 from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.core.map import CrackerMap
-from repro.core.tape import CrackEntry, CrackerTape, DeleteEntry, InsertEntry
+from repro.core.tape import (
+    CrackEntry,
+    CrackerTape,
+    DeleteEntry,
+    InsertEntry,
+    ProgressiveCrackEntry,
+)
 from repro.cracking import stochastic
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
 from repro.cracking.crack import gang_replay_crack
 from repro.cracking.pending import PendingUpdates
+from repro.cracking.progressive import (
+    BudgetTracker,
+    CrackProgress,
+    ProgressiveBudget,
+    parse_budget,
+    resolve_area,
+)
 from repro.cracking.ripple import locate_deletions
 from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
 from repro.errors import (
@@ -52,6 +65,7 @@ class MapSet:
         storage: "FullMapStorage | None" = None,
         policy: CrackPolicy | None = None,
         rng: np.random.Generator | None = None,
+        budget: "ProgressiveBudget | str | float | None" = None,
     ) -> None:
         self.relation = relation
         self.head_attr = head_attr
@@ -63,6 +77,10 @@ class MapSet:
         self.policy = policy
         self._rng = rng if rng is not None else policy_rng(0, "mapset", head_attr)
         self.stochastic_cuts = 0
+        # Bounds with a progressive crack still in flight at the tape's end
+        # (mirrors the pending_cracks of any fully-aligned map).
+        self.open_pendings: set[Bound] = set()
+        self.set_budget(budget)
         # Piece-boundary signature of the last fully-aligned map, used to
         # assert that replaying a stochastic tape reproduces identical pieces.
         self._sig: tuple[int, tuple] | None = None
@@ -72,6 +90,37 @@ class MapSet:
         self.snapshot_rows = len(relation)
         self._snapshot_excluded: np.ndarray = np.empty(0, dtype=np.int64)
         register_structure(self, "mapset", f"S_{head_attr}")
+
+    # -- progressive budget ----------------------------------------------------
+
+    def set_budget(self, budget: "ProgressiveBudget | str | float | None") -> None:
+        """Install the per-query reorganization budget (``None`` = eager)."""
+        self.budget = parse_budget(budget)
+        self._tracker = BudgetTracker(self.budget)
+
+    @property
+    def progressive_active(self) -> bool:
+        """Is any budget installed or any crack still in flight?
+
+        Callers running multi-map plans use this to decide between the
+        legacy per-map ``select`` and the leader/follower
+        ``select_window`` / ``window_of`` pair.
+        """
+        return self.budget is not None or bool(self.open_pendings)
+
+    def _progress(self, cmap: CrackerMap, budgeted: bool) -> CrackProgress | None:
+        """The crack context for one operation on the (aligned) ``cmap``.
+
+        ``None`` (the exact legacy path, bit-identical tapes) when there is
+        no budget and nothing in flight.  Unbudgeted contexts still resume
+        pendings — a piece holding one must finish it before moving on.
+        """
+        if budgeted and self.budget is not None:
+            self._tracker.begin_query(len(cmap.head))
+            return CrackProgress(cmap.pending_cracks, self._tracker)
+        if cmap.pending_cracks:
+            return CrackProgress(cmap.pending_cracks)
+        return None
 
     # -- snapshot --------------------------------------------------------------
 
@@ -183,7 +232,14 @@ class MapSet:
                 entry = self.tape[cmap.cursor]
                 if isinstance(entry, DeleteEntry) and entry.positions is None:
                     self._locate_delete(cmap.cursor)
-                if len(group) > 1 and isinstance(entry, CrackEntry):
+                if (
+                    len(group) > 1
+                    and isinstance(entry, CrackEntry)
+                    and not cmap.pending_cracks
+                ):
+                    # Gang replay is only valid while no progressive crack is
+                    # in flight: with pendings open, crack entries must go
+                    # through the pending-aware per-map replay path.
                     fault_hook("mapset.gang_replay")
                     gang_replay_crack(group, entry.interval, self._recorder)
                     for m in group:
@@ -209,8 +265,15 @@ class MapSet:
             and end == len(self.tape)
         ):
             return
-        sig = tuple(
-            (bound.value, int(bound.side), pos) for bound, pos in cmap.index.inorder()
+        sig = (
+            tuple(
+                (bound.value, int(bound.side), pos)
+                for bound, pos in cmap.index.inorder()
+            ),
+            tuple(sorted(
+                (p.bound.value, int(p.bound.side), p.lo, p.hi, p.left, p.right)
+                for p in cmap.pending_cracks.values()
+            )),
         )
         if self._sig is not None and self._sig[0] == end and self._sig[1] != sig:
             from repro.analysis.invariants import format_boundaries
@@ -222,12 +285,14 @@ class MapSet:
                 detail=(
                     f"map {cmap.tail_attr!r} reproduced different piece "
                     f"boundaries at tape position {end}: expected "
-                    f"{format_boundaries(expected)}, got "
-                    f"{format_boundaries(actual)}"
+                    f"{format_boundaries(expected[0])} (pending {expected[1]}), "
+                    f"got {format_boundaries(actual[0])} (pending {actual[1]})"
                 ),
                 context=(
                     ("map", cmap.tail_attr), ("tape_position", end),
-                    ("expected", expected), ("actual", actual),
+                    ("expected", expected[0]), ("actual", actual[0]),
+                    ("expected_pending", expected[1]),
+                    ("actual_pending", actual[1]),
                 ),
             )])
         self._sig = (end, sig)
@@ -269,6 +334,11 @@ class MapSet:
         if not self.pending.has_pending(interval):
             return
         with atomic(self, "mapset"):
+            # Ripple merges shift piece positions, which would invalidate the
+            # window markers of in-flight progressive cracks: tape
+            # force-finish entries first so every replay completes them
+            # before it sees the update entries.
+            self._finish_open_pendings()
             ins_values, ins_tails = self.pending.take_insertions(interval)
             if len(ins_values):
                 self.tape.append(InsertEntry(ins_values, ins_tails[0]))
@@ -276,31 +346,122 @@ class MapSet:
             if len(del_values):
                 self.tape.append(DeleteEntry(del_values, del_keys))
 
+    def _finish_open_pendings(self) -> None:
+        """Tape a force-finish entry for every in-flight progressive crack."""
+        for bound in sorted(self.open_pendings):
+            self.tape.append(ProgressiveCrackEntry(bound, None))
+        self.open_pendings.clear()
+
     # -- the sideways.select core ------------------------------------------------------------
 
     def select(self, tail_attr: str, interval: Interval) -> tuple[CrackerMap, int, int]:
         """Steps 1-8 of ``sideways.select``: create, align, crack, log.
 
         Returns the map and the qualifying area ``[lo, hi)``; the tail slice
-        of that area is the (non-materialized view of the) result.
+        of that area is the (non-materialized view of the) result.  The
+        legacy contiguous-area contract: any uncertainty left by a
+        progressive budget is resolved by running the interval's in-flight
+        cracks to completion.
+        """
+        cmap, lo, hi, holes = self.select_window(tail_attr, interval)
+        if holes:
+            cmap, lo, hi, holes = self.select_window(
+                tail_attr, interval, budgeted=False
+            )
+            assert not holes  # unbudgeted cracks always complete
+        return cmap, lo, hi
+
+    def select_window(
+        self, tail_attr: str, interval: Interval, budgeted: bool = True
+    ) -> tuple[CrackerMap, int, int, list[tuple[int, int]]]:
+        """Budget-aware ``select``: the certain window plus uncertainty holes.
+
+        Like :meth:`select`, but under a progressive budget the crack may
+        stop partway; the returned ``[lo, hi)`` is then the largest *certain*
+        window and ``holes`` lists position ranges whose membership callers
+        must decide by filtering head values.  Without a budget (or with
+        ``budgeted=False``) holes is always empty.
         """
         with atomic(self, "mapset"):
             cmap = self.get_map(tail_attr)
             self.merge_pending(interval)
             self.align(cmap)
             cuts: list[Bound] = []
-            lo, hi = cmap.crack(interval, self.policy, self._rng, cuts)
-            # Auxiliary (stochastic) cuts go on the tape first, as one-sided
-            # crack entries, so sibling maps replay the identical sequence
-            # without ever consulting the policy or RNG.
-            for pivot in cuts:
-                self.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+            progress = self._progress(cmap, budgeted)
+            lo, hi = cmap.crack(interval, self.policy, self._rng, cuts, progress)
             self.stochastic_cuts += len(cuts)
-            self.tape.append_crack(interval)
+            holes: list[tuple[int, int]] = []
+            if progress is not None:
+                holes = list(progress.holes)
+                self._log_progress(interval, progress)
+            else:
+                # Auxiliary (stochastic) cuts go on the tape first, as
+                # one-sided crack entries, so sibling maps replay the
+                # identical sequence without consulting the policy or RNG.
+                for pivot in cuts:
+                    self.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+                self.tape.append_crack(interval)
             cmap.cursor = len(self.tape)
             self._sig = None
             checkpoint_crack(self, "mapset")
-        return cmap, lo, hi
+        return cmap, lo, hi, holes
+
+    def window_of(
+        self, tail_attr: str, interval: Interval
+    ) -> tuple[CrackerMap, int, int, list[tuple[int, int]]]:
+        """Align a map and resolve ``interval``'s window without new cracking.
+
+        The follower half of a multi-map plan: a leader ``select_window``
+        spends the query's budget and tapes its work; followers replay that
+        tape (reaching the identical physical state) and merely resolve the
+        window, so one query spends one budget no matter how many maps it
+        touches — and every map reports the same window and holes.
+        """
+        with atomic(self, "mapset"):
+            cmap = self.get_map(tail_attr)
+            self.merge_pending(interval)
+            self.align(cmap)
+            cmap.accesses += 1
+            self._recorder.event("index_lookups", 2)
+            lo, hi, holes = resolve_area(
+                cmap.index, len(cmap.head), interval, cmap.pending_cracks
+            )
+        return cmap, lo, hi, holes
+
+    def _log_progress(self, interval: Interval, progress: CrackProgress) -> None:
+        """Tape the op sequence of one budget-aware crack, in temporal order.
+
+        Eager ops become one-sided crack entries (preceded by their own
+        auxiliary cuts); steps become :class:`ProgressiveCrackEntry` records.
+        Interleaving order matters: a step completing a pending may free the
+        piece an eager crack then splits, so the entries must replay in the
+        exact order the work happened.  The progressive path never uses the
+        crack-in-three fast path, so two-sided legacy entries (whose replay
+        could take it) are never logged from here.
+        """
+        if not progress.ops:
+            if progress.holes:
+                # The budget was exhausted before any work happened; logging
+                # a crack entry would make replayers do work the live
+                # structure never did.
+                return
+            # Nothing physical happened — both bounds were boundaries
+            # already.  Keep the classic (deduplicating) log entry.
+            self.tape.append_crack(interval)
+            return
+        for op in progress.ops:
+            if op[0] == "eager":
+                _, bound, op_cuts = op
+                for pivot in op_cuts:
+                    self.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+                self.tape.append(CrackEntry(interval_from_bounds(bound, None)))
+            else:
+                _, bound, k, done = op
+                self.tape.append(ProgressiveCrackEntry(bound, k))
+                if done:
+                    self.open_pendings.discard(bound)
+                else:
+                    self.open_pendings.add(bound)
 
     # -- invariants -----------------------------------------------------------------------------
 

@@ -24,14 +24,21 @@ from repro.core.tape import (
     CrackerTape,
     DeleteEntry,
     InsertEntry,
+    ProgressiveCrackEntry,
     SortEntry,
     TapeEntry,
 )
 from repro.analysis.sanitizer import checkpoint_crack, register_structure
 from repro.cracking.avl import CrackerIndex
-from repro.cracking.bounds import Bound, Interval
+from repro.cracking.bounds import Bound, Interval, interval_from_bounds
 from repro.cracking.crack import crack_into
 from repro.cracking.kernels import sort_piece
+from repro.cracking.progressive import (
+    CrackProgress,
+    PendingMap,
+    replay_progressive,
+    resolve_area,
+)
 from repro.cracking.ripple import delete_positions, merge_insertions
 from repro.cracking.stochastic import CrackPolicy
 from repro.errors import AlignmentError
@@ -57,6 +64,7 @@ class Chunk:
         self.accesses = 0
         self.cracks_seen = 0
         self.last_crack_access = 0
+        self.pending_cracks: PendingMap = {}
         self._fetch_tail = fetch_tail
         self._recorder = recorder or global_recorder()
         self._recorder.event("chunk_creations")
@@ -84,11 +92,13 @@ class Chunk:
         policy: CrackPolicy | None = None,
         rng: np.random.Generator | None = None,
         cut_sink: list[Bound] | None = None,
+        progress: CrackProgress | None = None,
     ) -> tuple[int, int]:
         """Crack on the (clipped) head predicate; needs the head column.
 
         A stochastic ``policy`` may add auxiliary cuts (reported through
-        ``cut_sink``); replay and head recovery never pass one.
+        ``cut_sink``); a ``progress`` context makes the crack budget-aware.
+        Replay and head recovery never pass either.
         """
         if self.head is None:
             raise AlignmentError("chunk head was dropped; recover it before cracking")
@@ -96,7 +106,7 @@ class Chunk:
         self.last_crack_access = self.accesses
         area = crack_into(
             self.index, self.head, [self.tail], interval, self._recorder,
-            policy=policy, rng=rng, cut_sink=cut_sink,
+            policy=policy, rng=rng, cut_sink=cut_sink, progress=progress,
         )
         checkpoint_crack(self, "chunk")
         return area
@@ -112,6 +122,18 @@ class Chunk:
             raise AlignmentError("requested slice bounds are not chunk boundaries")
         return lo, hi
 
+    def window_between(
+        self, lower: Bound | None, upper: Bound | None
+    ) -> tuple[int, int, list[tuple[int, int]]]:
+        """The certain qualifying window between two bounds, plus holes.
+
+        The budget-tolerant twin of :meth:`area_between`: a bound still in
+        flight (or skipped entirely) contributes the largest certain window
+        and an uncertainty hole instead of raising.
+        """
+        clipped = interval_from_bounds(lower, upper)
+        return resolve_area(self.index, len(self.tail), clipped, self.pending_cracks)
+
     # -- tape replay -------------------------------------------------------------------
 
     def replay_entry(self, entry: TapeEntry) -> None:
@@ -120,8 +142,22 @@ class Chunk:
             raise AlignmentError("cannot replay tape entries on a head-dropped chunk")
         self._recorder.event("alignment_replays")
         if isinstance(entry, CrackEntry):
-            crack_into(self.index, self.head, [self.tail], entry.interval, self._recorder)
+            crack_into(
+                self.index, self.head, [self.tail], entry.interval, self._recorder,
+                progress=(
+                    CrackProgress(self.pending_cracks) if self.pending_cracks else None
+                ),
+            )
+        elif isinstance(entry, ProgressiveCrackEntry):
+            replay_progressive(
+                self.index, self.head, [self.tail], self.pending_cracks,
+                entry.bound, entry.step, self._recorder,
+            )
         elif isinstance(entry, InsertEntry):
+            if self.pending_cracks:
+                raise AlignmentError(
+                    "insert entry replayed with in-flight progressive cracks"
+                )
             tail_values = self._fetch_tail(entry.keys)
             self.head, tails = merge_insertions(
                 self.index, self.head, [self.tail], entry.values, [tail_values],
@@ -167,6 +203,10 @@ class Chunk:
             raise AlignmentError("cannot sort pieces without a head")
         if self.cursor != len(tape):
             raise AlignmentError("sort_all_pieces requires full alignment first")
+        if self.pending_cracks:
+            raise AlignmentError(
+                "cannot sort pieces with progressive cracks in flight"
+            )
         for piece in list(self.index.pieces(len(self.tail))):
             if piece.size <= 1:
                 continue
@@ -182,15 +222,18 @@ class Chunk:
         source_head: np.ndarray,
         source_index: CrackerIndex,
         source_cursor: int,
+        source_pending: PendingMap | None = None,
     ) -> None:
         """Rebuild the dropped head from a source state at ``source_cursor``.
 
         The source is either a sibling chunk's head (``source_cursor`` =
-        sibling's cursor, must be ``<= self.cursor``) or the chunk map's
-        frozen area slice (``source_cursor == 0``).  Entries between the two
+        sibling's cursor, must be ``<= self.cursor``; ``source_pending`` its
+        in-flight crack state) or the chunk map's frozen area slice
+        (``source_cursor == 0``, no pendings).  Entries between the two
         cursors are replayed on the head alone; every kernel's permutation
         depends only on head values, so the rebuilt head lands exactly
-        aligned with this chunk's tail.
+        aligned with this chunk's tail — and the evolved pending map is
+        exactly this chunk's in-flight state.
         """
         if source_cursor > self.cursor:
             raise AlignmentError(
@@ -198,12 +241,23 @@ class Chunk:
             )
         head = source_head.copy()
         index = source_index.clone()
+        pending: PendingMap = {
+            b: p.clone() for b, p in (source_pending or {}).items()
+        }
         self._recorder.sequential(len(head))
         self._recorder.write(len(head))
         for i in range(source_cursor, self.cursor):
             entry = tape[i]
             if isinstance(entry, CrackEntry):
-                crack_into(index, head, [], entry.interval, self._recorder)
+                crack_into(
+                    index, head, [], entry.interval, self._recorder,
+                    progress=CrackProgress(pending) if pending else None,
+                )
+            elif isinstance(entry, ProgressiveCrackEntry):
+                replay_progressive(
+                    index, head, [], pending, entry.bound, entry.step,
+                    self._recorder,
+                )
             elif isinstance(entry, InsertEntry):
                 head, _ = merge_insertions(
                     index, head, [], entry.values, [], self._recorder
@@ -222,6 +276,7 @@ class Chunk:
             raise AlignmentError("recovered head does not match tail length")
         self.head = head
         self.index = index
+        self.pending_cracks = pending
 
     # -- invariants ------------------------------------------------------------------------------
 

@@ -51,6 +51,9 @@ class Area:
     refs: set[str] = field(default_factory=set)
     area_id: int = field(default_factory=lambda: next(_area_ids))
     pin_count: int = 0
+    #: Bounds with a progressive (budgeted) chunk-level crack still in
+    #: flight at the area tape's end.
+    open_pendings: set[Bound] = field(default_factory=set)
 
     def overlaps(self, lower: Bound | None, upper: Bound | None) -> bool:
         """Does this area overlap the boundary range ``[lower, upper)``?"""
@@ -181,6 +184,8 @@ class ChunkMap:
                 index += 1
                 continue
             if not area.fetched:
+                if self._promote_interior(area):
+                    continue  # re-examine the split pieces at this index
                 if max_area_tuples is not None and self._median_split(
                     area, max_area_tuples
                 ):
@@ -189,6 +194,24 @@ class ChunkMap:
             out.append(area)
             index += 1
         return out
+
+    def _promote_interior(self, area: Area) -> bool:
+        """Promote interior index boundaries of an unfetched area to edges.
+
+        Auxiliary (stochastic) cuts are left as plain ``H_A`` boundaries when
+        an unfetched area is split (:meth:`_split_unfetched`); only when the
+        area is actually about to be *fetched* do they become area edges, so
+        a never-queried value range costs no area bookkeeping.  Returns True
+        when a promotion split happened (the caller re-examines the pieces).
+        """
+        interior = [
+            bound for bound, _ in self.index.inorder()
+            if area.contains_strictly(bound)
+        ]
+        if not interior:
+            return False
+        self._replace_area(area, interior)
+        return True
 
     def _median_split(self, area: Area, max_tuples: int) -> bool:
         """Split an oversized unfetched area at its median value.
@@ -219,10 +242,13 @@ class ChunkMap:
     def _split_unfetched(self, area: Area, bound: Bound) -> None:
         """Crack ``H_A`` at ``bound``, splitting an unfetched area.
 
-        A stochastic policy may cut the area in extra places; every cut
-        (auxiliary or requested) becomes an area *edge*, never an interior
-        boundary, so ``H_A``'s index bounds stay exactly the area edges (the
-        invariant tape folding relies on).
+        A stochastic policy may cut the area in extra places; those auxiliary
+        cuts stay *interior* ``H_A`` boundaries of the resulting unfetched
+        pieces — they are promoted to area edges lazily, only when a piece is
+        about to be fetched (:meth:`_promote_interior`).  Fetched areas
+        therefore never contain interior boundaries (the invariant tape
+        folding relies on), while never-fetched ranges avoid the area
+        bookkeeping entirely.
         """
         cuts: list[Bound] = []
         crack_bound(
@@ -230,11 +256,14 @@ class ChunkMap:
             policy=self.policy, rng=self._rng, cut_sink=cuts,
         )
         self.stochastic_cuts += len(cuts)
+        self._replace_area(area, [bound])
+
+    def _replace_area(self, area: Area, edges: list[Bound]) -> None:
+        """Split ``area`` at ``edges`` (existing ``H_A`` boundaries)."""
         idx = self.areas.index(area)
-        edges = sorted(set(cuts) | {bound})
         pieces: list[Area] = []
         lo = area.lo_bound
-        for edge in edges:
+        for edge in sorted(set(edges)):
             pieces.append(Area(lo_bound=lo, hi_bound=edge))
             lo = edge
         pieces.append(Area(lo_bound=lo, hi_bound=area.hi_bound))
@@ -245,6 +274,7 @@ class ChunkMap:
         area.fetched = True
         area.tape = CrackerTape()
         area.refs = set()
+        area.open_pendings = set()
 
     # -- reference bookkeeping ----------------------------------------------------------
 

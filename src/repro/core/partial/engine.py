@@ -29,10 +29,22 @@ from repro.core.partial.chunk import Chunk
 from repro.core.partial.chunkmap import Area, ChunkMap
 from repro.core.partial.partial_map import KEY_TAIL, PartialMap
 from repro.core.partial.storage import ChunkStorage
-from repro.core.tape import CrackEntry, DeleteEntry, InsertEntry, SortEntry
+from repro.core.tape import (
+    CrackEntry,
+    DeleteEntry,
+    InsertEntry,
+    ProgressiveCrackEntry,
+    SortEntry,
+)
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
 from repro.cracking.crack import gang_replay_crack, gang_replay_sort
 from repro.cracking.pending import PendingUpdates
+from repro.cracking.progressive import (
+    BudgetTracker,
+    CrackProgress,
+    ProgressiveBudget,
+    parse_budget,
+)
 from repro.cracking.stochastic import CrackPolicy, is_stochastic, policy_rng
 from repro.cracking.ripple import (
     delete_positions,
@@ -76,6 +88,7 @@ class PartialMapSet:
         excluded_keys: np.ndarray | None = None,
         policy: CrackPolicy | None = None,
         rng: np.random.Generator | None = None,
+        budget: "ProgressiveBudget | str | float | int | None" = None,
     ) -> None:
         self.relation = relation
         self.head_attr = head_attr
@@ -90,7 +103,22 @@ class PartialMapSet:
         self.chunkmap: ChunkMap | None = None
         self.maps: dict[str, PartialMap] = {}
         self.pending = PendingUpdates(n_tails=1)
+        self.budget: ProgressiveBudget | None = None
+        self._tracker: BudgetTracker | None = None
+        self.set_budget(budget)
         register_structure(self, "partial_set", f"P_{head_attr}")
+
+    def set_budget(
+        self, budget: "ProgressiveBudget | str | float | int | None"
+    ) -> None:
+        """Install (or clear) the per-query progressive crack budget.
+
+        The tracker is shared by every area this set cracks: one query gets
+        one allowance (refreshed in :meth:`plan`), no matter how many
+        boundary chunks it touches.
+        """
+        self.budget = parse_budget(budget)
+        self._tracker = BudgetTracker(self.budget)
 
     # -- lazy construction --------------------------------------------------------
 
@@ -151,6 +179,7 @@ class PartialMapSet:
                 continue
             if area.fetched:
                 assert area.tape is not None
+                self._finish_area_pendings(area)
                 area.tape.append(InsertEntry(values[mask], keys[mask]))
             else:
                 unfetched_mask |= mask
@@ -170,6 +199,7 @@ class PartialMapSet:
                 continue
             if area.fetched:
                 assert area.tape is not None
+                self._finish_area_pendings(area)
                 area.tape.append(DeleteEntry(values[mask], keys[mask]))
             else:
                 unfetched_mask |= mask
@@ -182,6 +212,21 @@ class PartialMapSet:
                 cmap.index, cmap.head, [cmap.keys], positions, self._recorder
             )
             cmap.keys = tails[0]
+
+    def _finish_area_pendings(self, area: Area) -> None:
+        """Force-finish every in-flight progressive crack of one area.
+
+        Ripple merges and deletes shift positions, which would invalidate the
+        ``[left, right)`` markers of any pending crack; a deterministic
+        force-finish entry per open bound drains them first, on the live
+        chunks and on every later replayer alike.
+        """
+        if not area.open_pendings:
+            return
+        assert area.tape is not None
+        for bound in sorted(area.open_pendings):
+            area.tape.append(ProgressiveCrackEntry(bound, None))
+        area.open_pendings.clear()
 
     # -- delete-entry location ----------------------------------------------------------
 
@@ -259,7 +304,10 @@ class PartialMapSet:
             ):
                 best = sibling
         if best is not None:
-            chunk.recover_head(area.tape, best.head, best.index, best.cursor)
+            chunk.recover_head(
+                area.tape, best.head, best.index, best.cursor,
+                best.pending_cracks,
+            )
         else:
             head_slice, _ = self._chunkmap().area_slice(area)
             from repro.cracking.avl import CrackerIndex
@@ -299,7 +347,11 @@ class PartialMapSet:
             cursor = min(chunk.cursor for chunk in active)
             gang = [chunk for chunk in active if chunk.cursor == cursor]
             entry = area.tape[cursor]
-            if len(gang) > 1 and isinstance(entry, CrackEntry):
+            if (
+                len(gang) > 1
+                and isinstance(entry, CrackEntry)
+                and not gang[0].pending_cracks
+            ):
                 fault_hook("partial.gang_replay")
                 gang_replay_crack(gang, entry.interval, self._recorder)
                 for chunk in gang:
@@ -331,14 +383,17 @@ class PartialMapSet:
 
     def prepare_area(
         self, area: Area, interval: Interval, tail_attrs: list[str]
-    ) -> dict[str, tuple[Chunk, int, int]]:
+    ) -> tuple[dict[str, tuple[Chunk, int, int]], list[tuple[int, int, np.ndarray]]]:
         """Align/crack the chunks of ``tail_attrs`` for one area and return
-        each chunk with its qualifying slice ``[lo, hi)``.
+        each chunk with its certain qualifying slice ``[lo, hi)``, plus the
+        uncertainty holes a progressive budget may have left behind.
 
         Implements monitored + partial alignment: the first chunk replays
         entries only until the needed bounds appear (or cracks at the tape
         end); every other chunk aligns to exactly the cursor the first one
-        reached.
+        reached.  Each hole is ``(h_lo, h_hi, qualifies)`` with the head
+        predicate evaluated once against the (shared, aligned) head values;
+        the mask applies position-wise to every returned chunk.
         """
         assert area.tape is not None
         with atomic(self, "partial_set"):
@@ -365,11 +420,22 @@ class PartialMapSet:
             self._bring_group_to(area, [chunks[attr] for attr in ordered[1:]], target)
 
         out: dict[str, tuple[Chunk, int, int]] = {}
-        for attr in ordered:
+        qualified: list[tuple[int, int, np.ndarray]] = []
+        for i, attr in enumerate(ordered):
             _, chunk = chunks[attr]
-            lo, hi = chunk.area_between(lower, upper)
+            lo, hi, holes = chunk.window_between(lower, upper)
+            if i == 0 and holes:
+                # Holes exist only when this query's crack ran out of budget,
+                # and the crack path always recovers the first chunk's head.
+                assert chunk.head is not None
+                clipped = interval_from_bounds(lower, upper)
+                for h_lo, h_hi in holes:
+                    self._recorder.sequential(h_hi - h_lo)
+                    qualified.append(
+                        (h_lo, h_hi, clipped.mask(chunk.head[h_lo:h_hi]))
+                    )
             out[attr] = (chunk, lo, hi)
-        return out
+        return out, qualified
 
     def _align_and_crack(
         self,
@@ -399,17 +465,63 @@ class PartialMapSet:
             self._recover_head(pmap, chunk, area)
         clipped = interval_from_bounds(lower, upper)
         cuts: list[Bound] = []
-        chunk.crack(clipped, self.policy, self._rng, cuts)
-        # Stochastic auxiliary cuts become explicit tape entries (before the
-        # query's own crack) so sibling chunks and head recovery replay the
-        # identical sequence without consulting the policy.
-        for pivot in cuts:
-            area.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+        progress = self._progress(chunk)
+        chunk.crack(clipped, self.policy, self._rng, cuts, progress)
         self.stochastic_cuts += len(cuts)
-        area.tape.append_crack(clipped)
+        if progress is not None:
+            self._log_area_progress(area, clipped, progress)
+        else:
+            # Stochastic auxiliary cuts become explicit tape entries (before
+            # the query's own crack) so sibling chunks and head recovery
+            # replay the identical sequence without consulting the policy.
+            for pivot in cuts:
+                area.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+            area.tape.append_crack(clipped)
         chunk.cursor = len(area.tape)
         checkpoint_crack(self, "partial_set")
         return chunk.cursor
+
+    def _progress(self, chunk: Chunk) -> CrackProgress | None:
+        """The progressive context for cracking one boundary chunk."""
+        if self.budget is not None:
+            return CrackProgress(chunk.pending_cracks, self._tracker)
+        if chunk.pending_cracks:
+            return CrackProgress(chunk.pending_cracks)
+        return None
+
+    def _log_area_progress(
+        self, area: Area, interval: Interval, progress: CrackProgress
+    ) -> None:
+        """Log what a progressive crack physically did, in temporal order.
+
+        Eager per-bound cracks (with their auxiliary cuts interleaved at the
+        position they actually ran) become one-sided :class:`CrackEntry`
+        records; each budgeted step becomes a :class:`ProgressiveCrackEntry`.
+        ``area.open_pendings`` tracks the bounds still in flight at the tape
+        end so updates can force-finish them deterministically.
+        """
+        assert area.tape is not None
+        if not progress.ops:
+            if progress.holes:
+                # The budget was exhausted before any work happened; logging
+                # a crack entry would make replayers do work the live chunk
+                # never did.
+                return
+            area.tape.append_crack(interval)
+            return
+        for op in progress.ops:
+            if op[0] == "eager":
+                _, bound, op_cuts = op
+                for pivot in op_cuts:
+                    area.tape.append(CrackEntry(interval_from_bounds(pivot, None)))
+                area.tape.append(CrackEntry(interval_from_bounds(bound, None)))
+            else:
+                _, bound, k, done = op
+                area.tape.append(ProgressiveCrackEntry(bound, k))
+                if done:
+                    area.open_pendings.discard(bound)
+                else:
+                    area.open_pendings.add(bound)
 
     # -- invariants ------------------------------------------------------------------------------
 
@@ -429,6 +541,9 @@ class PartialMapSet:
         """
         with atomic(self, "partial_set"):
             cmap = self._chunkmap()
+            if self.budget is not None:
+                assert self._tracker is not None
+                self._tracker.begin_query(self.snapshot_rows)
             self.merge_pending(interval)
             areas = cmap.cover(interval, self.config.max_chunk_tuples)
         for area in areas:
@@ -459,6 +574,9 @@ class PartialMapSet:
                 assert area.tape is not None
                 if chunk.cursor != len(area.tape):
                     continue
+                if area.open_pendings or chunk.pending_cracks:
+                    # Sorting would destroy in-flight partition markers.
+                    continue
                 pieces = list(chunk.index.pieces(len(chunk)))
                 if pieces and max(p.size for p in pieces) <= self.config.cache_piece_tuples:
                     chunk.sort_all_pieces(area.tape)
@@ -484,6 +602,7 @@ class PartialSidewaysCracker:
         tombstone_keys=None,
         policy: CrackPolicy | None = None,
         crack_seed: int = 0,
+        crack_budget: "ProgressiveBudget | str | float | int | None" = None,
     ) -> None:
         self.relation = relation
         self.config = config or PartialConfig()
@@ -492,8 +611,17 @@ class PartialSidewaysCracker:
         self._tombstone_keys = tombstone_keys
         self.policy = policy
         self.crack_seed = crack_seed
+        self.crack_budget = parse_budget(crack_budget)
         self.sets: dict[str, PartialMapSet] = {}
         self._domain_cache: dict[str, tuple[float, float]] = {}
+
+    def set_crack_budget(
+        self, budget: "ProgressiveBudget | str | float | int | None"
+    ) -> None:
+        """Install (or clear) the progressive budget on all map sets."""
+        self.crack_budget = parse_budget(budget)
+        for pset in self.sets.values():
+            pset.set_budget(self.crack_budget)
 
     def set_for(self, head_attr: str) -> PartialMapSet:
         pset = self.sets.get(head_attr)
@@ -506,6 +634,7 @@ class PartialSidewaysCracker:
                 self._recorder, excluded_keys=dead,
                 policy=self.policy,
                 rng=policy_rng(self.crack_seed, "pset", self.relation.name, head_attr),
+                budget=self.crack_budget,
             )
             self.sets[head_attr] = pset
         return pset
@@ -565,11 +694,12 @@ class PartialSidewaysCracker:
             parts: dict[str, list[np.ndarray]] = {attr: [] for attr in projections}
             used: list[tuple[str, Area]] = []
             for area in areas:
-                prepared = pset.prepare_area(area, interval, projections)
+                prepared, holes = pset.prepare_area(area, interval, projections)
                 for attr in projections:
                     chunk, lo, hi = prepared[attr]
-                    self._recorder.sequential(hi - lo)
-                    parts[attr].append(chunk.tail[lo:hi])
+                    parts[attr].append(
+                        _gather_window(self._recorder, chunk, lo, hi, holes)
+                    )
                     used.append((attr, area))
             out = {attr: _concat(parts[attr]) for attr in projections}
             pset.apply_head_drop_policy(used)
@@ -606,12 +736,13 @@ class PartialSidewaysCracker:
             parts: dict[str, list[np.ndarray]] = {attr: [] for attr in projections}
             used: list[tuple[str, Area]] = []
             for area in areas:
-                prepared = pset.prepare_area(area, head_interval, attrs)
+                prepared, holes = pset.prepare_area(area, head_interval, attrs)
                 bv: BitVector | None = None
                 for attr, iv in others:
                     chunk, lo, hi = prepared[attr]
-                    self._recorder.sequential(hi - lo)
-                    mask = iv.mask(chunk.tail[lo:hi])
+                    mask = iv.mask(
+                        _gather_window(self._recorder, chunk, lo, hi, holes)
+                    )
                     if bv is None:
                         bv = BitVector.from_mask(mask)
                     else:
@@ -619,8 +750,7 @@ class PartialSidewaysCracker:
                     used.append((attr, area))
                 for attr in projections:
                     chunk, lo, hi = prepared[attr]
-                    self._recorder.sequential(hi - lo)
-                    values = chunk.tail[lo:hi]
+                    values = _gather_window(self._recorder, chunk, lo, hi, holes)
                     parts[attr].append(values[bv.bits] if bv is not None else values)
                     used.append((attr, area))
             out = {attr: _concat(parts[attr]) for attr in projections}
@@ -648,14 +778,17 @@ class PartialSidewaysCracker:
             upper = head_interval.upper_bound()
             for area in areas:
                 effective = head_interval if area.overlaps(lower, upper) else None
-                prepared = pset.prepare_area(
+                prepared, holes = pset.prepare_area(
                     area, effective if effective is not None else everything, attrs
                 )
                 first_chunk, w_lo, w_hi = next(iter(prepared.values()))
                 if effective is None:
                     w_lo = w_hi = 0
+                    holes = []
                 bv = BitVector(len(first_chunk))
                 bv.set_range(w_lo, w_hi)
+                for h_lo, h_hi, qual in holes:
+                    bv.bits[h_lo:h_hi] |= qual
                 for attr, iv in others:
                     chunk, _, _ = prepared[attr]
                     self._recorder.sequential(len(chunk) - (w_hi - w_lo))
@@ -707,6 +840,30 @@ class PartialSidewaysCracker:
                     f"{len(pmap):,} tuples, {dropped} head-dropped"
                 )
         return "\n".join(lines)
+
+
+def _gather_window(
+    recorder: StatsRecorder,
+    chunk: Chunk,
+    lo: int,
+    hi: int,
+    holes: list[tuple[int, int, np.ndarray]],
+) -> np.ndarray:
+    """Tail values of the certain window plus every qualifying hole row.
+
+    All chunks of one prepared area are aligned (identical head order), so
+    the precomputed per-hole qualification masks apply position-wise to each
+    of them; gathering in (window, hole, hole, ...) order keeps the rows of
+    different attributes aligned with each other.
+    """
+    recorder.sequential(hi - lo)
+    if not holes:
+        return chunk.tail[lo:hi]
+    parts = [chunk.tail[lo:hi]]
+    for h_lo, h_hi, qual in holes:
+        recorder.sequential(h_hi - h_lo)
+        parts.append(chunk.tail[h_lo:h_hi][qual])
+    return np.concatenate(parts)
 
 
 def _concat(parts: list[np.ndarray]) -> np.ndarray:

@@ -39,6 +39,7 @@ class SidewaysCracker:
         tombstone_keys=None,
         policy: CrackPolicy | None = None,
         crack_seed: int = 0,
+        crack_budget=None,
     ) -> None:
         self.relation = relation
         self._recorder = recorder or global_recorder()
@@ -46,10 +47,17 @@ class SidewaysCracker:
         self._tombstone_keys = tombstone_keys
         self.policy = policy
         self.crack_seed = crack_seed
+        self.crack_budget = crack_budget
         self.sets: dict[str, MapSet] = {}
         self._domain_cache: dict[str, tuple[float, float]] = {}
 
     # -- map-set management ------------------------------------------------------
+
+    def set_crack_budget(self, budget) -> None:
+        """Install a progressive budget on every (current and future) set."""
+        self.crack_budget = budget
+        for mapset in self.sets.values():
+            mapset.set_budget(budget)
 
     def set_for(self, head_attr: str) -> MapSet:
         mapset = self.sets.get(head_attr)
@@ -58,6 +66,7 @@ class SidewaysCracker:
                 self.relation, head_attr, self._recorder, self._storage,
                 policy=self.policy,
                 rng=policy_rng(self.crack_seed, "mapset", self.relation.name, head_attr),
+                budget=self.crack_budget,
             )
             if self._tombstone_keys is not None:
                 dead = np.asarray(self._tombstone_keys(), dtype=np.int64)
@@ -148,14 +157,64 @@ class SidewaysCracker:
         self._pin(head_attr, projections)
         try:
             out: dict[str, np.ndarray] = {}
+            selector = self._plan_selector(mapset, interval)
             for attr in projections:
-                cmap, lo, hi = mapset.select(attr, interval)
+                cmap, lo, hi, holes = selector(attr)
                 self._recorder.sequential(hi - lo)
                 # Copy: the map keeps reorganizing under future queries.
-                out[attr] = cmap.tail[lo:hi].copy()
+                out[attr] = self._gather(cmap, lo, hi, holes, interval).copy()
             return out
         finally:
             self._unpin()
+
+    def _plan_selector(self, mapset: MapSet, interval: Interval):
+        """One query plan's map accessor: leader cracks, followers resolve.
+
+        Without progressive state this is the classic per-map ``select``
+        (bit-identical behavior and tape).  With a budget, only the first
+        access spends it; later maps of the same plan replay the leader's
+        taped work and resolve the identical window, so one query costs one
+        budget however many maps it touches.
+        """
+        if not mapset.progressive_active:
+            def _legacy(attr: str):
+                cmap, lo, hi = mapset.select(attr, interval)
+                return cmap, lo, hi, []
+            return _legacy
+
+        state = {"first": True}
+
+        def _progressive(attr: str):
+            if state["first"]:
+                state["first"] = False
+                return mapset.select_window(attr, interval)
+            return mapset.window_of(attr, interval)
+
+        return _progressive
+
+    def _gather(
+        self,
+        cmap,
+        lo: int,
+        hi: int,
+        holes: list[tuple[int, int]],
+        interval: Interval,
+    ) -> np.ndarray:
+        """Tail values qualifying ``interval``: certain window + holes.
+
+        Hole positions are undecided by position alone; their head values
+        are filtered explicitly.  Every aligned map yields the same hole
+        masks, so concatenation order is positionally consistent across the
+        maps of one plan.
+        """
+        if not holes:
+            return cmap.tail[lo:hi]
+        parts = [cmap.tail[lo:hi]]
+        for h_lo, h_hi in holes:
+            self._recorder.sequential(2 * (h_hi - h_lo))
+            qual = interval.mask(cmap.head[h_lo:h_hi])
+            parts.append(cmap.tail[h_lo:h_hi][qual])
+        return np.concatenate(parts)
 
     # -- multi-selection plans (Section 3.3) --------------------------------------------
 
@@ -192,15 +251,16 @@ class SidewaysCracker:
         head_interval = predicates[head_attr]
         others = [(a, iv) for a, iv in predicates.items() if a != head_attr]
 
+        selector = self._plan_selector(mapset, head_interval)
         bv: BitVector | None = None
-        area: tuple[int, int] | None = None
+        area: tuple | None = None
         # select_create_bv on the first non-head predicate, select_refine_bv
         # on the rest.
         for attr, iv in others:
-            cmap, lo, hi = mapset.select(attr, head_interval)
-            area = (lo, hi)
+            cmap, lo, hi, holes = selector(attr)
+            area = (lo, hi, tuple(holes))
             self._recorder.sequential(hi - lo)
-            mask = iv.mask(cmap.tail[lo:hi])
+            mask = iv.mask(self._gather(cmap, lo, hi, holes, head_interval))
             if bv is None:
                 bv = BitVector.from_mask(mask)
             else:
@@ -208,12 +268,12 @@ class SidewaysCracker:
 
         out: dict[str, np.ndarray] = {}
         for attr in projections:
-            cmap, lo, hi = mapset.select(attr, head_interval)
-            if area is not None and (lo, hi) != area:
+            cmap, lo, hi, holes = selector(attr)
+            if area is not None and (lo, hi, tuple(holes)) != area:
                 raise PlanError("aligned maps disagree on the candidate area")
-            area = (lo, hi)
+            area = (lo, hi, tuple(holes))
             self._recorder.sequential(hi - lo)
-            values = cmap.tail[lo:hi]
+            values = self._gather(cmap, lo, hi, holes, head_interval)
             out[attr] = values[bv.bits] if bv is not None else values.copy()
         return out
 
@@ -224,24 +284,31 @@ class SidewaysCracker:
         head_interval = predicates[head_attr]
         others = [(a, iv) for a, iv in predicates.items() if a != head_attr]
 
+        selector = self._plan_selector(mapset, head_interval)
         bv: BitVector | None = None
         for attr, iv in others:
-            cmap, lo, hi = mapset.select(attr, head_interval)
+            cmap, lo, hi, holes = selector(attr)
             if bv is None:
                 bv = BitVector(len(cmap))
                 bv.set_range(lo, hi)
-            # Only the areas outside w can contain additional qualifiers.
+                # Hole positions qualifying the head predicate are result
+                # tuples regardless of the other predicates.
+                for h_lo, h_hi in holes:
+                    self._recorder.sequential(h_hi - h_lo)
+                    bv.bits[h_lo:h_hi] |= head_interval.mask(cmap.head[h_lo:h_hi])
+            # Only the areas outside w can contain additional qualifiers
+            # (holes lie outside w and are covered by these two scans).
             self._recorder.sequential(len(cmap) - (hi - lo))
             bv.bits[:lo] |= iv.mask(cmap.tail[:lo])
             bv.bits[hi:] |= iv.mask(cmap.tail[hi:])
 
         out: dict[str, np.ndarray] = {}
         for attr in projections:
-            cmap, lo, hi = mapset.select(attr, head_interval)
+            cmap, lo, hi, holes = selector(attr)
             if bv is None:
                 # Degenerate: a single-predicate "disjunction".
                 self._recorder.sequential(hi - lo)
-                out[attr] = cmap.tail[lo:hi].copy()
+                out[attr] = self._gather(cmap, lo, hi, holes, head_interval).copy()
             else:
                 self._recorder.sequential(len(cmap))
                 out[attr] = cmap.tail[bv.bits]

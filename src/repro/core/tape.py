@@ -68,7 +68,24 @@ class SortEntry:
     hi_bound: Bound | None
 
 
-TapeEntry = CrackEntry | InsertEntry | DeleteEntry | SortEntry
+@dataclass
+class ProgressiveCrackEntry:
+    """One budgeted partition step toward making ``bound`` a boundary.
+
+    ``step`` is the window size the step classified; ``None`` marks a
+    force-finish (run the pending crack to completion), appended before any
+    insert/delete/sort entry so replays never interleave a half-applied cut
+    with a structural change.  Replay is deterministic: the pending state is
+    reconstructed from the enclosing piece on first sight and every map
+    applies the identical step sequence (see
+    :func:`repro.cracking.progressive.replay_progressive`).
+    """
+
+    bound: Bound
+    step: int | None
+
+
+TapeEntry = CrackEntry | InsertEntry | DeleteEntry | SortEntry | ProgressiveCrackEntry
 
 
 @dataclass

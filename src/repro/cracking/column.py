@@ -20,6 +20,14 @@ from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Interval
 from repro.cracking.crack import crack_into
 from repro.cracking.pending import PendingUpdates
+from repro.cracking.progressive import (
+    BudgetTracker,
+    CrackProgress,
+    PendingMap,
+    ProgressiveBudget,
+    finish_pending,
+    parse_budget,
+)
 from repro.cracking.ripple import delete_positions, locate_deletions, merge_insertions
 from repro.cracking.stochastic import CrackPolicy, policy_rng
 from repro.faults.guard import atomic
@@ -42,6 +50,7 @@ class CrackerColumn:
         policy: CrackPolicy | None = None,
         rng: np.random.Generator | None = None,
         label: str | None = None,
+        budget: "ProgressiveBudget | str | float | None" = None,
     ) -> None:
         self._recorder = recorder or global_recorder()
         self.head: np.ndarray = base.values.copy()
@@ -51,6 +60,8 @@ class CrackerColumn:
         self.policy = policy
         self._rng = rng if rng is not None else policy_rng(0, "column")
         self.stochastic_cuts = 0
+        self.pending_cracks: PendingMap = {}
+        self.set_budget(budget)
         self.label = label
         # The base BAT, kept for the sanitizer's deep permutation check
         # (refreshed by the Database facade when appends replace the BAT).
@@ -63,39 +74,84 @@ class CrackerColumn:
     def __len__(self) -> int:
         return len(self.head)
 
+    # -- progressive budget -------------------------------------------------------
+
+    def set_budget(self, budget: "ProgressiveBudget | str | float | None") -> None:
+        """Install the per-query reorganization budget (``None`` = eager)."""
+        self.budget = parse_budget(budget)
+        self._tracker = BudgetTracker(self.budget)
+
+    def _progress(self, budgeted: bool) -> CrackProgress | None:
+        """The crack context for one operation.
+
+        ``None`` (the exact legacy path) when there is no budget and nothing
+        in flight.  Unbudgeted contexts still resume pendings — any crack of
+        a piece holding one must finish it before the piece can move on.
+        """
+        if budgeted and self.budget is not None:
+            self._tracker.begin_query(len(self.head))
+            return CrackProgress(self.pending_cracks, self._tracker)
+        if self.pending_cracks:
+            return CrackProgress(self.pending_cracks)
+        return None
+
     # -- querying -----------------------------------------------------------------
 
     def select(self, interval: Interval) -> np.ndarray:
         """Keys of tuples qualifying ``interval`` (in cracked order).
 
         Merges relevant pending updates, cracks, and returns a copy of the
-        qualifying tail area.
+        qualifying tail area.  Under a progressive budget the area may carry
+        uncertainty holes; their keys are qualified by value here, so the
+        result is always exact.
         """
         with atomic(self, "column"):
             self.apply_pending(interval)
-            lo, hi = self._crack(interval)
+            lo, hi, holes = self._crack(interval, budgeted=True)
         self._recorder.sequential(hi - lo)
-        return self.keys[lo:hi].copy()
+        if not holes:
+            return self.keys[lo:hi].copy()
+        parts = [self.keys[lo:hi]]
+        for h_lo, h_hi in holes:
+            self._recorder.sequential(h_hi - h_lo)
+            mask = interval.mask(self.head[h_lo:h_hi])
+            parts.append(self.keys[h_lo:h_hi][mask])
+        return np.concatenate(parts)
 
     def select_area(self, interval: Interval) -> tuple[int, int]:
-        """Crack for ``interval`` and return the qualifying area ``[lo, hi)``."""
+        """Crack for ``interval`` and return the qualifying area ``[lo, hi)``.
+
+        The contiguous-area contract cannot represent holes, so this path
+        runs any in-flight cracks for the interval's bounds to completion
+        regardless of the budget.
+        """
         with atomic(self, "column"):
             self.apply_pending(interval)
-            return self._crack(interval)
+            lo, hi, _ = self._crack(interval, budgeted=False)
+            return lo, hi
 
-    def _crack(self, interval: Interval) -> tuple[int, int]:
+    def _crack(
+        self, interval: Interval, budgeted: bool
+    ) -> tuple[int, int, list[tuple[int, int]]]:
         cuts: list = []
+        progress = self._progress(budgeted)
         lo, hi = crack_into(
             self.index, self.head, [self.keys], interval, self._recorder,
-            policy=self.policy, rng=self._rng, cut_sink=cuts,
+            policy=self.policy, rng=self._rng, cut_sink=cuts, progress=progress,
         )
         self.stochastic_cuts += len(cuts)
         checkpoint_crack(self, "column")
-        return lo, hi
+        return lo, hi, (progress.holes if progress is not None else [])
 
     def count(self, interval: Interval) -> int:
-        lo, hi = self.select_area(interval)
-        return hi - lo
+        with atomic(self, "column"):
+            self.apply_pending(interval)
+            lo, hi, holes = self._crack(interval, budgeted=True)
+        total = hi - lo
+        for h_lo, h_hi in holes:
+            self._recorder.sequential(h_hi - h_lo)
+            total += int(interval.mask(self.head[h_lo:h_hi]).sum())
+        return total
 
     # -- updates --------------------------------------------------------------------
 
@@ -110,6 +166,9 @@ class CrackerColumn:
         if not self.pending.has_pending(interval):
             return
         with atomic(self, "column"):
+            # Ripple merges shift piece positions, which would invalidate the
+            # left/right markers of in-flight cracks: finish them first.
+            self.finish_pending_cracks()
             ins_head, ins_tails = self.pending.take_insertions(interval)
             if len(ins_head):
                 self.head, tails = merge_insertions(
@@ -127,6 +186,14 @@ class CrackerColumn:
                     self.index, self.head, [self.keys], positions, self._recorder
                 )
                 self.keys = tails[0]
+
+    def finish_pending_cracks(self) -> None:
+        """Run every in-flight crack to completion (deterministic order)."""
+        for bound in sorted(self.pending_cracks):
+            finish_pending(
+                self.index, self.head, [self.keys], self.pending_cracks,
+                bound, self._recorder,
+            )
 
     # -- invariants (used by tests and CrackSan) ---------------------------------------
 

@@ -21,6 +21,13 @@ import numpy as np
 from repro.cracking.avl import CrackerIndex
 from repro.cracking.bounds import Bound, Interval
 from repro.cracking.kernels import crack_three, crack_two, sort_piece
+from repro.cracking.progressive import (
+    CrackProgress,
+    PendingCrack,
+    pending_in_piece,
+    progressive_step,
+    resolve_area,
+)
 from repro.cracking.stochastic import CrackPolicy, account_partition, is_stochastic
 from repro.faults.plan import fault_hook
 from repro.stats.counters import StatsRecorder, global_recorder
@@ -34,6 +41,18 @@ def _account_partition(
     recorder.event("cracks")
 
 
+def _wants_progress(progress: CrackProgress | None) -> bool:
+    """Does the context require the budget-aware path?
+
+    Only when a budget is being tracked or pendings are already in flight —
+    otherwise the classic eager path runs unchanged (zero overhead, and
+    bit-identical tapes for unbudgeted structures).
+    """
+    return progress is not None and (
+        bool(progress.pending) or progress.tracker is not None
+    )
+
+
 def crack_bound(
     index: CrackerIndex,
     head: np.ndarray,
@@ -43,11 +62,17 @@ def crack_bound(
     policy: CrackPolicy | None = None,
     rng: np.random.Generator | None = None,
     cut_sink: list[Bound] | None = None,
-) -> int:
+    progress: CrackProgress | None = None,
+) -> int | None:
     """Ensure ``bound`` is a piece boundary; crack its piece if it is not.
 
     Returns the boundary's position.  With a stochastic ``policy``, the
     fresh crack may perform auxiliary cuts first (reported via ``cut_sink``).
+    With a budget-tracking ``progress`` context the crack may instead be
+    performed *partially* (or not at all once the budget is spent); the
+    return value is then ``None`` when the bound did not become a boundary —
+    consult :func:`~repro.cracking.progressive.resolve_area` for the certain
+    window and the uncertainty holes.
     """
     fault_hook("crack.crack_bound")
     recorder = recorder or global_recorder()
@@ -56,6 +81,12 @@ def crack_bound(
     if pos is not None:
         return pos
     lo, hi = index.enclosing(bound, len(head))
+    if policy is not None and hasattr(policy, "observe"):
+        policy.observe(index, bound, lo, hi, len(head))
+    if _wants_progress(progress):
+        return _progressive_bound(
+            index, head, tails, bound, recorder, policy, rng, cut_sink, progress
+        )
     if is_stochastic(policy):
         split = policy.crack_piece(
             index, head, tails, lo, hi, bound, rng, recorder, cut_sink
@@ -67,6 +98,125 @@ def crack_bound(
     return split
 
 
+def _progressive_bound(
+    index: CrackerIndex,
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    bound: Bound,
+    recorder: StatsRecorder,
+    policy: CrackPolicy | None,
+    rng: np.random.Generator | None,
+    cut_sink: list[Bound] | None,
+    progress: CrackProgress,
+) -> int | None:
+    """The budget-aware twin of the ``crack_bound`` body.
+
+    Invariant: a piece holding a pending crack is never cracked at another
+    bound — the pending is resumed first, with whatever budget is left.
+    Fresh bounds are cracked eagerly (policy-assisted) when the remaining
+    budget covers the whole piece, and progressively (one step, no auxiliary
+    cuts) otherwise.  Every step is appended to ``progress.ops`` so the owner
+    can log matching tape entries.
+    """
+    n = len(head)
+    while True:
+        pos = index.position_of(bound)
+        if pos is not None:
+            return pos
+        lo, hi = index.enclosing(bound, n)
+        p = pending_in_piece(progress.pending, lo, hi)
+        if p is None:
+            remaining = progress.remaining()
+            if remaining >= hi - lo:
+                # Auxiliary cuts are collected per-op (not straight into
+                # ``cut_sink``) so owners can tape them in temporal order
+                # relative to surrounding step entries.
+                op_cuts: list[Bound] = []
+                if is_stochastic(policy):
+                    split = policy.crack_piece(
+                        index, head, tails, lo, hi, bound, rng, recorder, op_cuts
+                    )
+                else:
+                    split = crack_two(head, tails, lo, hi, bound)
+                    _account_partition(recorder, hi - lo, 1 + len(tails))
+                index.insert(bound, split)
+                progress.consume(hi - lo)
+                progress.ops.append(("eager", bound, tuple(op_cuts)))
+                if cut_sink is not None:
+                    cut_sink.extend(op_cuts)
+                return split
+            if remaining < 1:
+                return None
+            p = PendingCrack(bound, lo, hi, lo, hi)
+            progress.pending[bound] = p
+        k = int(min(progress.remaining(), p.right - p.left))
+        if k < 1:
+            return None
+        progressive_step(head, tails, p, k, recorder)
+        progress.consume(k)
+        if p.done:
+            index.insert(p.bound, p.left)
+            del progress.pending[p.bound]
+            recorder.event("cracks")
+            progress.ops.append(("step", p.bound, k, True))
+            if is_stochastic(policy) and rng is not None:
+                _queue_aux_pending(
+                    index, head, tails, bound, p, policy, rng, recorder, progress
+                )
+            # Loop: either p.bound was the requested bound (now a boundary)
+            # or the piece is free for it — retry with the leftover budget.
+        else:
+            # k < window only happens when the budget ran dry.
+            progress.ops.append(("step", p.bound, k, False))
+            return None
+
+
+def _queue_aux_pending(
+    index: CrackerIndex,
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    bound: Bound,
+    completed: PendingCrack,
+    policy: CrackPolicy,
+    rng: np.random.Generator,
+    recorder: StatsRecorder,
+    progress: CrackProgress,
+) -> None:
+    """Queue the stochastic follow-up cut of a finished progressive crack.
+
+    Eager stochastic policies inject a data-driven cut alongside every query
+    crack; on the progressive path the piece is usually larger than any
+    single query's allowance, so the cut is queued as its own pending (in
+    the larger remnant of the just-finished crack) and resolved by later
+    queries' budgets.  This is what keeps budgeted stochastic cracking
+    convergent on adversarial workloads: random cuts still reach pieces the
+    budget can never crack eagerly.
+    """
+    if progress.remaining() < 1:
+        return
+    split = completed.left
+    halves = ((completed.lo, split), (split, completed.hi))
+    a_lo, a_hi = max(halves, key=lambda half: half[1] - half[0])
+    if a_hi - a_lo <= policy.min_piece:
+        return
+    if pending_in_piece(progress.pending, a_lo, a_hi) is not None:
+        return
+    pivot = policy._random_pivot(head, a_lo, a_hi, rng, recorder)
+    if not policy._usable(index, pivot, bound) or pivot in progress.pending:
+        return
+    aux = PendingCrack(pivot, a_lo, a_hi, a_lo, a_hi)
+    progress.pending[pivot] = aux
+    recorder.event("dd_cuts")
+    recorder.event("random_cracks")
+    recorder.policy_cut(policy.name)
+    # One minimal step puts the pending on the owner's tape; whatever
+    # budget the current query has left flows into it through the normal
+    # resume path on the next enclosing lookup.
+    progressive_step(head, tails, aux, 1, recorder)
+    progress.consume(1)
+    progress.ops.append(("step", pivot, 1, aux.done))
+
+
 def crack_into(
     index: CrackerIndex,
     head: np.ndarray,
@@ -76,6 +226,7 @@ def crack_into(
     policy: CrackPolicy | None = None,
     rng: np.random.Generator | None = None,
     cut_sink: list[Bound] | None = None,
+    progress: CrackProgress | None = None,
 ) -> tuple[int, int]:
     """Physically cluster the tuples qualifying ``interval`` into one area.
 
@@ -84,11 +235,28 @@ def crack_into(
     contiguous qualifying area ``[w_lo, w_hi)``.  A stochastic ``policy``
     routes both bounds through the policy-assisted :func:`crack_bound` so
     each fresh crack can inject auxiliary cuts.
+
+    With a budget-tracking ``progress`` context, each bound may be resolved
+    only partially; the return value is then the largest *certain* window and
+    ``progress.holes`` lists the position ranges whose membership is still
+    undecided (callers qualify them against head values).
     """
     recorder = recorder or global_recorder()
     n = len(head)
     lower = interval.lower_bound()
     upper = interval.upper_bound()
+
+    if _wants_progress(progress):
+        for bound in (lower, upper):
+            if bound is not None:
+                crack_bound(
+                    index, head, tails, bound, recorder, policy, rng,
+                    cut_sink, progress,
+                )
+        w_lo, w_hi, progress.holes = resolve_area(
+            index, n, interval, progress.pending
+        )
+        return w_lo, w_hi
 
     if lower is not None and upper is not None:
         recorder.event("index_lookups", 2)

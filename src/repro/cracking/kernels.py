@@ -116,6 +116,53 @@ def reference_sort_piece(
     _apply_order(head, tails, lo, hi, order)
 
 
+def reference_progressive_step(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    bound: Bound,
+    left: int,
+    right: int,
+    k: int,
+    arena: KernelArena | None = None,
+) -> tuple[int, int, int]:
+    if not (0 <= left <= right <= len(head)):
+        raise CrackError(
+            f"progressive step window [{left}, {right}) outside array of {len(head)}"
+        )
+    k = min(int(k), right - left)
+    if k <= 0:
+        return left, right, 0
+    L, R, W = left, right, left + k
+    below = bound.below_mask(head[L:W])
+    idx_b = np.flatnonzero(below)
+    nb = len(idx_b)
+    na = k - nb
+    if na == 0:
+        # The whole window is below: advance the marker, move nothing.
+        return W, R, 0
+    idx_a = np.flatnonzero(~below)
+    if W == R:
+        # Final window: partition [L, R) outright.
+        order = np.concatenate([idx_b, idx_a])
+        _apply_order(head, tails, L, R, order)
+        return L + nb, L + nb, k
+    if R - na < W:
+        # The above-destination overlaps the window: permute all of [L, R).
+        m = R - L
+        order = np.concatenate([idx_b, np.arange(k, m), idx_a])
+        _apply_order(head, tails, L, R, order)
+        return L + nb, R - na, m
+    # Disjoint: compact belows to the front, swap the window's aboves with
+    # the untouched elements just before the above block.
+    for arr in (head, *tails):
+        win = arr[L:W].copy()
+        displaced = arr[R - na:R].copy()
+        arr[L:L + nb] = win[idx_b]
+        arr[L + nb:W] = displaced
+        arr[R - na:R] = win[idx_a]
+    return L + nb, R - na, k + na
+
+
 # ---------------------------------------------------------------------------
 # Fused backend: same permutations, arena-backed storage.
 # ---------------------------------------------------------------------------
@@ -264,6 +311,59 @@ def fused_sort_piece(
     apply_permutation(head, tails, lo, hi, order, arena)
 
 
+def fused_progressive_step(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    bound: Bound,
+    left: int,
+    right: int,
+    k: int,
+    arena: KernelArena | None = None,
+) -> tuple[int, int, int]:
+    if not (0 <= left <= right <= len(head)):
+        raise CrackError(
+            f"progressive step window [{left}, {right}) outside array of {len(head)}"
+        )
+    k = min(int(k), right - left)
+    if k <= 0:
+        return left, right, 0
+    arena = arena if arena is not None else default_arena()
+    L, R, W = left, right, left + k
+    seg = head[L:W]
+    below = arena.mask(k)
+    bound.below_mask_into(seg, below)
+    idx_b = np.flatnonzero(below)
+    nb = len(idx_b)
+    na = k - nb
+    if na == 0:
+        return W, R, 0
+    np.logical_not(below, out=below)
+    idx_a = np.flatnonzero(below)
+    if W == R:
+        _apply_index_groups(head, tails, L, R, (idx_b, idx_a), arena)
+        return L + nb, L + nb, k
+    if R - na < W:
+        m = R - L
+        order_mid = np.arange(k, m)
+        _apply_index_groups(head, tails, L, R, (idx_b, order_mid, idx_a), arena)
+        return L + nb, R - na, m
+    # Disjoint destinations: stage window belows, window aboves, and the
+    # displaced untouched run in one scratch buffer, then write each run to
+    # its final slot.  Bit-identical to the reference branch.
+    n_move = k + na
+    scratch = _reserve_scratch(arena, (head, *tails), n_move)
+    for arr in (head, *tails):
+        buf = scratch[arr.dtype]
+        win = arr[L:W]
+        np.take(win, idx_b, out=buf[:nb], mode="wrap")
+        np.take(win, idx_a, out=buf[nb:k], mode="wrap")
+        buf[k:n_move] = arr[R - na:R]
+        arr[L:L + nb] = buf[:nb]
+        arr[L + nb:W] = buf[k:n_move]
+        arr[R - na:R] = buf[nb:k]
+    return L + nb, R - na, k + na
+
+
 # ---------------------------------------------------------------------------
 # Backend registry and public dispatchers.
 # ---------------------------------------------------------------------------
@@ -275,11 +375,13 @@ KERNEL_BACKENDS: dict[str, KernelSet] = {
         "crack_two": reference_crack_two,
         "crack_three": reference_crack_three,
         "sort_piece": reference_sort_piece,
+        "progressive_step": reference_progressive_step,
     },
     "fused": {
         "crack_two": fused_crack_two,
         "crack_three": fused_crack_three,
         "sort_piece": fused_sort_piece,
+        "progressive_step": fused_progressive_step,
     },
 }
 
@@ -361,6 +463,36 @@ def crack_three(
             raise
         return KERNEL_BACKENDS["reference"]["crack_three"](
             head, tails, lo, hi, lower, upper
+        )
+
+
+def progressive_step_kernel(
+    head: np.ndarray,
+    tails: Sequence[np.ndarray],
+    bound: Bound,
+    left: int,
+    right: int,
+    k: int,
+    arena: KernelArena | None = None,
+) -> tuple[int, int, int]:
+    """Narrow a pending crack's window ``[left, right)`` by up to ``k``.
+
+    Classifies the first ``k`` window elements against ``bound``, compacts
+    the belows onto the below-prefix and relocates the aboves onto the
+    above-suffix, touching at most ``2 * k`` elements per array.  Returns
+    ``(new_left, new_right, touched)``; the caller owns the
+    :class:`~repro.cracking.progressive.PendingCrack` bookkeeping.
+    """
+    fault_hook("kernels.progressive_step", head[left:right])
+    try:
+        return KERNEL_BACKENDS[_active_backend]["progressive_step"](
+            head, tails, bound, left, right, k, arena
+        )
+    except ArenaPressure:
+        if _active_backend == "reference":
+            raise
+        return KERNEL_BACKENDS["reference"]["progressive_step"](
+            head, tails, bound, left, right, k
         )
 
 

@@ -352,7 +352,7 @@ POLICIES: dict[str, type[CrackPolicy]] = {
     cls.name: cls for cls in (QueryDriven, DDC, DDR, DD1C, DD1R, MDD1R)
 }
 
-POLICY_NAMES = tuple(POLICIES)
+POLICY_NAMES = tuple(POLICIES) + ("auto",)
 
 
 def resolve_policy(
@@ -362,11 +362,18 @@ def resolve_policy(
 
     ``min_piece`` overrides the cache-derived default when the policy is
     constructed from a name; an already-built instance keeps its own value.
+    ``"auto"`` resolves to the workload-adaptive selector from
+    :mod:`repro.cracking.adaptive` (imported lazily — that module depends
+    on this one).
     """
     if policy is None or isinstance(policy, CrackPolicy):
         return policy
     if isinstance(policy, str):
         name = policy.strip().lower().replace("-", "_")
+        if name in ("auto", "adaptive"):
+            from repro.cracking.adaptive import AdaptivePolicy
+
+            return AdaptivePolicy(min_piece=min_piece)
         cls = POLICIES.get(name) or POLICIES.get(name.replace("_", ""))
         if cls is None:
             raise PlanError(

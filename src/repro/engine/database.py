@@ -24,6 +24,7 @@ from repro.core.partial.engine import PartialConfig, PartialSidewaysCracker
 from repro.core.partial.storage import ChunkStorage
 from repro.core.sideways import SidewaysCracker
 from repro.cracking.column import CrackerColumn
+from repro.cracking.progressive import parse_budget
 from repro.cracking.stochastic import CrackPolicy, policy_rng, resolve_policy
 from repro.errors import CatalogError, UpdateError
 from repro.faults.guard import is_quarantined
@@ -56,12 +57,14 @@ class Database:
         chunk_budget: int | None = None,
         partial_config: PartialConfig | None = None,
         crack_policy: "CrackPolicy | str | None" = None,
+        crack_budget: "object | None" = None,
         crack_seed: int = 42,
         sanitize: "str | bool | None" = None,
         faults: "str | FaultPlan | None" = None,
     ) -> None:
         self.recorder = recorder or global_recorder()
         self.crack_policy = resolve_policy(crack_policy)
+        self.crack_budget = parse_budget(crack_budget)
         self.crack_seed = crack_seed
         # CrackSan: None falls back to $REPRO_SANITIZE (default "off").
         # Activated before any structure exists so everything is watched.
@@ -102,6 +105,22 @@ class Database:
                 pset.policy = resolved
                 if pset.chunkmap is not None:
                     pset.chunkmap.policy = resolved
+
+    def set_crack_budget(self, budget: "object | None") -> None:
+        """Select the progressive per-query budget for every structure.
+
+        ``None`` restores eager cracking.  In-flight partial cracks keep
+        their markers; they finish under the new allowance (or eagerly, on
+        the next touch, when the budget is lifted).
+        """
+        resolved = parse_budget(budget)
+        self.crack_budget = resolved
+        for cracker in self._crackers.values():
+            cracker.set_budget(resolved)
+        for sideways in self._sideways.values():
+            sideways.set_crack_budget(resolved)
+        for partial in self._partial.values():
+            partial.set_crack_budget(resolved)
 
     # -- fault healing -----------------------------------------------------------
 
@@ -249,6 +268,7 @@ class Database:
             cracker = CrackerColumn(
                 relation.column(attr), self.recorder,
                 policy=self.crack_policy,
+                budget=self.crack_budget,
                 rng=policy_rng(self.crack_seed, "column", table, attr),
                 label=f"cracker_column[{table}.{attr}]",
             )
@@ -268,6 +288,7 @@ class Database:
                 self.table(table), self.recorder, self.full_map_storage,
                 tombstone_keys=lambda: np.flatnonzero(state.tombstones),
                 policy=self.crack_policy, crack_seed=self.crack_seed,
+                crack_budget=self.crack_budget,
             )
             self._sideways[table] = cracker
         return cracker
@@ -283,6 +304,7 @@ class Database:
                 storage=self.chunk_storage,
                 tombstone_keys=lambda: np.flatnonzero(state.tombstones),
                 policy=self.crack_policy, crack_seed=self.crack_seed,
+                crack_budget=self.crack_budget,
             )
             self._partial[table] = cracker
         return cracker

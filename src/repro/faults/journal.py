@@ -54,6 +54,22 @@ def _restore_pending(pending, snap) -> None:
     pending.del_keys = del_keys
 
 
+def _snap_pending_cracks(pending_cracks):
+    """Value-copy the in-flight progressive crack state of one structure."""
+    return {bound: p.clone() for bound, p in pending_cracks.items()}
+
+
+def _snap_tracker(tracker):
+    if tracker is None:
+        return None
+    return (tracker._remaining, tracker.spent_last_query)
+
+
+def _restore_tracker(tracker, snap) -> None:
+    if tracker is not None and snap is not None:
+        tracker._remaining, tracker.spent_last_query = snap
+
+
 # ---------------------------------------------------------------------------
 # Per-structure snapshots.
 # ---------------------------------------------------------------------------
@@ -64,6 +80,8 @@ def _snap_column(col) -> Callable[[], None]:
     keys = col.keys.copy()
     index = col.index.clone()
     pending = _snap_pending(col.pending)
+    cracks_in_flight = _snap_pending_cracks(col.pending_cracks)
+    tracker = _snap_tracker(col._tracker)
     cuts = col.stochastic_cuts
     rng = _snap_rng(col._rng)
 
@@ -72,6 +90,8 @@ def _snap_column(col) -> Callable[[], None]:
         col.keys = keys
         col.index = index
         _restore_pending(col.pending, pending)
+        col.pending_cracks = cracks_in_flight
+        _restore_tracker(col._tracker, tracker)
         col.stochastic_cuts = cuts
         _restore_rng(col._rng, rng)
 
@@ -80,12 +100,15 @@ def _snap_column(col) -> Callable[[], None]:
 
 def _snap_mapset(ms) -> Callable[[], None]:
     maps = {
-        attr: (m, m.head.copy(), m.tail.copy(), m.index.clone(), m.cursor, m.accesses)
+        attr: (m, m.head.copy(), m.tail.copy(), m.index.clone(), m.cursor,
+               m.accesses, _snap_pending_cracks(m.pending_cracks))
         for attr, m in ms.maps.items()
     }
     tape_len = len(ms.tape)
     min_safe = ms.tape.min_safe_cursor
     pending = _snap_pending(ms.pending)
+    open_pendings = set(ms.open_pendings)
+    tracker = _snap_tracker(ms._tracker)
     sig = ms._sig
     cuts = ms.stochastic_cuts
     rng = _snap_rng(ms._rng)
@@ -102,12 +125,13 @@ def _snap_mapset(ms) -> Callable[[], None]:
                 del ms.maps[attr]
                 if ms._storage is not None:
                     ms._storage.unregister(ms, attr)
-        for attr, (m, head, tail, index, cursor, accesses) in maps.items():
+        for attr, (m, head, tail, index, cursor, accesses, cracks) in maps.items():
             m.head = head
             m.tail = tail
             m.index = index
             m.cursor = cursor
             m.accesses = accesses
+            m.pending_cracks = cracks
             # The op may have evicted the map; the snapshot resurrects it.
             ms.maps[attr] = m
             if ms._storage is not None:
@@ -115,6 +139,8 @@ def _snap_mapset(ms) -> Callable[[], None]:
         ms.tape.truncate(tape_len)
         ms.tape.min_safe_cursor = min_safe
         _restore_pending(ms.pending, pending)
+        ms.open_pendings = set(open_pendings)
+        _restore_tracker(ms._tracker, tracker)
         ms._sig = sig
         ms.stochastic_cuts = cuts
         _restore_rng(ms._rng, rng)
@@ -137,6 +163,7 @@ def _snap_partial_set(ps) -> Callable[[], None]:
                 0 if area.tape is None else area.tape.min_safe_cursor,
                 set(area.refs),
                 area.pin_count,
+                set(area.open_pendings),
             )
             for area in cm.areas
         ]
@@ -161,11 +188,13 @@ def _snap_partial_set(ps) -> Callable[[], None]:
                 chunk.accesses,
                 chunk.cracks_seen,
                 chunk.last_crack_access,
+                _snap_pending_cracks(chunk.pending_cracks),
             )
             for aid, chunk in pmap.chunks.items()
         }
         maps[attr] = (pmap, chunks)
     pending = _snap_pending(ps.pending)
+    tracker = _snap_tracker(ps._tracker)
     cuts = ps.stochastic_cuts
     rng = _snap_rng(ps._rng)
 
@@ -187,7 +216,8 @@ def _snap_partial_set(ps) -> Callable[[], None]:
             cm.keys = keys
             cm.index = index
             cm.areas = list(area_order)
-            for (area, lo, hi, fetched, tape, tlen, msc, refs, pins) in area_states:
+            for (area, lo, hi, fetched, tape, tlen, msc, refs, pins,
+                 opens) in area_states:
                 area.lo_bound = lo
                 area.hi_bound = hi
                 area.fetched = fetched
@@ -197,6 +227,7 @@ def _snap_partial_set(ps) -> Callable[[], None]:
                     tape.min_safe_cursor = msc
                 area.refs = refs
                 area.pin_count = pins
+                area.open_pendings = opens
             cm.stochastic_cuts = cm_cuts
             _restore_rng(cm._rng, cm_rng)
             ps.chunkmap = cm
@@ -213,7 +244,8 @@ def _snap_partial_set(ps) -> Callable[[], None]:
                 if aid not in chunks:
                     quarantine(pmap.chunks[aid], "discarded by rollback")
                     del pmap.chunks[aid]
-            for aid, (chunk, head, tail, index, cursor, acc, seen, last) in chunks.items():
+            for aid, (chunk, head, tail, index, cursor, acc, seen, last,
+                      cracks) in chunks.items():
                 chunk.head = head
                 chunk.tail = tail
                 chunk.index = index
@@ -221,8 +253,10 @@ def _snap_partial_set(ps) -> Callable[[], None]:
                 chunk.accesses = acc
                 chunk.cracks_seen = seen
                 chunk.last_crack_access = last
+                chunk.pending_cracks = cracks
                 pmap.chunks[aid] = chunk
         _restore_pending(ps.pending, pending)
+        _restore_tracker(ps._tracker, tracker)
         ps.stochastic_cuts = cuts
         _restore_rng(ps._rng, rng)
 

@@ -1,0 +1,91 @@
+"""Lazy promotion of auxiliary cuts to partial-map area edges."""
+
+import numpy as np
+import pytest
+
+from repro.core.partial.chunkmap import ChunkMap
+from repro.cracking.bounds import Interval
+from repro.cracking.stochastic import resolve_policy
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def rel(rng):
+    return Relation.from_arrays(
+        "R", {c: rng.integers(0, 10_000, size=4_000).astype(np.int64) for c in "AB"}
+    )
+
+
+def _stochastic_chunkmap(rel):
+    return ChunkMap(
+        rel, "A", snapshot_rows=len(rel),
+        policy=resolve_policy("mdd1r", min_piece=64),
+        rng=np.random.default_rng(5),
+    )
+
+
+def _interior_bounds(chunkmap, area):
+    return [
+        bound for bound, _ in chunkmap.index.inorder()
+        if area.contains_strictly(bound)
+    ]
+
+
+class TestLazyPromotion:
+    def test_aux_cuts_stay_interior_in_unfetched_areas(self, rel):
+        chunkmap = _stochastic_chunkmap(rel)
+        chunkmap.cover(Interval.open(4_000, 4_500))
+        assert chunkmap.stochastic_cuts > 0
+        unfetched = [a for a in chunkmap.areas if not a.fetched]
+        assert unfetched
+        # The stochastic cuts exist as H_A boundaries but did NOT split the
+        # never-queried value ranges into areas of their own.
+        assert sum(len(_interior_bounds(chunkmap, a)) for a in unfetched) > 0
+        chunkmap.check_invariants()
+
+    def test_fetched_areas_never_hold_interior_boundaries(self, rel):
+        chunkmap = _stochastic_chunkmap(rel)
+        for lo in (4_000, 1_000, 7_000, 2_500, 8_500):
+            chunkmap.cover(Interval.open(lo, lo + 500))
+            for area in chunkmap.areas:
+                if area.fetched:
+                    assert _interior_bounds(chunkmap, area) == []
+            chunkmap.check_invariants()
+
+    def test_fetch_promotes_interior_cuts_to_edges(self, rel):
+        chunkmap = _stochastic_chunkmap(rel)
+        chunkmap.cover(Interval.open(4_000, 4_500))
+        victim = next(
+            a for a in chunkmap.areas
+            if not a.fetched and _interior_bounds(chunkmap, a)
+        )
+        interior = _interior_bounds(chunkmap, victim)
+        # Fetch the whole chunk map: the promotion split must surface every
+        # one of those cuts as an edge of some (now fetched) area.
+        chunkmap.cover(Interval())
+        edges = set()
+        for area in chunkmap.areas:
+            assert area.fetched
+            assert _interior_bounds(chunkmap, area) == []
+            edges.update(b for b in (area.lo_bound, area.hi_bound) if b is not None)
+        for bound in interior:
+            assert bound in edges
+        chunkmap.check_invariants()
+
+    def test_promotion_preserves_area_coverage(self, rel):
+        chunkmap = _stochastic_chunkmap(rel)
+        chunkmap.cover(Interval.open(3_000, 3_500))
+        iv = Interval.open(6_000, 9_000)
+        areas = chunkmap.cover(iv)
+        covered = sum(chunkmap.area_size(a) for a in areas)
+        # The fetched areas cover at least every qualifying tuple.
+        assert covered >= int(iv.mask(rel.values("A")).sum())
+        chunkmap.check_invariants()
+
+    def test_query_driven_chunkmap_has_nothing_to_promote(self, rel):
+        chunkmap = ChunkMap(rel, "A", snapshot_rows=len(rel))
+        chunkmap.cover(Interval.open(2_000, 5_000))
+        assert chunkmap.stochastic_cuts == 0
+        for area in chunkmap.areas:
+            assert _interior_bounds(chunkmap, area) == []
+        chunkmap.check_invariants()

@@ -47,7 +47,8 @@ def test_resolve_policy_names():
     assert resolve_policy("dd-1c").name == "dd1c"
     mdd1r = resolve_policy("mdd1r")
     assert resolve_policy(mdd1r) is mdd1r
-    assert set(POLICY_NAMES) == set(POLICIES)
+    assert set(POLICY_NAMES) == set(POLICIES) | {"auto"}
+    assert resolve_policy("auto").name == "auto"
     with pytest.raises(PlanError):
         resolve_policy("no_such_policy")
 
