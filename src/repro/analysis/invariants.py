@@ -258,14 +258,44 @@ def _base_permutation_violations(
     base_values: np.ndarray,
     keys: np.ndarray,
     seed: int | None,
+    base_keys: np.ndarray | None = None,
 ) -> list[InvariantViolation]:
-    """``stored[i]`` must equal ``base_values[keys[i]]`` wherever keys resolve."""
+    """``stored[i]`` must equal ``base_values[keys[i]]`` wherever keys resolve.
+
+    ``base_keys`` handles bases with *materialized* keys (e.g. the gathered
+    BAT backing a partition shard): stored keys are then matched against the
+    base's key column instead of being treated as dense positions.
+    """
     keys = np.asarray(keys, dtype=np.int64)
     if len(stored) != len(keys):
         return [_violation(
             structure, invariant,
             f"stored array has {len(stored)} elements but {len(keys)} keys",
             seed, stored_len=len(stored), key_len=len(keys),
+        )]
+    if base_keys is not None:
+        order = np.argsort(base_keys, kind="stable")
+        sorted_keys = base_keys[order]
+        idx = np.searchsorted(sorted_keys, keys)
+        # Keys absent from the base snapshot (merged insertions on a base
+        # that is never refreshed): check only the resolvable rest.
+        resolvable = idx < len(sorted_keys)
+        idx = np.where(resolvable, idx, 0)
+        resolvable &= sorted_keys[idx] == keys
+        stored = stored[resolvable]
+        keys = keys[resolvable]
+        expected = base_values[order[idx[np.flatnonzero(resolvable)]]]
+        mismatch = stored != expected
+        if not mismatch.any():
+            return []
+        at = int(np.flatnonzero(mismatch)[0])
+        return [_violation(
+            structure, invariant,
+            f"stored value {stored[at]!r} at position {at} "
+            f"(key {int(keys[at])}) does not match base value "
+            f"{expected[at]!r}",
+            seed, position=at, key=int(keys[at]),
+            mismatches=int(mismatch.sum()),
         )]
     in_range = keys < len(base_values)
     if not in_range.all():
@@ -307,7 +337,7 @@ def _check_column(obj, deep: bool, seed, label, budget) -> list[InvariantViolati
         if base is not None:
             out += _base_permutation_violations(
                 structure, "base-permutation", obj.head, base.values,
-                obj.keys, seed,
+                obj.keys, seed, base_keys=getattr(base, "keys", None),
             )
     return out
 

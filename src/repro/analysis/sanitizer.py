@@ -43,9 +43,10 @@ check.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import InvariantError, InvariantViolation, PlanError
 
@@ -134,34 +135,35 @@ _ACTIVE: "weakref.WeakSet[Sanitizer]" = weakref.WeakSet()
 
 #: Re-entrancy guard: validation itself builds scratch structures (e.g. the
 #: replay copy of a map) that must not register or trigger checkpoints.
-_SUSPEND_DEPTH = 0
+#: Thread-local so one worker validating never blinds the checkpoints (or
+#: FaultSan's hit counting) of the other serving threads.
+_SUSPEND = threading.local()
 
 
 @contextmanager
 def suspended() -> Iterator[None]:
     """Temporarily disable registration and checkpoints (scratch structures)."""
-    global _SUSPEND_DEPTH
-    _SUSPEND_DEPTH += 1
+    _SUSPEND.depth = getattr(_SUSPEND, "depth", 0) + 1
     try:
         yield
     finally:
-        _SUSPEND_DEPTH -= 1
+        _SUSPEND.depth -= 1
 
 
 def is_suspended() -> bool:
-    """True while validation/replay scratch work is in flight.
+    """True while validation/replay scratch work is in flight on this thread.
 
     FaultSan consults this: injection sites fired from inside the validator
     (ghost replay reuses the production crack/ripple code) must stay inert,
     or a fault plan would corrupt the sanitizer's own scratch structures and
     make hit counts depend on the sanitize level.
     """
-    return _SUSPEND_DEPTH > 0
+    return getattr(_SUSPEND, "depth", 0) > 0
 
 
 def register_structure(obj: object, kind: str, label: str | None = None) -> None:
     """Hook called from structure constructors; registers with active sanitizers."""
-    if not _ACTIVE or _SUSPEND_DEPTH:
+    if not _ACTIVE or is_suspended():
         return
     for sanitizer in list(_ACTIVE):
         sanitizer.register(obj, kind, label)
@@ -169,7 +171,7 @@ def register_structure(obj: object, kind: str, label: str | None = None) -> None
 
 def checkpoint_crack(obj: object, kind: str) -> None:
     """Hook called right after a structure physically reorganized itself."""
-    if not _ACTIVE or _SUSPEND_DEPTH:
+    if not _ACTIVE or is_suspended():
         return
     for sanitizer in list(_ACTIVE):
         sanitizer.on_crack(obj, kind)
@@ -177,7 +179,7 @@ def checkpoint_crack(obj: object, kind: str) -> None:
 
 def checkpoint_query() -> None:
     """Hook called by engines at the end of every query."""
-    if not _ACTIVE or _SUSPEND_DEPTH:
+    if not _ACTIVE or is_suspended():
         return
     for sanitizer in list(_ACTIVE):
         sanitizer.on_query()
@@ -230,6 +232,16 @@ class Sanitizer:
         self.checks_skipped = 0
         self._registry: dict[int, tuple[weakref.ref, str, str | None]] = {}
         self._clean_sigs: dict[tuple[int, bool], object] = {}
+        #: Registry/skip-cache mutations can arrive from any serving thread
+        #: (structures register at construction time); an RLock keeps the
+        #: bookkeeping coherent without serializing validation itself.
+        self._lock = threading.RLock()
+        #: Optional concurrency hook set by the serving layer: called with a
+        #: structure about to be swept by :meth:`on_query`, must return a
+        #: context manager yielding ``True`` to proceed or ``False`` to skip
+        #: (structure busy in another thread — it will be validated at that
+        #: thread's own checkpoint instead).
+        self.structure_guard: Callable[[object], object] | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -258,19 +270,23 @@ class Sanitizer:
         key = id(obj)
 
         def _gone(_ref: weakref.ref, key: int = key) -> None:
-            self._registry.pop(key, None)
-            self._clean_sigs.pop((key, False), None)
-            self._clean_sigs.pop((key, True), None)
+            with self._lock:
+                self._registry.pop(key, None)
+                self._clean_sigs.pop((key, False), None)
+                self._clean_sigs.pop((key, True), None)
 
         try:
             ref = weakref.ref(obj, _gone)
         except TypeError:  # pragma: no cover - all structures are weakrefable
             return
-        self._registry[key] = (ref, kind, label)
+        with self._lock:
+            self._registry[key] = (ref, kind, label)
 
     def structures(self) -> Iterator[tuple[object, str, str | None]]:
         """Live registered structures (dead weakrefs are pruned lazily)."""
-        for ref, kind, label in list(self._registry.values()):
+        with self._lock:
+            entries = list(self._registry.values())
+        for ref, kind, label in entries:
             obj = ref()
             if obj is not None:
                 yield obj, kind, label
@@ -291,9 +307,10 @@ class Sanitizer:
             return []
         key = (id(obj), deep)
         sig = invariants.signature(obj, kind, content=self.checksums)
-        if sig is not None and self._clean_sigs.get(key) == sig:
-            self.checks_skipped += 1
-            return []
+        with self._lock:
+            if sig is not None and self._clean_sigs.get(key) == sig:
+                self.checks_skipped += 1
+                return []
         with suspended():
             found = invariants.check(
                 obj, kind, deep=deep, seed=self.seed, label=label,
@@ -302,9 +319,11 @@ class Sanitizer:
         self.checks_run += 1
         if not found:
             if sig is not None:
-                self._clean_sigs[key] = sig
+                with self._lock:
+                    self._clean_sigs[key] = sig
             return []
-        self._clean_sigs.pop(key, None)
+        with self._lock:
+            self._clean_sigs.pop(key, None)
         self.violations.extend(found)
         if self.strict:
             _dump_repro(tuple(found), self.level)
@@ -320,8 +339,19 @@ class Sanitizer:
         if not self.enabled("post-query"):
             return
         deep = self.enabled("deep")
+        guard = self.structure_guard
         for obj, kind, label in self.structures():
-            self.validate(obj, kind, label=label, deep=deep)
+            if guard is not None:
+                with guard(obj) as proceed:  # type: ignore[union-attr]
+                    if not proceed:
+                        # Busy under another thread's write lock; that thread
+                        # validates it at its own checkpoint, so skipping here
+                        # loses no coverage and avoids sweep-vs-crack races.
+                        self.checks_skipped += 1
+                        continue
+                    self.validate(obj, kind, label=label, deep=deep)
+            else:
+                self.validate(obj, kind, label=label, deep=deep)
 
     # -- reporting ---------------------------------------------------------------
 

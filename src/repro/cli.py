@@ -36,6 +36,8 @@ EXPERIMENTS = {
               "FaultSan overhead (journal cost, recovery cost, rebuild cost)"),
     "exp16": ("exp16_progressive",
               "Progressive cracking (per-query budgets x adaptive policy)"),
+    "exp17": ("exp17_concurrency",
+              "Concurrent serving throughput + bit-identity vs serial"),
 }
 
 ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
@@ -133,6 +135,52 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.engine.database import Database
+    from repro.server.serve import run_server
+
+    if args.snapshot:
+        from repro.storage.persist import load_database
+
+        db = load_database(args.snapshot)
+        source = f"snapshot {args.snapshot}"
+    else:
+        rng = np.random.default_rng(args.seed)
+        domain = 10 * args.rows
+        db = Database()
+        db.create_table("R", {
+            attr: rng.integers(0, domain, args.rows).astype(np.int64)
+            for attr in ("A", "B", "C", "D")
+        })
+        source = f"synthetic R ({args.rows:,} rows x 4 int64 attrs, seed {args.seed})"
+
+    partition_attrs = []
+    for spec in args.partition_attr or ():
+        table, dot, attr = spec.partition(".")
+        if not dot or not table or not attr:
+            print(f"--partition-attr wants TABLE.ATTR, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        partition_attrs.append((table, attr))
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving {source}", flush=True)
+        print(
+            f"listening on {host}:{port} "
+            f"({args.workers} workers, {args.partitions} partitions)",
+            flush=True,
+        )
+
+    run_server(
+        db, host=args.host, port=args.port, workers=args.workers,
+        partitions=args.partitions, partition_attrs=partition_attrs,
+        ready_callback=ready,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,6 +217,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sanitize_flag(verify)
     _add_faults_flag(verify)
     verify.set_defaults(func=cmd_verify)
+
+    serve = sub.add_parser(
+        "serve", help="serve concurrent queries over TCP (line-delimited JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7077,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    serve.add_argument("--partitions", type=int, default=0,
+                       help="shard count for partitioned attributes "
+                            "(0 disables the partition path)")
+    serve.add_argument("--partition-attr", action="append", metavar="TABLE.ATTR",
+                       help="range-partition this attribute into --partitions "
+                            "independently-cracked shards (repeatable)")
+    serve.add_argument("--snapshot", default=None,
+                       help="serve a persisted database image instead of "
+                            "synthetic data")
+    serve.add_argument("--rows", type=int, default=1_000_000,
+                       help="rows of the synthetic table (no --snapshot)")
+    serve.add_argument("--seed", type=int, default=42)
+    _add_sanitize_flag(serve)
+    _add_faults_flag(serve)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -29,7 +29,7 @@ from repro.core.tape import (
 )
 from repro.cracking import stochastic
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
-from repro.cracking.crack import gang_replay_crack
+from repro.cracking.crack import gang_replay_cracks
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.progressive import (
     BudgetTracker,
@@ -239,12 +239,21 @@ class MapSet:
                 ):
                     # Gang replay is only valid while no progressive crack is
                     # in flight: with pendings open, crack entries must go
-                    # through the pending-aware per-map replay path.
+                    # through the pending-aware per-map replay path.  The
+                    # whole run of consecutive crack entries goes in one
+                    # batched pass (crack-entry replay never opens pendings,
+                    # so the run stays gang-eligible throughout).
+                    run = [entry.interval]
+                    while cmap.cursor + len(run) < end:
+                        ahead = self.tape[cmap.cursor + len(run)]
+                        if not isinstance(ahead, CrackEntry):
+                            break
+                        run.append(ahead.interval)
                     fault_hook("mapset.gang_replay")
-                    gang_replay_crack(group, entry.interval, self._recorder)
+                    gang_replay_cracks(group, run, self._recorder)
                     for m in group:
-                        self._recorder.event("alignment_replays")
-                        m.cursor += 1
+                        self._recorder.event("alignment_replays", len(run))
+                        m.cursor += len(run)
                 else:
                     for m in group:
                         m.replay_entry(entry)

@@ -37,7 +37,7 @@ from repro.core.tape import (
     SortEntry,
 )
 from repro.cracking.bounds import Bound, Interval, interval_from_bounds
-from repro.cracking.crack import gang_replay_crack, gang_replay_sort
+from repro.cracking.crack import gang_replay_cracks, gang_replay_sort
 from repro.cracking.pending import PendingUpdates
 from repro.cracking.progressive import (
     BudgetTracker,
@@ -352,11 +352,25 @@ class PartialMapSet:
                 and isinstance(entry, CrackEntry)
                 and not gang[0].pending_cracks
             ):
+                # Batch the run of consecutive crack entries, stopping where
+                # a straggler chunk would join the gang (its cursor) or at
+                # ``target`` — crack-entry replay never opens pendings, so
+                # the whole run stays gang-eligible.
+                limit = min(
+                    [target]
+                    + [c.cursor for c in active if c.cursor > cursor]
+                )
+                run = [entry.interval]
+                while cursor + len(run) < limit:
+                    ahead = area.tape[cursor + len(run)]
+                    if not isinstance(ahead, CrackEntry):
+                        break
+                    run.append(ahead.interval)
                 fault_hook("partial.gang_replay")
-                gang_replay_crack(gang, entry.interval, self._recorder)
+                gang_replay_cracks(gang, run, self._recorder)
                 for chunk in gang:
-                    self._recorder.event("alignment_replays")
-                    chunk.cursor += 1
+                    self._recorder.event("alignment_replays", len(run))
+                    chunk.cursor += len(run)
             elif len(gang) > 1 and isinstance(entry, SortEntry):
                 leader = gang[0]
                 lo = (

@@ -15,14 +15,19 @@ largest piece) and are never returned to the allocator until
 :meth:`KernelArena.clear`.  The arena is *not* a determinism concern: it
 only provides storage; the permutations the kernels compute are unchanged.
 
-A single module-level arena (:func:`default_arena`) backs all kernels by
-default — the repo is single-threaded and pieces shrink over time, so one
-high-water-mark allocation serves every structure.  Callers that want
-isolation (tests, future thread-per-shard work) can pass their own
-instance to the kernels.
+A per-thread arena (:func:`default_arena`) backs all kernels by default —
+pieces shrink over time, so one high-water-mark allocation per thread serves
+every structure that thread cracks.  The arena is thread-*local*, not
+thread-*safe*: the serving layer's partition workers each get their own
+scratch set automatically, so two shards cracking concurrently never share
+(and corrupt) a mask or permutation buffer.  Callers that want explicit
+isolation (tests, pinned per-shard arenas) can pass their own instance to
+the kernels.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -114,9 +119,16 @@ class KernelArena:
         self._scratch.clear()
 
 
-_DEFAULT = KernelArena()
+_TLS = threading.local()
 
 
 def default_arena() -> KernelArena:
-    """The shared module-level arena all kernels use unless told otherwise."""
-    return _DEFAULT
+    """This thread's arena (created on first use), unless one is passed in.
+
+    Serial code sees the classic single shared arena (everything runs on one
+    thread); concurrent partition workers each get an isolated scratch set.
+    """
+    arena = getattr(_TLS, "arena", None)
+    if arena is None:
+        arena = _TLS.arena = KernelArena()
+    return arena

@@ -97,6 +97,31 @@ class CrackerColumn:
 
     # -- querying -----------------------------------------------------------------
 
+    def probe(self, interval: Interval) -> np.ndarray | None:
+        """Answer ``interval`` without reorganizing, or ``None`` if it can't.
+
+        The serving layer's shared-read fast path: when both interval bounds
+        are already registered piece boundaries and no pending update falls
+        inside the range, the answer is a pure read of the cracked area —
+        safe for many threads to run concurrently under a shared (read)
+        lock.  Anything that would require mutation (an uncracked bound, a
+        pending insertion/deletion, an in-flight progressive crack for a
+        bound of this interval) returns ``None``; the caller then retries
+        through :meth:`select` under an exclusive lock.
+        """
+        if self.pending.has_pending(interval):
+            return None
+        lower = interval.lower_bound()
+        upper = interval.upper_bound()
+        lo = 0 if lower is None else self.index.position_of(lower)
+        hi = len(self.head) if upper is None else self.index.position_of(upper)
+        if lo is None or hi is None:
+            return None
+        if lo > hi:
+            lo = hi
+        self._recorder.sequential(hi - lo)
+        return self.keys[lo:hi].copy()
+
     def select(self, interval: Interval) -> np.ndarray:
         """Keys of tuples qualifying ``interval`` (in cracked order).
 

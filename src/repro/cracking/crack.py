@@ -317,22 +317,45 @@ def gang_replay_crack(
     position of the entry being replayed, with bit-identical heads.  Replay
     is policy-free, exactly like :meth:`CrackerMap.replay_entry`.
     """
+    gang_replay_cracks(members, (interval,), recorder)
+
+
+def gang_replay_cracks(
+    members: Sequence,
+    intervals: Sequence[Interval],
+    recorder: StatsRecorder | None = None,
+) -> None:
+    """Replay a *run* of consecutive crack entries over same-cursor siblings.
+
+    The batched form of :func:`gang_replay_crack`: the followers' extra-tail
+    list is assembled once and every interval of the run is cracked through
+    the same co-array set in one pass — the arena scratch buffers stay hot
+    and the per-entry Python dispatch is paid once per *run* instead of once
+    per entry per member.  Entries are applied in tape order (later cracks
+    may subdivide pieces earlier ones created) and each new boundary is
+    mirrored into the followers' indexes at the leader's position before the
+    next entry runs, so the result is bit-identical to entry-at-a-time
+    replay.
+    """
     recorder = recorder or global_recorder()
     leader = members[0]
     extra: list[np.ndarray] = []
     for member in members[1:]:
         extra.append(member.head)
         extra.append(member.tail)
-    crack_into(leader.index, leader.head, [leader.tail, *extra], interval, recorder)
-    for bound in (interval.lower_bound(), interval.upper_bound()):
-        if bound is None:
-            continue
-        pos = leader.index.position_of(bound)
-        if pos is None:
-            continue
-        for member in members[1:]:
-            if member.index.position_of(bound) is None:
-                member.index.insert(bound, pos)
+    tails = [leader.tail, *extra]
+    followers = members[1:]
+    for interval in intervals:
+        crack_into(leader.index, leader.head, tails, interval, recorder)
+        for bound in (interval.lower_bound(), interval.upper_bound()):
+            if bound is None:
+                continue
+            pos = leader.index.position_of(bound)
+            if pos is None:
+                continue
+            for member in followers:
+                if member.index.position_of(bound) is None:
+                    member.index.insert(bound, pos)
 
 
 def gang_replay_sort(

@@ -12,6 +12,7 @@ attribute, plus the set-level ``M_Akey`` map).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +32,11 @@ class PendingUpdates:
     Insertions are rows ``(head_value, tail_0, tail_1, ...)``; deletions are
     ``(head_value, key)`` pairs — the head value is retained so the merge can
     locate the piece holding the victim without scanning the whole structure.
+
+    Enqueue and drain are serialized by an internal mutex: the serving layer
+    may accept updates on one session thread while another merges the buffer
+    into the cracked structure mid-query, and a torn ``ins_head``/``ins_tails``
+    pair would silently mis-align rows.
     """
 
     n_tails: int = 1
@@ -38,6 +44,9 @@ class PendingUpdates:
     ins_tails: list[np.ndarray] = field(default_factory=list)
     del_values: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
     del_keys: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.ins_tails:
@@ -51,24 +60,28 @@ class PendingUpdates:
         head = np.asarray(head)
         if any(len(t) != len(head) for t in tails):
             raise UpdateError("ragged insertion batch")
-        self.ins_head = np.concatenate([self.ins_head, head]) if len(self.ins_head) else head.copy()
-        for i, t in enumerate(tails):
-            t = np.asarray(t)
-            self.ins_tails[i] = (
-                np.concatenate([self.ins_tails[i], t]) if len(self.ins_tails[i]) else t.copy()
+        with self._mutex:
+            self.ins_head = (
+                np.concatenate([self.ins_head, head]) if len(self.ins_head) else head.copy()
             )
+            for i, t in enumerate(tails):
+                t = np.asarray(t)
+                self.ins_tails[i] = (
+                    np.concatenate([self.ins_tails[i], t]) if len(self.ins_tails[i]) else t.copy()
+                )
 
     def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
         values = np.asarray(values)
         keys = np.asarray(keys, dtype=np.int64)
         if len(values) != len(keys):
             raise UpdateError("deletion values and keys differ in length")
-        self.del_values = (
-            np.concatenate([self.del_values, values]) if len(self.del_values) else values.copy()
-        )
-        self.del_keys = (
-            np.concatenate([self.del_keys, keys]) if len(self.del_keys) else keys.copy()
-        )
+        with self._mutex:
+            self.del_values = (
+                np.concatenate([self.del_values, values]) if len(self.del_values) else values.copy()
+            )
+            self.del_keys = (
+                np.concatenate([self.del_keys, keys]) if len(self.del_keys) else keys.copy()
+            )
 
     # -- drain -------------------------------------------------------------------
 
@@ -77,34 +90,36 @@ class PendingUpdates:
     ) -> tuple[np.ndarray, list[np.ndarray]]:
         """Remove and return pending insertions whose head value falls in
         ``interval`` (all of them when ``interval`` is ``None``)."""
-        if len(self.ins_head) == 0:
-            return self.ins_head, [t for t in self.ins_tails]
-        if interval is None:
-            mask = np.ones(len(self.ins_head), dtype=bool)
-        else:
-            mask = interval.mask(self.ins_head)
-        taken_head = self.ins_head[mask]
-        taken_tails = [t[mask] for t in self.ins_tails]
-        keep = ~mask
-        self.ins_head = self.ins_head[keep]
-        self.ins_tails = [t[keep] for t in self.ins_tails]
-        return taken_head, taken_tails
+        with self._mutex:
+            if len(self.ins_head) == 0:
+                return self.ins_head, [t for t in self.ins_tails]
+            if interval is None:
+                mask = np.ones(len(self.ins_head), dtype=bool)
+            else:
+                mask = interval.mask(self.ins_head)
+            taken_head = self.ins_head[mask]
+            taken_tails = [t[mask] for t in self.ins_tails]
+            keep = ~mask
+            self.ins_head = self.ins_head[keep]
+            self.ins_tails = [t[keep] for t in self.ins_tails]
+            return taken_head, taken_tails
 
     def take_deletions(
         self, interval: Interval | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Remove and return pending deletions in ``interval``."""
-        if len(self.del_values) == 0:
-            return self.del_values, self.del_keys
-        if interval is None:
-            mask = np.ones(len(self.del_values), dtype=bool)
-        else:
-            mask = interval.mask(self.del_values)
-        taken = self.del_values[mask], self.del_keys[mask]
-        keep = ~mask
-        self.del_values = self.del_values[keep]
-        self.del_keys = self.del_keys[keep]
-        return taken
+        with self._mutex:
+            if len(self.del_values) == 0:
+                return self.del_values, self.del_keys
+            if interval is None:
+                mask = np.ones(len(self.del_values), dtype=bool)
+            else:
+                mask = interval.mask(self.del_values)
+            taken = self.del_values[mask], self.del_keys[mask]
+            keep = ~mask
+            self.del_values = self.del_values[keep]
+            self.del_keys = self.del_keys[keep]
+            return taken
 
     # -- introspection -----------------------------------------------------------
 

@@ -140,16 +140,28 @@ def parse_budget(spec: "ProgressiveBudget | str | float | int | None") -> Progre
 
 
 class BudgetTracker:
-    """Per-structure budget accounting: one allowance per query."""
+    """Per-structure budget accounting: one allowance per query.
+
+    Besides the per-query allowance the tracker keeps lifetime totals
+    (``queries``, ``spent_total``, ``spent_peak``).  The serving layer reads
+    them as *lock-hold* instrumentation: a cracker holds a structure's write
+    lock for the duration of one budgeted operation, so the per-query spend
+    is exactly the work done inside the critical section and the budget is
+    the knob that caps write-lock hold time.
+    """
 
     def __init__(self, budget: ProgressiveBudget | None) -> None:
         self.budget = budget
         self._remaining: float = math.inf
         self.spent_last_query = 0
+        self.queries = 0
+        self.spent_total = 0
+        self.spent_peak = 0
 
     def begin_query(self, n: int) -> None:
         self._remaining = self.budget.per_query(n) if self.budget else math.inf
         self.spent_last_query = 0
+        self.queries += 1
 
     def remaining(self) -> float:
         return self._remaining
@@ -157,6 +169,17 @@ class BudgetTracker:
     def consume(self, amount: int) -> None:
         self._remaining -= amount
         self.spent_last_query += amount
+        self.spent_total += amount
+        if self.spent_last_query > self.spent_peak:
+            self.spent_peak = self.spent_last_query
+
+    def hold_stats(self) -> dict[str, int]:
+        """Lifetime critical-section work: what the serving layer exports."""
+        return {
+            "queries": self.queries,
+            "spent_total": self.spent_total,
+            "spent_peak": self.spent_peak,
+        }
 
 
 @dataclass

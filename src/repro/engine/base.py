@@ -120,20 +120,33 @@ class Engine(abc.ABC):
     # -- fault recovery ------------------------------------------------------------------
 
     def _recover(self, exc: BaseException, rerun) -> QueryResult:
-        """Heal quarantined structures, then re-answer via the scan engine."""
+        """Heal quarantined structures, then re-answer via the scan engine.
+
+        A multi-shot plan (``site@N..M``) can fire again during the recovery
+        rerun itself, so healing retries up to the plan's total shot budget:
+        once every armed shot has been spent the workload must run clean, so
+        a query that *still* fails past that bound is a real bug and
+        surfaces as a :class:`FaultError` chained to the last failure.
+        """
         from repro.engine.scan import PlainEngine
 
         site = getattr(exc, "site", None)
-        self.db.heal_faults()
+        plan = active_plan()
+        attempts = 1 + (plan.total_shots() if plan is not None else 0)
         fallback = self if isinstance(self, PlainEngine) else PlainEngine(self.db)
-        try:
-            result = rerun(fallback)
-        except _ENGINE_RECOVERABLE as fallback_exc:
-            raise FaultError(
-                "scan fallback failed after fault recovery", site=site
-            ) from fallback_exc
-        result.fault_recovered = True
-        return result
+        last: BaseException = exc
+        for _ in range(attempts):
+            self.db.heal_faults()
+            try:
+                result = rerun(fallback)
+            except _ENGINE_RECOVERABLE as retry_exc:
+                last = retry_exc
+                continue
+            result.fault_recovered = True
+            return result
+        raise FaultError(
+            "scan fallback failed after fault recovery", site=site
+        ) from last
 
     # -- join queries -------------------------------------------------------------------
 

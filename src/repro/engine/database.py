@@ -14,6 +14,7 @@ every auxiliary structure consistently:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -84,6 +85,19 @@ class Database:
         self.full_map_storage = FullMapStorage(full_map_budget, self.recorder)
         self.chunk_storage = ChunkStorage(chunk_budget, self.recorder)
         self.partial_config = partial_config or PartialConfig()
+        # Serving support: structure creation and update routing must be
+        # atomic when many executor threads share one database.  The lock
+        # guards the *catalog of structures*, never a query's cracking work —
+        # the server's per-structure RW locks own that.
+        self._meta_lock = threading.RLock()
+        # Monotonic logical-data version: bumped by every insert/delete so
+        # the serving layer's result cache can invalidate stale entries.
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter of logical-data changes (inserts/deletes)."""
+        return self._data_version
 
     def set_crack_policy(self, policy: "CrackPolicy | str | None") -> None:
         """Select the crack policy for every current and future structure.
@@ -204,54 +218,60 @@ class Database:
 
     def insert(self, name: str, rows: dict[str, object]) -> np.ndarray:
         """Append tuples; returns their keys.  All structures are notified."""
-        state = self._tables.get(name)
-        if state is None:
-            raise CatalogError(f"no table named {name!r}")
-        relation = state.relation
-        start = len(relation)
-        relation.append_rows(rows)
-        count = len(relation) - start
-        keys = np.arange(start, start + count, dtype=np.int64)
-        state.tombstones = np.concatenate(
-            [state.tombstones, np.zeros(count, dtype=bool)]
-        )
+        with self._meta_lock:
+            state = self._tables.get(name)
+            if state is None:
+                raise CatalogError(f"no table named {name!r}")
+            relation = state.relation
+            start = len(relation)
+            relation.append_rows(rows)
+            count = len(relation) - start
+            keys = np.arange(start, start + count, dtype=np.int64)
+            state.tombstones = np.concatenate(
+                [state.tombstones, np.zeros(count, dtype=bool)]
+            )
 
-        arrays = {attr: relation.values(attr)[start:] for attr in relation.attributes}
-        for (tbl, attr), cracker in self._crackers.items():
-            if tbl == name:
-                cracker.add_insertions(arrays[attr], keys)
-                # Appends replace the BAT object; keep the sanitizer's deep
-                # permutation check pointed at the current base column.
-                cracker._base = relation.column(attr)
-        if name in self._sideways:
-            self._sideways[name].notify_insertions(arrays, keys)
-        if name in self._partial:
-            self._partial[name].notify_insertions(arrays, keys)
-        self._invalidate_sorted(name)
-        return keys
+            arrays = {
+                attr: relation.values(attr)[start:] for attr in relation.attributes
+            }
+            for (tbl, attr), cracker in self._crackers.items():
+                if tbl == name:
+                    cracker.add_insertions(arrays[attr], keys)
+                    # Appends replace the BAT object; keep the sanitizer's deep
+                    # permutation check pointed at the current base column.
+                    cracker._base = relation.column(attr)
+            if name in self._sideways:
+                self._sideways[name].notify_insertions(arrays, keys)
+            if name in self._partial:
+                self._partial[name].notify_insertions(arrays, keys)
+            self._invalidate_sorted(name)
+            self._data_version += 1
+            return keys
 
     def delete(self, name: str, keys: np.ndarray) -> None:
         """Tombstone tuples by key.  All structures are notified."""
-        state = self._tables.get(name)
-        if state is None:
-            raise CatalogError(f"no table named {name!r}")
-        keys = np.asarray(keys, dtype=np.int64)
-        if state.tombstones[keys].any():
-            raise UpdateError("attempt to delete an already-deleted key")
-        state.tombstones[keys] = True
+        with self._meta_lock:
+            state = self._tables.get(name)
+            if state is None:
+                raise CatalogError(f"no table named {name!r}")
+            keys = np.asarray(keys, dtype=np.int64)
+            if state.tombstones[keys].any():
+                raise UpdateError("attempt to delete an already-deleted key")
+            state.tombstones[keys] = True
 
-        relation = state.relation
-        values_by_attr = {
-            attr: relation.values(attr)[keys] for attr in relation.attributes
-        }
-        for (tbl, attr), cracker in self._crackers.items():
-            if tbl == name:
-                cracker.add_deletions(values_by_attr[attr], keys)
-        if name in self._sideways:
-            self._sideways[name].notify_deletions(values_by_attr, keys)
-        if name in self._partial:
-            self._partial[name].notify_deletions(values_by_attr, keys)
-        self._invalidate_sorted(name)
+            relation = state.relation
+            values_by_attr = {
+                attr: relation.values(attr)[keys] for attr in relation.attributes
+            }
+            for (tbl, attr), cracker in self._crackers.items():
+                if tbl == name:
+                    cracker.add_deletions(values_by_attr[attr], keys)
+            if name in self._sideways:
+                self._sideways[name].notify_deletions(values_by_attr, keys)
+            if name in self._partial:
+                self._partial[name].notify_deletions(values_by_attr, keys)
+            self._invalidate_sorted(name)
+            self._data_version += 1
 
     def update(self, name: str, keys: np.ndarray, rows: dict[str, object]) -> np.ndarray:
         """An update is a deletion plus an insertion (the paper's model)."""
@@ -264,49 +284,62 @@ class Database:
         key = (table, attr)
         cracker = self._crackers.get(key)
         if cracker is None:
-            relation = self.table(table)
-            cracker = CrackerColumn(
-                relation.column(attr), self.recorder,
-                policy=self.crack_policy,
-                budget=self.crack_budget,
-                rng=policy_rng(self.crack_seed, "column", table, attr),
-                label=f"cracker_column[{table}.{attr}]",
-            )
-            tombstoned = np.flatnonzero(self.tombstones(table))
-            if len(tombstoned):
-                cracker.add_deletions(
-                    relation.values(attr)[tombstoned], tombstoned.astype(np.int64)
-                )
-            self._crackers[key] = cracker
+            # Double-checked under the meta lock: two server threads racing
+            # to first-touch the same attribute must agree on one structure
+            # (a lost copy would fork the cracked state and the tape).
+            with self._meta_lock:
+                cracker = self._crackers.get(key)
+                if cracker is None:
+                    relation = self.table(table)
+                    cracker = CrackerColumn(
+                        relation.column(attr), self.recorder,
+                        policy=self.crack_policy,
+                        budget=self.crack_budget,
+                        rng=policy_rng(self.crack_seed, "column", table, attr),
+                        label=f"cracker_column[{table}.{attr}]",
+                    )
+                    tombstoned = np.flatnonzero(self.tombstones(table))
+                    if len(tombstoned):
+                        cracker.add_deletions(
+                            relation.values(attr)[tombstoned],
+                            tombstoned.astype(np.int64),
+                        )
+                    self._crackers[key] = cracker
         return cracker
 
     def sideways(self, table: str) -> SidewaysCracker:
         cracker = self._sideways.get(table)
         if cracker is None:
-            state = self._tables[table]
-            cracker = SidewaysCracker(
-                self.table(table), self.recorder, self.full_map_storage,
-                tombstone_keys=lambda: np.flatnonzero(state.tombstones),
-                policy=self.crack_policy, crack_seed=self.crack_seed,
-                crack_budget=self.crack_budget,
-            )
-            self._sideways[table] = cracker
+            with self._meta_lock:
+                cracker = self._sideways.get(table)
+                if cracker is None:
+                    state = self._tables[table]
+                    cracker = SidewaysCracker(
+                        self.table(table), self.recorder, self.full_map_storage,
+                        tombstone_keys=lambda: np.flatnonzero(state.tombstones),
+                        policy=self.crack_policy, crack_seed=self.crack_seed,
+                        crack_budget=self.crack_budget,
+                    )
+                    self._sideways[table] = cracker
         return cracker
 
     def partial_sideways(self, table: str) -> PartialSidewaysCracker:
         cracker = self._partial.get(table)
         if cracker is None:
-            state = self._tables[table]
-            cracker = PartialSidewaysCracker(
-                self.table(table),
-                config=self.partial_config,
-                recorder=self.recorder,
-                storage=self.chunk_storage,
-                tombstone_keys=lambda: np.flatnonzero(state.tombstones),
-                policy=self.crack_policy, crack_seed=self.crack_seed,
-                crack_budget=self.crack_budget,
-            )
-            self._partial[table] = cracker
+            with self._meta_lock:
+                cracker = self._partial.get(table)
+                if cracker is None:
+                    state = self._tables[table]
+                    cracker = PartialSidewaysCracker(
+                        self.table(table),
+                        config=self.partial_config,
+                        recorder=self.recorder,
+                        storage=self.chunk_storage,
+                        tombstone_keys=lambda: np.flatnonzero(state.tombstones),
+                        policy=self.crack_policy, crack_seed=self.crack_seed,
+                        crack_budget=self.crack_budget,
+                    )
+                    self._partial[table] = cracker
         return cracker
 
     def sorted_copy(

@@ -166,3 +166,27 @@ class UpdateError(ReproError):
 
 class PlanError(ReproError):
     """The planner could not build an execution plan for a query."""
+
+
+class ServerError(ReproError):
+    """The concurrent serving layer hit a coordination failure.
+
+    Raised for protocol violations (malformed client frames), lock
+    acquisitions that exceed their deadline, and submissions to a stopped
+    executor.
+    """
+
+
+class QueryTimeout(ServerError):
+    """A served query did not finish within its deadline.
+
+    The worker thread may still complete the query in the background; the
+    timeout bounds the *client's* wait, not the work (there is no safe way
+    to preempt a cracker mid-partition, and rollback is FaultSan's job).
+    """
+
+    def __init__(self, message: str, *, seconds: float | None = None) -> None:
+        if seconds is not None:
+            message = f"{message} (timeout={seconds:g}s)"
+        super().__init__(message)
+        self.seconds = seconds

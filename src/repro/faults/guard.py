@@ -25,6 +25,7 @@ no-op, so rollback always restores to the outermost operation boundary.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -37,7 +38,10 @@ from repro.faults.plan import active_plan
 #: else (CatalogError, PredicateError, programming errors, ...) propagates.
 RECOVERABLE: tuple[type[BaseException], ...] = (InjectedFault, CrackError, MemoryError)
 
-_DEPTH = 0
+#: Re-entrancy depth is per thread: two serving workers guarding different
+#: structures concurrently must each get their own journal snapshot, while an
+#: inner guarded call on the *same* thread stays a no-op.
+_GUARD = threading.local()
 
 #: Arm the journal without any fault specs (exp15 measures its overhead).
 FORCE_JOURNAL = False
@@ -75,13 +79,13 @@ def _rollback(structure, kind: str, restore, cause: str) -> None:
 @contextmanager
 def atomic(structure, kind: str) -> Iterator[None]:
     """Guard one reorganization op on ``structure`` (journal + rollback)."""
-    global _DEPTH
     plan = active_plan()
-    if (plan is None and not FORCE_JOURNAL) or _DEPTH > 0:
+    depth = getattr(_GUARD, "depth", 0)
+    if (plan is None and not FORCE_JOURNAL) or depth > 0:
         yield
         return
     restore = journal.take_snapshot(structure, kind)
-    _DEPTH += 1
+    _GUARD.depth = depth + 1
     try:
         try:
             yield
@@ -95,4 +99,4 @@ def atomic(structure, kind: str) -> Iterator[None]:
                 _rollback(structure, kind, restore, "rollback failed after corruption")
                 raise InvariantError.from_violations(violations)
     finally:
-        _DEPTH -= 1
+        _GUARD.depth = depth

@@ -8,10 +8,14 @@ gang replay, chunk fetch, ripple merge).  Each site is a single
 
 Plans are written as a comma-separated spec string::
 
-    site[@N]=kind[,site[@N]=kind...]
+    site[@N[..M]]=kind[,site[@N[..M]]=kind...]
 
 ``N`` is the 1-based *hit count* at which the fault fires (default 1: the
-first time the site is reached).  ``kind`` is one of:
+first time the site is reached).  ``N..M`` arms the spec for *every* hit in
+the inclusive range — a multi-shot fault that keeps firing until the site
+has been visited ``M`` times, which is how plans express several
+simultaneous armed failpoints (the engine's recovery loop must converge
+once all shots are spent).  ``kind`` is one of:
 
 * ``error``   — raise :class:`repro.errors.InjectedFault` (default);
 * ``oom``     — raise :class:`repro.errors.ArenaPressure`; only meaningful at
@@ -29,6 +33,7 @@ seeded from ``(seed, site)`` so the flipped positions replay too.
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 
@@ -79,13 +84,28 @@ class FaultPlanError(ReproError):
 
 @dataclass
 class FaultSpec:
-    """One armed failpoint: fire ``kind`` on the ``hit``-th visit to ``site``."""
+    """One armed failpoint: fire ``kind`` on the ``hit``-th visit to ``site``.
+
+    With ``hit_end`` set the spec is *multi-shot*: it fires on every visit in
+    the inclusive ``[hit, hit_end]`` range.
+    """
 
     site: str
     hit: int = 1
     kind: str = "error"
+    hit_end: int | None = None
+
+    def matches(self, count: int) -> bool:
+        """Does this spec fire on the ``count``-th visit to its site?"""
+        return self.hit <= count <= (self.hit_end or self.hit)
+
+    def shots(self) -> int:
+        """How many times this spec can fire in total."""
+        return (self.hit_end or self.hit) - self.hit + 1
 
     def describe(self) -> str:
+        if self.hit_end is not None:
+            return f"{self.site}@{self.hit}..{self.hit_end}={self.kind}"
         return f"{self.site}@{self.hit}={self.kind}"
 
 
@@ -104,10 +124,17 @@ class FaultPlan:
     hits: dict[str, int] = field(default_factory=dict)
     injected: list[str] = field(default_factory=list)
     dirty: bool = False
+    #: Hit counting must stay deterministic per *site* even when several
+    #: serving threads reach hooks concurrently; the lock makes each visit's
+    #: count-then-match atomic.  (Cross-site interleaving is inherently
+    #: schedule-dependent; per-site counts are not.)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @classmethod
     def parse(cls, spec: str, seed: int = 42) -> "FaultPlan":
-        """Parse ``site[@N]=kind`` comma-separated spec into a plan."""
+        """Parse ``site[@N[..M]]=kind`` comma-separated spec into a plan."""
         specs: list[FaultSpec] = []
         for raw in spec.split(","):
             part = raw.strip()
@@ -117,8 +144,10 @@ class FaultPlan:
             kind = kind.strip() or "error"
             site, _, hit_part = site_part.strip().partition("@")
             site = site.strip()
+            lo_part, dots, hi_part = hit_part.partition("..")
             try:
-                hit = int(hit_part) if hit_part else 1
+                hit = int(lo_part) if lo_part else 1
+                hit_end = int(hi_part) if dots else None
             except ValueError:
                 raise FaultPlanError(f"bad hit count in fault spec {part!r}") from None
             if site not in SITES:
@@ -131,27 +160,42 @@ class FaultPlan:
                 )
             if hit < 1:
                 raise FaultPlanError(f"hit count must be >= 1 in {part!r}")
+            if hit_end is not None and hit_end < hit:
+                raise FaultPlanError(f"empty hit range in {part!r}")
             if kind == "corrupt" and site not in PAYLOAD_SITES:
                 raise FaultPlanError(
                     f"site {site!r} carries no payload; 'corrupt' applies only to: "
                     + ", ".join(sorted(PAYLOAD_SITES))
                 )
-            specs.append(FaultSpec(site=site, hit=hit, kind=kind))
+            specs.append(FaultSpec(site=site, hit=hit, kind=kind, hit_end=hit_end))
         return cls(specs=tuple(specs), seed=seed)
 
     def describe(self) -> str:
         return ",".join(s.describe() for s in self.specs)
 
+    def total_shots(self) -> int:
+        """Upper bound on how many faults this plan can ever fire.
+
+        The engine recovery loop uses this to bound its retries: once every
+        shot is spent the workload must run clean, so a query that still
+        fails afterwards is a real bug, not an injection.
+        """
+        return sum(spec.shots() for spec in self.specs)
+
     # -- injection -----------------------------------------------------------
 
     def visit(self, site: str, payload: np.ndarray | None) -> None:
         """Record one visit to ``site`` and fire any spec armed for this hit."""
-        count = self.hits.get(site, 0) + 1
-        self.hits[site] = count
-        for spec in self.specs:
-            if spec.site != site or spec.hit != count:
-                continue
-            self.injected.append(spec.describe())
+        with self._lock:
+            count = self.hits.get(site, 0) + 1
+            self.hits[site] = count
+            armed = [
+                spec for spec in self.specs
+                if spec.site == site and spec.matches(count)
+            ]
+            for spec in armed:
+                self.injected.append(spec.describe())
+        for spec in armed:
             if spec.kind == "oom":
                 raise ArenaPressure(site, f"injected at hit #{count}")
             if spec.kind == "corrupt":

@@ -1,0 +1,43 @@
+"""The concurrent query-serving subsystem.
+
+Cracking is write-on-read: answering a selection may physically reorganize
+the column it scans, so the classic engines assume one query at a time owns
+every structure.  This package layers concurrent serving on top of them:
+
+:mod:`repro.server.locks`
+    Per-structure reader-writer coordination.  Read-only scans over
+    already-cracked pieces share access; crackers take short exclusive
+    sections whose hold time is capped by the progressive budgets of PR 5.
+:mod:`repro.server.executor`
+    The session/executor front: a thread pool serving SQL or programmatic
+    queries with per-query deadlines, statistics, batched admission, and a
+    version-keyed result cache; results are canonicalized so concurrent
+    interleavings stay bit-identical to a serial run.
+:mod:`repro.server.partition`
+    Partition-parallel execution: range-partitioned shards of one column,
+    each an independently-cracked :class:`~repro.cracking.column.CrackerColumn`
+    over shared NumPy arrays, queried with pruning and a scatter-gather
+    merge.
+:mod:`repro.server.serve`
+    An asyncio TCP front end speaking newline-delimited JSON, plus an
+    in-process handle used by tests and the ``repro serve`` CLI subcommand.
+:mod:`repro.server.crashkit`
+    The crash-consistency harness: a checkpointing worker loop designed to
+    be SIGKILLed mid-workload and recovered from its last atomic snapshot.
+
+``docs/serving.md`` describes the locking protocol, the partition layout,
+and how the budget knob doubles as the lock-hold-time knob.
+"""
+
+from repro.server.executor import ServedQuery, ServedResult, ServerExecutor
+from repro.server.locks import LockRegistry, RWLock
+from repro.server.partition import PartitionedColumn
+
+__all__ = [
+    "LockRegistry",
+    "PartitionedColumn",
+    "RWLock",
+    "ServedQuery",
+    "ServedResult",
+    "ServerExecutor",
+]

@@ -1,0 +1,190 @@
+"""The crash-consistency harness: a checkpointing worker built to be killed.
+
+A serving deployment must survive losing its process at any instant.  This
+module provides the workload half of that contract:
+
+* :func:`run_worker` executes a deterministic, seeded workload — each step
+  performs one batch of updates and one query over a shared database, then
+  persists the whole database to an **atomic** snapshot (write to a
+  temporary file in the same directory, ``fsync``, then ``os.replace``).
+  The step counter travels *inside* the snapshot as the single-row
+  ``__crash_progress__`` table, so snapshot payload and progress can never
+  disagree — they are one ``os.replace``.
+* ``python -m repro.server.crashkit <path> --steps N --seed S`` runs the
+  worker standalone.  The crash test ``Popen``\\ s it, waits for a few
+  checkpoint lines on stdout, delivers ``SIGKILL``, reloads the snapshot,
+  and differentially replays the remaining steps in-process: the recovered
+  run must end bit-identical to an uninterrupted serial run of the same
+  seed.
+
+The harness deliberately persists through the ordinary
+:mod:`repro.storage.persist` checksummed format: a torn snapshot (the
+``os.replace`` never happened) leaves the previous complete snapshot in
+place, and a damaged one fails loudly with :class:`~repro.errors.PersistError`
+instead of resurrecting silently corrupt data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.query import Predicate, Query
+from repro.cracking.bounds import Interval
+from repro.engine.selection_cracking import SelectionCrackingEngine
+from repro.storage.persist import load_database, save_database
+
+PROGRESS_TABLE = "__crash_progress__"
+TABLE = "R"
+VALUE_DOMAIN = 100_000
+
+
+def seed_database(rows: int, seed: int) -> Database:
+    """The workload's deterministic starting state (plus step counter 0)."""
+    rng = np.random.default_rng(seed)
+    db = Database()
+    db.create_table(TABLE, {
+        "A": rng.integers(0, VALUE_DOMAIN, rows).astype(np.int64),
+        "B": rng.integers(0, VALUE_DOMAIN, rows).astype(np.int64),
+    })
+    db.create_table(PROGRESS_TABLE, {"step": np.array([0], dtype=np.int64)})
+    return db
+
+
+def completed_steps(db: Database) -> int:
+    """How many workload steps the snapshot has fully absorbed."""
+    live = np.flatnonzero(~db.tombstones(PROGRESS_TABLE))
+    return int(db.table(PROGRESS_TABLE).values("step")[live[-1]])
+
+
+def _advance_progress(db: Database, step: int) -> None:
+    # The progress table is single-row by construction: tombstone the old
+    # row and append the new one (update = delete + insert, like the paper).
+    live = np.flatnonzero(~db.tombstones(PROGRESS_TABLE)).astype(np.int64)
+    db.delete(PROGRESS_TABLE, live)
+    db.insert(PROGRESS_TABLE, {"step": np.array([step], dtype=np.int64)})
+
+
+def apply_step(db: Database, engine: SelectionCrackingEngine, step: int, seed: int) -> int:
+    """One deterministic workload step: insert, delete, query.
+
+    The per-step RNG is a pure function of ``(seed, step)``, so a recovered
+    run replays exactly the steps the crashed process had not yet absorbed.
+    Returns the query's row count (a cheap progress signal for logs).
+    """
+    rng = np.random.default_rng((seed, step))
+    ins = rng.integers(0, VALUE_DOMAIN, 8)
+    keys = db.insert(TABLE, {
+        "A": ins.astype(np.int64),
+        "B": rng.integers(0, VALUE_DOMAIN, 8).astype(np.int64),
+    })
+    live = np.flatnonzero(~db.tombstones(TABLE))
+    victims = rng.choice(live, size=min(4, len(live)), replace=False)
+    db.delete(TABLE, np.asarray(victims, dtype=np.int64))
+    lo = int(rng.integers(0, VALUE_DOMAIN - 10_000))
+    query = Query(
+        TABLE,
+        (Predicate("A", Interval.open(lo, lo + 10_000)),),
+        projections=("A", "B"),
+        aggregates=(("sum", "B"), ("count", "A")),
+    )
+    result = engine.run(query)
+    del keys
+    return result.row_count
+
+
+def checkpoint(db: Database, path: "str | pathlib.Path") -> None:
+    """Atomically replace the snapshot at ``path`` with the current state.
+
+    The temporary lives in the target's directory so ``os.replace`` is a
+    same-filesystem rename — atomic on POSIX.  A crash before the replace
+    leaves the previous snapshot untouched; a crash after it leaves the new
+    one complete.  Either way there is always exactly one valid snapshot.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        save_database(db, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def run_worker(
+    path: "str | pathlib.Path",
+    steps: int,
+    seed: int,
+    rows: int = 20_000,
+    checkpoint_every: int = 1,
+    log=None,
+) -> Database:
+    """Run (or resume) the workload, checkpointing as it goes.
+
+    Starting from an existing snapshot resumes after its recorded step —
+    crash recovery is simply calling :func:`run_worker` again with the same
+    arguments.  Returns the final database state.
+    """
+    path = pathlib.Path(path)
+    if path.exists():
+        db = load_database(path)
+    else:
+        db = seed_database(rows, seed)
+        checkpoint(db, path)
+    engine = SelectionCrackingEngine(db)
+    start = completed_steps(db)
+    for step in range(start + 1, steps + 1):
+        rows_hit = apply_step(db, engine, step, seed)
+        _advance_progress(db, step)
+        if step % checkpoint_every == 0 or step == steps:
+            checkpoint(db, path)
+        if log is not None:
+            log(f"step {step}/{steps} rows={rows_hit}")
+    return db
+
+
+def state_signature(db: Database) -> tuple:
+    """A comparable fingerprint of the logical database state.
+
+    Everything a client can observe: live keys and their values per table.
+    Two runs with equal signatures are indistinguishable, however their
+    crackers were organized (auxiliary structures are not logical state —
+    after a crash they are rebuilt lazily from base columns).
+    """
+    out = []
+    for relation in sorted(db.catalog, key=lambda r: r.name):
+        live = np.flatnonzero(~db.tombstones(relation.name))
+        for attr in sorted(relation.attributes):
+            values = relation.values(attr)[live]
+            out.append((relation.name, attr, live.tobytes(), values.tobytes()))
+    return tuple(out)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="crash-consistency workload worker (designed to be SIGKILLed)"
+    )
+    parser.add_argument("path", help="snapshot file to checkpoint into")
+    parser.add_argument("--steps", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--checkpoint-every", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    def log(message: str) -> None:
+        print(message, flush=True)
+
+    run_worker(
+        args.path, args.steps, args.seed, rows=args.rows,
+        checkpoint_every=args.checkpoint_every, log=log,
+    )
+    print("done", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

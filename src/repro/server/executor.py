@@ -1,0 +1,576 @@
+"""The session/executor front of the serving subsystem.
+
+A :class:`ServerExecutor` owns a thread pool, a
+:class:`~repro.server.locks.LockRegistry`, optional
+:class:`~repro.server.partition.PartitionedColumn` shards, and a
+version-keyed result cache, and serves SQL strings or programmatic
+:class:`~repro.engine.query.Query` objects concurrently over one shared
+:class:`~repro.engine.database.Database`.
+
+Execution paths, fastest first:
+
+``cache``
+    The canonical result of an identical query at the same logical data
+    version is returned without touching any structure.  Serving workloads
+    repeat query templates heavily ("millions of users" ≠ millions of
+    distinct queries); the cache key includes
+    :attr:`~repro.engine.database.Database.data_version`, so any update
+    invalidates every affected entry.
+``partition``
+    Single-predicate selections on a partitioned attribute run as prune →
+    per-shard probe/crack (one shard lock at a time) → scatter-gather
+    merge, then reconstruct projections with read-only base-column gathers.
+``read``
+    Multi-predicate queries whose leading predicate is answerable by
+    :meth:`~repro.cracking.column.CrackerColumn.probe` run entirely under
+    the table's *shared* lock: refinement and reconstruction are read-only
+    gathers over base columns.
+``engine``
+    Everything else runs the classic engine under the table's exclusive
+    lock; the progressive crack budget bounds the partitioning work (and so
+    the lock hold time) of each such query.
+
+Every result is **canonicalized** — rows sorted lexicographically over the
+result columns, aggregates recomputed from the sorted columns — so the
+bytes a client sees are a pure function of (data version, query), not of
+how concurrent cracking happened to interleave.  ``ServedResult.digest()``
+is the sha1 of those bytes; the determinism tests and ``exp17`` compare it
+against a serial baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.base import Engine
+from repro.engine.database import Database
+from repro.engine.operators import random_gather
+from repro.engine.query import Query, QueryResult, compute_aggregates
+from repro.engine.selection_cracking import SelectionCrackingEngine
+from repro.errors import QueryTimeout, ServerError
+from repro.server.locks import LockRegistry
+from repro.server.partition import PartitionedColumn
+
+#: Default per-query deadline (seconds) for the blocking entry points.
+DEFAULT_TIMEOUT = 30.0
+
+
+def canonicalize(columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Sort result rows into a schedule-independent canonical order.
+
+    Rows are ordered lexicographically over the result columns (attribute
+    name order fixes the sort-key priority).  Result *membership* is exact
+    under every execution path, so canonical results are bit-identical
+    across serial, concurrent, partitioned, and budgeted runs.
+    """
+    if not columns:
+        return columns
+    names = sorted(columns)
+    n = len(columns[names[0]])
+    if n <= 1:
+        return dict(columns)
+    # np.lexsort keys: last key is the primary sort key.
+    order = np.lexsort(tuple(columns[name] for name in reversed(names)))
+    return {name: np.ascontiguousarray(arr[order]) for name, arr in columns.items()}
+
+
+def digest_columns(columns: dict[str, np.ndarray]) -> str:
+    """sha1 over the canonical result bytes (names, dtypes, and values)."""
+    h = hashlib.sha1()
+    for name in sorted(columns):
+        arr = columns[name]
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One client request: a query plus its serving options."""
+
+    query: Query
+    timeout: float | None = None
+    session: str = ""
+
+    @classmethod
+    def from_sql(cls, sql: str, db: Database, **kwargs) -> "ServedQuery":
+        from repro.sql import parse
+
+        return cls(parse(sql, db), **kwargs)
+
+
+@dataclass
+class ServedResult:
+    """A canonicalized query answer plus per-query serving statistics."""
+
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+    aggregates: dict[str, float] = field(default_factory=dict)
+    row_count: int = 0
+    path: str = "engine"
+    cached: bool = False
+    elapsed_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    data_version: int = 0
+    fault_recovered: bool = False
+    _digest: str | None = field(default=None, repr=False)
+
+    def digest(self) -> str:
+        # Memoized: a cached result serves many hits, and the sha1 over the
+        # full result bytes would otherwise dominate the cache-hit path.
+        if self._digest is None:
+            self._digest = digest_columns(self.columns)
+        return self._digest
+
+    def as_payload(self) -> dict[str, object]:
+        """A JSON-safe dict (the wire format of :mod:`repro.server.serve`)."""
+        return {
+            "columns": {k: v.tolist() for k, v in self.columns.items()},
+            "aggregates": self.aggregates,
+            "row_count": self.row_count,
+            "path": self.path,
+            "cached": self.cached,
+            "elapsed_seconds": self.elapsed_seconds,
+            "digest": self.digest(),
+        }
+
+
+def _cache_key(query: Query) -> tuple:
+    preds = tuple(
+        sorted(
+            (p.attr, p.interval.lo, p.interval.hi,
+             p.interval.lo_inclusive, p.interval.hi_inclusive)
+            for p in query.predicates
+        )
+    )
+    return (
+        query.table, preds, query.projections, query.aggregates,
+        query.conjunctive, query.group_by,
+    )
+
+
+class ServerExecutor:
+    """A concurrent query front over one shared database.
+
+    Parameters
+    ----------
+    db:
+        The shared database.  Its sanitizer (if active) is wired to this
+        executor's lock registry so deep sweeps skip structures busy under
+        another worker's write lock.
+    engine:
+        The engine answering ``engine``-path queries; defaults to a
+        :class:`~repro.engine.selection_cracking.SelectionCrackingEngine`.
+    workers:
+        Thread-pool width (the ``--workers`` CLI knob).
+    partitions:
+        Shard count for :meth:`partition` columns (the ``--partitions``
+        knob); ``0`` disables the partition path entirely.
+    cache:
+        Enable the version-keyed result cache.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        engine: Engine | None = None,
+        workers: int = 4,
+        partitions: int = 0,
+        cache: bool = True,
+        default_timeout: float | None = DEFAULT_TIMEOUT,
+    ) -> None:
+        if workers < 1:
+            raise ServerError(f"worker count {workers} must be >= 1")
+        self.db = db
+        self.engine = engine if engine is not None else SelectionCrackingEngine(db)
+        self.workers = workers
+        self.partitions = partitions
+        self.default_timeout = default_timeout
+        self.registry = LockRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        # Shard fan-out gets its own pool: a query worker blocking on its
+        # own pool's shard futures can deadlock once every worker does it
+        # (all slots waiting, none running).  Shard tasks never re-submit,
+        # so a dedicated pool cannot form that cycle.
+        self._shard_pool = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
+            if workers > 1
+            else None
+        )
+        self._partitioned: dict[tuple[str, str], PartitionedColumn] = {}
+        self._cache_enabled = cache
+        self._cache: dict[tuple, ServedResult] = {}
+        self._cache_mutex = threading.Lock()
+        self._stats_mutex = threading.Lock()
+        self._closed = False
+        self.queries_served = 0
+        self.cache_hits = 0
+        self.path_counts: dict[str, int] = {}
+        self.latencies: list[float] = []
+        # Deep sweeps must skip structures busy under another worker's
+        # write lock (that worker validates them at its own checkpoint).
+        if db.sanitizer is not None:
+            db.sanitizer.structure_guard = self.registry.structure_guard
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServerExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- partitioning ----------------------------------------------------------
+
+    def partition(self, table: str, attr: str, partitions: int | None = None) -> PartitionedColumn:
+        """Range-partition ``table.attr`` into independently-cracked shards."""
+        key = (table, attr)
+        existing = self._partitioned.get(key)
+        if existing is not None:
+            return existing
+        count = self.partitions if partitions is None else partitions
+        if count < 1:
+            raise ServerError(
+                f"cannot partition {table}.{attr}: partition count {count} < 1"
+            )
+        column = PartitionedColumn(
+            self.db.table(table).column(attr), count, self.registry,
+            table, attr, self.db.recorder,
+            budget=self.db.crack_budget, policy=self.db.crack_policy,
+            crack_seed=self.db.crack_seed,
+        )
+        self._partitioned[key] = column
+        return column
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: "ServedQuery | Query | str"):
+        """Enqueue one query; returns a ``concurrent.futures.Future``."""
+        if self._closed:
+            raise ServerError("executor is closed")
+        served = self._coerce(request)
+        enqueued = time.perf_counter()
+        return self._pool.submit(self._serve, served, enqueued)
+
+    def run(
+        self, request: "ServedQuery | Query | str", timeout: float | None = None
+    ) -> ServedResult:
+        """Serve one query, blocking up to ``timeout`` seconds."""
+        served = self._coerce(request)
+        deadline = timeout if timeout is not None else (
+            served.timeout if served.timeout is not None else self.default_timeout
+        )
+        future = self.submit(served)
+        try:
+            return future.result(timeout=deadline)
+        except FutureTimeout:
+            raise QueryTimeout(
+                f"query on {served.query.table!r} missed its deadline",
+                seconds=deadline,
+            ) from None
+
+    def run_batch(self, requests) -> list[ServedResult]:
+        """Batched admission: serve many queries, deduplicating repeats.
+
+        Identical queries in one batch are executed once and fanned out —
+        the serving-side amortization a template-heavy workload earns.
+        Results come back in request order.
+        """
+        served = [self._coerce(r) for r in requests]
+        futures: dict[tuple, object] = {}
+        for s in served:
+            key = _cache_key(s.query)
+            if key not in futures:
+                futures[key] = self.submit(s)
+        return [futures[_cache_key(s.query)].result() for s in served]
+
+    def _coerce(self, request: "ServedQuery | Query | str") -> ServedQuery:
+        if isinstance(request, ServedQuery):
+            return request
+        if isinstance(request, Query):
+            return ServedQuery(request)
+        if isinstance(request, str):
+            return ServedQuery.from_sql(request, self.db)
+        raise ServerError(f"cannot serve a {type(request).__name__}")
+
+    # -- the worker body -------------------------------------------------------
+
+    def _serve(self, served: ServedQuery, enqueued: float) -> ServedResult:
+        started = time.perf_counter()
+        query = served.query
+        version = self.db.data_version
+        key = (*_cache_key(query), version) if self._cache_enabled else None
+        if key is not None:
+            with self._cache_mutex:
+                hit = self._cache.get(key)
+            if hit is not None:
+                result = ServedResult(
+                    columns=hit.columns, aggregates=hit.aggregates,
+                    row_count=hit.row_count, path="cache", cached=True,
+                    elapsed_seconds=time.perf_counter() - started,
+                    queue_seconds=started - enqueued, data_version=version,
+                    _digest=hit.digest(),
+                )
+                self._note(result)
+                return result
+        result = self._execute(query, version)
+        result.queue_seconds = started - enqueued
+        result.elapsed_seconds = time.perf_counter() - started
+        if key is not None and not result.fault_recovered:
+            with self._cache_mutex:
+                self._cache[key] = result
+        self._note(result)
+        return result
+
+    def _note(self, result: ServedResult) -> None:
+        with self._stats_mutex:
+            self.queries_served += 1
+            if result.cached:
+                self.cache_hits += 1
+            self.path_counts[result.path] = self.path_counts.get(result.path, 0) + 1
+            self.latencies.append(result.elapsed_seconds)
+
+    # -- execution paths -------------------------------------------------------
+
+    def _execute(self, query: Query, version: int) -> ServedResult:
+        partition_keys = self._try_partition_keys(query)
+        if partition_keys is not None:
+            return self._finish_from_keys(query, partition_keys, "partition", version)
+        table_lock = self.registry.lock_for(query.table)
+        if not query.group_by:
+            with table_lock.read():
+                keys = self._try_read_only_keys(query)
+                if keys is not None:
+                    return self._finish_from_keys(query, keys, "read", version)
+        with table_lock.write():
+            raw = self.engine.run(query)
+            self._bind_table_structures(query.table, table_lock)
+        return self._finish_from_result(query, raw, "engine", version)
+
+    def _try_partition_keys(self, query: Query) -> np.ndarray | None:
+        """Scatter-gather path: single-predicate query on a partitioned attr."""
+        if query.group_by or len(query.predicates) != 1:
+            return None
+        pred = query.predicates[0]
+        column = self._partitioned.get((query.table, pred.attr))
+        if column is None:
+            return None
+        shards = column.relevant_shards(pred.interval)
+        if len(shards) > 1 and self._shard_pool is not None:
+            # Scatter onto the shard pool (each task takes one shard lock)...
+            futures = [
+                self._shard_pool.submit(column.select_one, shard, pred.interval)
+                for shard in shards[1:]
+            ]
+            parts = [column.select_one(shards[0], pred.interval)]
+            parts += [f.result() for f in futures]
+        else:
+            parts = [column.select_one(shard, pred.interval) for shard in shards]
+        pruned = len(column.shards) - len(shards)
+        if pruned:
+            self.db.recorder.event("index_lookups", pruned)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        # ... and gather.
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _try_read_only_keys(self, query: Query) -> np.ndarray | None:
+        """Answer the selection with zero reorganization, or give up.
+
+        Conjunctive: probe any predicate's existing cracker column, refine
+        the rest with base-column gathers (order does not matter for
+        membership, and results are canonicalized).  Disjunctive: every
+        predicate must be probeable.  Caller holds the table's read lock.
+        """
+        if not query.predicates:
+            return np.flatnonzero(~self.db.tombstones(query.table)).astype(np.int64)
+        crackers = self.db._crackers
+        relation = self.db.table(query.table)
+        if query.conjunctive:
+            keys = None
+            probed_attr = None
+            for pred in query.predicates:
+                cracker = crackers.get((query.table, pred.attr))
+                if cracker is None:
+                    continue
+                keys = cracker.probe(pred.interval)
+                if keys is not None:
+                    probed_attr = pred.attr
+                    break
+            if keys is None:
+                return None
+            for pred in query.predicates:
+                if pred.attr == probed_attr:
+                    continue
+                values = random_gather(
+                    relation.values(pred.attr), keys, self.db.recorder
+                )
+                keys = keys[pred.interval.mask(values)]
+            return keys
+        parts = []
+        for pred in query.predicates:
+            cracker = crackers.get((query.table, pred.attr))
+            if cracker is None:
+                return None
+            keys = cracker.probe(pred.interval)
+            if keys is None:
+                return None
+            parts.append(keys)
+        self.db.recorder.sequential(sum(len(p) for p in parts))
+        return np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
+
+    def _finish_from_keys(
+        self, query: Query, keys: np.ndarray, path: str, version: int
+    ) -> ServedResult:
+        """Reconstruct, canonicalize, and aggregate from qualifying keys."""
+        relation = self.db.table(query.table)
+        columns = {
+            attr: random_gather(relation.values(attr), keys, self.db.recorder)
+            for attr in query.needed_columns
+        }
+        columns = canonicalize(columns)
+        from repro.analysis.sanitizer import checkpoint_query
+
+        checkpoint_query()
+        return ServedResult(
+            columns=columns,
+            aggregates=compute_aggregates(query.aggregates, columns),
+            row_count=len(keys),
+            path=path,
+            data_version=version,
+        )
+
+    def _finish_from_result(
+        self, query: Query, raw: QueryResult, path: str, version: int
+    ) -> ServedResult:
+        columns = canonicalize(raw.columns)
+        if query.group_by:
+            aggregates = dict(raw.aggregates)
+        else:
+            aggregates = compute_aggregates(query.aggregates, columns)
+        return ServedResult(
+            columns=columns,
+            aggregates=aggregates,
+            row_count=raw.row_count,
+            path=path,
+            data_version=version,
+            fault_recovered=raw.fault_recovered,
+        )
+
+    def _bind_table_structures(self, table: str, lock) -> None:
+        """Bind this table's (possibly new) structures to its lock.
+
+        Everything mutated under the table's write lock — cracker columns,
+        sideways map sets, partial sets, and their sanitizer-registered
+        children — must carry the binding, or a concurrent deep sweep could
+        validate a structure mid-crack instead of skipping it.
+        """
+        for obj in self._table_structures(table):
+            if self.registry.lock_of(obj) is None:
+                self.registry.bind(obj, lock)
+
+    def _table_structures(self, table: str) -> list[object]:
+        out: list[object] = []
+
+        def add(obj: object) -> None:
+            if obj is None:
+                return
+            out.append(obj)
+            index = getattr(obj, "index", None)
+            if index is not None:
+                out.append(index)
+
+        for (tbl, _attr), cracker in list(self.db._crackers.items()):
+            if tbl == table:
+                add(cracker)
+        sideways = self.db._sideways.get(table)
+        if sideways is not None:
+            for mapset in list(sideways.sets.values()):
+                add(mapset)
+                for cmap in list(mapset.maps.values()):
+                    add(cmap)
+        partial = self.db._partial.get(table)
+        if partial is not None:
+            for pset in list(partial.sets.values()):
+                add(pset)
+                add(pset.chunkmap)
+                for pmap in list(pset.maps.values()):
+                    add(pmap)
+                    for chunk in list(pmap.chunks.values()):
+                        add(chunk)
+        return out
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, table: str, rows: dict[str, object]) -> np.ndarray:
+        """Route an insert through the database and the partitioned shards."""
+        with self.registry.lock_for(table).write():
+            keys = self.db.insert(table, rows)
+            relation = self.db.table(table)
+            for (tbl, attr), column in self._partitioned.items():
+                if tbl == table:
+                    column.add_insertions(relation.values(attr)[keys], keys)
+        return keys
+
+    def delete(self, table: str, keys: np.ndarray) -> None:
+        with self.registry.lock_for(table).write():
+            keys = np.asarray(keys, dtype=np.int64)
+            relation = self.db.table(table)
+            values = {
+                attr: relation.values(attr)[keys]
+                for (tbl, attr) in self._partitioned
+                if tbl == table
+            }
+            self.db.delete(table, keys)
+            for (tbl, attr), column in self._partitioned.items():
+                if tbl == table:
+                    column.add_deletions(values[attr], keys)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        with self._stats_mutex:
+            latencies = sorted(self.latencies)
+            served = self.queries_served
+            hits = self.cache_hits
+            paths = dict(self.path_counts)
+
+        def pct(p: float) -> float:
+            if not latencies:
+                return 0.0
+            return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+        lock_stats = self.registry.stats()
+        hold_stats = [
+            {"label": c.label, **c._tracker.hold_stats()}
+            for c in self.db._crackers.values()
+        ]
+        return {
+            "workers": self.workers,
+            "queries_served": served,
+            "cache_hits": hits,
+            "cache_hit_rate": (hits / served) if served else 0.0,
+            "paths": paths,
+            "latency_p50": pct(0.50),
+            "latency_p99": pct(0.99),
+            "locks": lock_stats,
+            "budget_holds": hold_stats,
+            "partitioned": {
+                f"{t}.{a}": col.stats() for (t, a), col in self._partitioned.items()
+            },
+        }

@@ -1,0 +1,309 @@
+"""Reader-writer coordination for cracking structures.
+
+The serving layer's concurrency protocol is deliberately small:
+
+* every *servable structure* (a table's cracker columns as a group, or one
+  partition shard) is guarded by one :class:`RWLock`;
+* **readers** — queries answerable from already-cracked pieces without any
+  reorganization — share the lock;
+* **crackers** take the write side for one budget-bounded operation; the
+  progressive budget (``--crack-budget``) caps the partitioning work done
+  inside the critical section, so it is also the lock-hold-time knob;
+* a thread holds at most **one** structure lock at a time (queries touching
+  several structures release each lock before taking the next), so lock
+  cycles — and therefore deadlocks — cannot form;
+* sweeps that want to *peek* at many structures (CrackSan's post-query
+  sweep) use :meth:`RWLock.try_read`: acquire-with-deadline-or-skip, never
+  block-and-hold.
+
+The lock is write-reentrant (a writer may re-enter its own write section)
+and read-while-writing is a pass-through for the owning thread — the
+sanitizer validates structures from inside the very critical section that
+cracks them, and must not self-deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+
+from repro.errors import ServerError
+
+#: Deadline used by sweep-style conditional reads (seconds).  Short on
+#: purpose: a busy structure is skipped, not waited for.
+TRY_READ_DEADLINE = 0.05
+
+
+class RWLock:
+    """A reader-writer lock with writer preference and owner tracking.
+
+    Writer preference keeps crackers from starving behind a stream of
+    shared readers: once a writer is waiting, new readers queue behind it.
+    All waits are condition-variable based (no spinning) and accept a
+    ``timeout``; a timed-out acquisition returns ``False`` / raises
+    :class:`~repro.errors.ServerError` from the context-manager forms.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._readers: dict[int, int] = {}  # thread ident -> read depth
+        self._writer: int | None = None  # owning thread ident
+        self._write_depth = 0
+        self._writers_waiting = 0
+        # Telemetry (reads are racy-but-monotonic, which is fine for stats).
+        self.read_acquires = 0
+        self.write_acquires = 0
+        self.read_skips = 0
+        self.write_hold_seconds = 0.0
+        self._write_entered_at = 0.0
+
+    # -- core acquire/release ------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Read-while-owning-write: pass through (no state change
+                # needed; release_read tolerates the missing entry).
+                self.read_acquires += 1
+                return True
+            if me in self._readers:
+                self._readers[me] += 1
+                self.read_acquires += 1
+                return True
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._writer is not None or self._writers_waiting:
+                if not self._wait(deadline):
+                    return False
+            self._readers[me] = 1
+            self.read_acquires += 1
+            return True
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                return  # pass-through read inside our own write section
+            depth = self._readers.get(me)
+            if depth is None:
+                raise ServerError(
+                    f"release_read without acquire_read on lock {self.name!r}"
+                )
+            if depth == 1:
+                del self._readers[me]
+                self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                self.write_acquires += 1
+                return True
+            if me in self._readers:
+                # Upgrading would deadlock against a symmetric upgrader;
+                # the executor's protocol is release-then-reacquire instead.
+                raise ServerError(
+                    f"read-to-write upgrade attempted on lock {self.name!r}; "
+                    "release the read lock and retry under a write lock"
+                )
+            deadline = None if timeout is None else time.monotonic() + timeout
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    if not self._wait(deadline):
+                        return False
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+            self.write_acquires += 1
+            self._write_entered_at = time.monotonic()
+            return True
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise ServerError(
+                    f"release_write by non-owner on lock {self.name!r}"
+                )
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self.write_hold_seconds += time.monotonic() - self._write_entered_at
+                self._writer = None
+                self._cond.notify_all()
+
+    def _wait(self, deadline: float | None) -> bool:
+        """Wait on the condition; ``False`` once ``deadline`` has passed.
+
+        Callers loop and re-check their acquisition condition after every
+        ``True`` return, so a spurious or racing wakeup is harmless.
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
+
+    # -- context-manager forms -----------------------------------------------
+
+    class _Guard:
+        __slots__ = ("_lock", "_mode", "_timeout", "acquired")
+
+        def __init__(self, lock: "RWLock", mode: str, timeout: float | None) -> None:
+            self._lock = lock
+            self._mode = mode
+            self._timeout = timeout
+            self.acquired = False
+
+        def __enter__(self) -> "RWLock._Guard":
+            ok = (
+                self._lock.acquire_read(self._timeout)
+                if self._mode == "read"
+                else self._lock.acquire_write(self._timeout)
+            )
+            if not ok:
+                raise ServerError(
+                    f"timed out acquiring {self._mode} lock "
+                    f"{self._lock.name!r} after {self._timeout:g}s"
+                )
+            self.acquired = True
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            if self.acquired:
+                if self._mode == "read":
+                    self._lock.release_read()
+                else:
+                    self._lock.release_write()
+
+    def read(self, timeout: float | None = None) -> "RWLock._Guard":
+        """``with lock.read(): ...`` — shared access."""
+        return RWLock._Guard(self, "read", timeout)
+
+    def write(self, timeout: float | None = None) -> "RWLock._Guard":
+        """``with lock.write(): ...`` — exclusive access."""
+        return RWLock._Guard(self, "write", timeout)
+
+    class _TryRead:
+        """Context manager yielding ``True`` on acquisition, ``False`` on skip."""
+
+        __slots__ = ("_lock", "_deadline", "_got")
+
+        def __init__(self, lock: "RWLock", deadline: float) -> None:
+            self._lock = lock
+            self._deadline = deadline
+            self._got = False
+
+        def __enter__(self) -> bool:
+            self._got = self._lock.acquire_read(self._deadline)
+            if not self._got:
+                self._lock.read_skips += 1
+            return self._got
+
+        def __exit__(self, *exc_info: object) -> None:
+            if self._got:
+                self._lock.release_read()
+
+    def try_read(self, deadline: float = TRY_READ_DEADLINE) -> "RWLock._TryRead":
+        """Deadline-bounded shared acquisition for sweeps: yields a bool."""
+        return RWLock._TryRead(self, deadline)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "read_acquires": self.read_acquires,
+            "write_acquires": self.write_acquires,
+            "read_skips": self.read_skips,
+            "write_hold_seconds": self.write_hold_seconds,
+        }
+
+
+class LockRegistry:
+    """All of one server's structure locks, keyed by structure identity.
+
+    Two views of the same locks:
+
+    * by *logical key* (``("R",)`` for a table group, ``("R", "A", 3)`` for
+      shard 3 of a partitioned attribute) — what the executor acquires;
+    * by *structure object* — what the sanitizer's
+      :attr:`~repro.analysis.sanitizer.Sanitizer.structure_guard` consults
+      when sweeping registered structures.  Binding uses weak references, so
+      dropped shards unbind themselves.
+
+    A structure with no binding gets :data:`None` from :meth:`lock_of`, and
+    the sweep guard treats it as always-safe (serial-era behavior).
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._by_key: dict[tuple, RWLock] = {}
+        self._by_obj: dict[int, tuple[weakref.ref, RWLock]] = {}
+
+    def lock_for(self, *key: object) -> RWLock:
+        """The lock of logical key ``key`` (created on first use)."""
+        with self._mutex:
+            lock = self._by_key.get(key)
+            if lock is None:
+                lock = RWLock(name=".".join(str(part) for part in key))
+                self._by_key[key] = lock
+            return lock
+
+    def bind(self, obj: object, lock: RWLock) -> None:
+        """Associate a live structure with the lock that guards it."""
+        ident = id(obj)
+
+        def _gone(_ref: weakref.ref, ident: int = ident) -> None:
+            with self._mutex:
+                self._by_obj.pop(ident, None)
+
+        ref = weakref.ref(obj, _gone)
+        with self._mutex:
+            self._by_obj[ident] = (ref, lock)
+
+    def lock_of(self, obj: object) -> RWLock | None:
+        """The lock bound to ``obj``, or ``None`` when it is unguarded."""
+        with self._mutex:
+            entry = self._by_obj.get(id(obj))
+        if entry is None:
+            return None
+        ref, lock = entry
+        return lock if ref() is obj else None
+
+    def structure_guard(self, obj: object):
+        """The sanitizer hook: a context manager yielding proceed/skip.
+
+        Unbound structures always proceed; bound structures proceed only if
+        a shared read can be taken within the sweep deadline (pass-through
+        when the sweeping thread itself owns the write lock).
+        """
+        lock = self.lock_of(obj)
+        if lock is None:
+            return _ALWAYS_PROCEED
+        return lock.try_read()
+
+    def stats(self) -> list[dict[str, object]]:
+        with self._mutex:
+            locks = list(self._by_key.values())
+        return [lock.stats() for lock in locks]
+
+
+class _AlwaysProceed:
+    def __enter__(self) -> bool:
+        return True
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_ALWAYS_PROCEED = _AlwaysProceed()

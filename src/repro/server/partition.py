@@ -1,0 +1,231 @@
+"""Partition-parallel cracking: range-sharded columns with scatter-gather.
+
+A :class:`PartitionedColumn` splits one attribute into ``k`` contiguous
+value ranges.  Each shard is an ordinary
+:class:`~repro.cracking.column.CrackerColumn` built over that range's rows
+(values plus their *global* tuple keys, shared-memory NumPy slices of one
+scatter pass), so every shard cracks independently under its own
+:class:`~repro.server.locks.RWLock` — a hot column no longer serializes all
+queries behind one structure-wide critical section.
+
+Queries run as **prune → per-shard select → gather**:
+
+* shards whose value range cannot intersect the interval are pruned without
+  taking any lock (the partition bounds are immutable after construction);
+* each surviving shard answers under its own lock — shared when its
+  :meth:`~repro.cracking.column.CrackerColumn.probe` fast path applies,
+  exclusive for the budget-bounded crack otherwise;
+* the per-shard key arrays are concatenated (the scatter-gather merge).
+
+Because the shards partition the *value* domain, a shard's result is exactly
+the interval's restriction to that range, and the merged multiset of keys is
+identical to an unpartitioned column's answer for every interleaving of
+concurrent shard cracks — order differs, membership never does.  The
+serving layer canonicalizes row order, so partitioned and serial executions
+stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cracking.bounds import Interval
+from repro.cracking.column import CrackerColumn
+from repro.cracking.stochastic import policy_rng
+from repro.errors import PlanError
+from repro.server.locks import LockRegistry, RWLock
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.bat import BAT
+
+
+class _Shard:
+    """One partition: its value range, cracker column, and lock."""
+
+    __slots__ = ("lo", "hi", "cracker", "lock")
+
+    def __init__(
+        self, lo: float, hi: float, cracker: CrackerColumn, lock: RWLock
+    ) -> None:
+        self.lo = lo  # inclusive lower value bound (-inf for the first shard)
+        self.hi = hi  # exclusive upper value bound (+inf for the last shard)
+        self.cracker = cracker
+        self.lock = lock
+
+
+class PartitionedColumn:
+    """Range-partitioned shards of one attribute, independently cracked.
+
+    Parameters
+    ----------
+    base:
+        The attribute's base :class:`~repro.storage.bat.BAT`.
+    partitions:
+        Shard count; bounds are value quantiles of the data, so shards are
+        balanced even under skew.  Duplicate quantiles (low-cardinality
+        data) collapse, so the effective count can be smaller.
+    registry:
+        The owning server's :class:`~repro.server.locks.LockRegistry`; each
+        shard's lock is registered under ``(table, attr, i)`` and bound to
+        the shard's cracker so sanitizer sweeps honor it.
+    """
+
+    def __init__(
+        self,
+        base: BAT,
+        partitions: int,
+        registry: LockRegistry,
+        table: str,
+        attr: str,
+        recorder: StatsRecorder | None = None,
+        budget: object = None,
+        policy: object = None,
+        crack_seed: int = 42,
+    ) -> None:
+        if partitions < 1:
+            raise PlanError(f"partition count {partitions} must be >= 1")
+        self.table = table
+        self.attr = attr
+        self._recorder = recorder or global_recorder()
+        values = base.values
+        n = len(values)
+        # Quantile bounds over the actual data: deterministic, and balanced
+        # under value skew (equal-width bounds would not be).
+        if partitions > 1 and n:
+            qs = np.linspace(0, 1, partitions + 1)[1:-1]
+            bounds = np.unique(np.quantile(values, qs))
+        else:
+            bounds = np.empty(0, dtype=np.float64)
+        # One scatter pass: classify every row, then one stable argsort
+        # groups rows by shard while preserving tuple order inside each.
+        if len(bounds):
+            part_of = np.searchsorted(bounds, values, side="right")
+            order = np.argsort(part_of, kind="stable")
+            offsets = np.searchsorted(part_of[order], np.arange(len(bounds) + 1))
+        else:
+            part_of = None
+            order = np.arange(n)
+            offsets = np.array([0])
+        self._recorder.sequential(2 * n)
+        self._recorder.write(2 * n)
+        edges = [-np.inf, *(float(b) for b in bounds), np.inf]
+        self.shards: list[_Shard] = []
+        ends = [*offsets[1:], n]
+        for i, (start, end) in enumerate(zip(offsets, ends)):
+            positions = order[start:end]
+            shard_bat = base.gather(positions)  # values + global keys
+            cracker = CrackerColumn(
+                shard_bat,
+                self._recorder,
+                policy=policy,
+                budget=budget,
+                rng=policy_rng(crack_seed, "shard", table, attr, i),
+                label=f"shard[{table}.{attr}#{i}]",
+            )
+            lock = registry.lock_for(table, attr, i)
+            registry.bind(cracker, lock)
+            self.shards.append(_Shard(edges[i], edges[i + 1], cracker, lock))
+
+    def __len__(self) -> int:
+        return sum(len(s.cracker) for s in self.shards)
+
+    @property
+    def partition_bounds(self) -> list[float]:
+        """The shard edges (first ``-inf`` and last ``+inf`` included)."""
+        return [self.shards[0].lo, *(s.hi for s in self.shards)]
+
+    # -- querying ------------------------------------------------------------
+
+    def _relevant(self, interval: Interval) -> list[_Shard]:
+        """Shards whose value range can intersect ``interval`` (pruning)."""
+        lo = interval.lower_bound()
+        hi = interval.upper_bound()
+        out = []
+        for shard in self.shards:
+            if lo is not None and shard.hi != np.inf and lo.value >= shard.hi:
+                continue
+            if hi is not None and shard.lo != -np.inf and hi.value < shard.lo:
+                continue
+            out.append(shard)
+        return out
+
+    def select(self, interval: Interval) -> np.ndarray:
+        """Keys qualifying ``interval``, scatter-gathered across shards.
+
+        Each relevant shard is answered under its own lock — probe first
+        under a shared read, then the budget-bounded crack under exclusive
+        write — one lock at a time, so the at-most-one-lock protocol holds.
+        """
+        relevant = self._relevant(interval)
+        pruned = len(self.shards) - len(relevant)
+        parts = [self.select_one(shard, interval) for shard in relevant]
+        if pruned:
+            self._recorder.event("index_lookups", pruned)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def relevant_shards(self, interval: Interval) -> list[_Shard]:
+        """The scatter half of scatter-gather: the unpruned shards.
+
+        The executor maps these onto its worker pool (each worker runs
+        :meth:`select_one`) and gathers with ``np.concatenate``.
+        """
+        return self._relevant(interval)
+
+    @staticmethod
+    def select_one(shard: _Shard, interval: Interval) -> np.ndarray:
+        """One shard's share of a scatter-gather select (pool worker body)."""
+        with shard.lock.read():
+            # Degenerate shards (quantile collapse on low-cardinality data)
+            # answer without ever taking the write side.
+            if not len(shard.cracker) and not shard.cracker.pending.has_pending():
+                return np.empty(0, dtype=np.int64)
+            keys = shard.cracker.probe(interval)
+        if keys is None:
+            with shard.lock.write():
+                keys = shard.cracker.select(interval)
+        return keys
+
+    # -- maintenance ----------------------------------------------------------
+
+    def apply_pending_all(self) -> None:
+        """Drain pending updates on every shard (under its write lock)."""
+        for shard in self.shards:
+            with shard.lock.write():
+                shard.cracker.apply_pending()
+
+    def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        """Route new rows to their shards' pending buffers."""
+        values = np.asarray(values)
+        keys = np.asarray(keys, dtype=np.int64)
+        for shard in self.shards:
+            mask = np.ones(len(values), dtype=bool)
+            if shard.lo != -np.inf:
+                mask &= values >= shard.lo
+            if shard.hi != np.inf:
+                mask &= values < shard.hi
+            if mask.any():
+                shard.cracker.add_insertions(values[mask], keys[mask])
+
+    def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        """Route deletions to the shards holding the victims."""
+        values = np.asarray(values)
+        keys = np.asarray(keys, dtype=np.int64)
+        for shard in self.shards:
+            mask = np.ones(len(values), dtype=bool)
+            if shard.lo != -np.inf:
+                mask &= values >= shard.lo
+            if shard.hi != np.inf:
+                mask &= values < shard.hi
+            if mask.any():
+                shard.cracker.add_deletions(values[mask], keys[mask])
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "table": self.table,
+            "attr": self.attr,
+            "partitions": len(self.shards),
+            "rows": len(self),
+            "shard_rows": [len(s.cracker) for s in self.shards],
+            "locks": [s.lock.stats() for s in self.shards],
+        }

@@ -1,0 +1,256 @@
+"""The network front: an asyncio TCP server speaking line-delimited JSON.
+
+The wire protocol is one JSON object per line, both ways.  Requests:
+
+``{"sql": "select ... from ... where ...", "timeout": 5.0}``
+    Serve one query; ``timeout`` (seconds) is optional.
+``{"op": "stats"}``
+    The executor's serving statistics (latencies, cache hits, lock stats).
+``{"op": "ping"}``
+    Liveness probe.
+
+Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false, "error":
+"...", "kind": "<exception class>"}``.  One connection may pipeline many
+requests; responses come back in request order per connection, while
+different connections are served concurrently by the executor's worker
+pool (the asyncio loop never blocks on query work — futures from the
+thread pool are awaited with :func:`asyncio.wrap_future`).
+
+:class:`ServerHandle` is the in-process twin: the same request/response
+dictionaries without sockets, used by tests and embedders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.engine.database import Database
+from repro.errors import QueryTimeout, ReproError, ServerError
+from repro.server.executor import ServedQuery, ServedResult, ServerExecutor
+
+#: Refuse absurd frames instead of buffering them (a malformed client
+#: could otherwise stream an unbounded "line").
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+def _error_payload(exc: BaseException) -> dict[str, object]:
+    return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+
+
+class ServerHandle:
+    """In-process serving endpoint: the protocol without the socket.
+
+    Wraps a :class:`~repro.server.executor.ServerExecutor` and answers the
+    same JSON-shaped request dictionaries the TCP front accepts.  Useful for
+    tests and for embedding the serving layer without networking.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        workers: int = 4,
+        partitions: int = 0,
+        engine=None,
+        cache: bool = True,
+        partition_attrs: "tuple[tuple[str, str], ...] | list" = (),
+    ) -> None:
+        self.executor = ServerExecutor(
+            db, engine=engine, workers=workers, partitions=partitions, cache=cache
+        )
+        for table, attr in partition_attrs:
+            self.executor.partition(table, attr)
+
+    def query(self, sql: str, timeout: float | None = None) -> ServedResult:
+        return self.executor.run(sql, timeout=timeout)
+
+    def request(self, message: dict[str, object]) -> dict[str, object]:
+        """Answer one protocol request dictionary (never raises)."""
+        try:
+            op = message.get("op", "query")
+            if op == "ping":
+                return {"ok": True, "result": "pong"}
+            if op == "stats":
+                return {"ok": True, "result": self.executor.stats()}
+            if op == "query":
+                sql = message.get("sql")
+                if not isinstance(sql, str):
+                    raise ServerError("a query request needs an 'sql' string")
+                timeout = message.get("timeout")
+                if timeout is not None and not isinstance(timeout, (int, float)):
+                    raise ServerError("'timeout' must be a number of seconds")
+                result = self.query(sql, timeout=timeout)
+                return {"ok": True, "result": result.as_payload()}
+            raise ServerError(f"unknown op {op!r}")
+        except ReproError as exc:
+            return _error_payload(exc)
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class CrackServer:
+    """The asyncio TCP server over one :class:`ServerHandle`."""
+
+    def __init__(self, handle: ServerHandle, host: str = "127.0.0.1", port: int = 0):
+        self.handle = handle
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.connections = 0
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError) as exc:
+                    response = _error_payload(
+                        ServerError(f"frame too large or connection broken: {exc}")
+                    )
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    break
+                if not line:
+                    break
+                text = line.decode(errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    message = json.loads(text)
+                    if not isinstance(message, dict):
+                        raise ServerError("each frame must be a JSON object")
+                except json.JSONDecodeError as exc:
+                    response = _error_payload(ServerError(f"malformed frame: {exc}"))
+                except ServerError as exc:
+                    response = _error_payload(exc)
+                else:
+                    response = await self._dispatch(message)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # The peer vanished or the server is stopping mid-close;
+                # either way this connection is finished.
+                pass
+
+    async def _dispatch(self, message: dict[str, object]) -> dict[str, object]:
+        """Answer one frame without ever blocking the event loop.
+
+        Query work is submitted to the executor's worker pool and *awaited*
+        (never nested: a pool worker waiting on another pool task would
+        deadlock a saturated pool), so many connections share the workers.
+        """
+        executor = self.handle.executor
+        try:
+            op = message.get("op", "query")
+            if op == "ping":
+                return {"ok": True, "result": "pong"}
+            if op == "stats":
+                return {"ok": True, "result": executor.stats()}
+            if op != "query":
+                raise ServerError(f"unknown op {op!r}")
+            sql = message.get("sql")
+            if not isinstance(sql, str):
+                raise ServerError("a query request needs an 'sql' string")
+            timeout = message.get("timeout")
+            if timeout is not None and not isinstance(timeout, (int, float)):
+                raise ServerError("'timeout' must be a number of seconds")
+            deadline = timeout if timeout is not None else executor.default_timeout
+            served = ServedQuery.from_sql(sql, executor.db)
+            future = asyncio.wrap_future(executor.submit(served))
+            try:
+                result = await asyncio.wait_for(future, deadline)
+            except asyncio.TimeoutError:
+                raise QueryTimeout(
+                    f"query on {served.query.table!r} missed its deadline",
+                    seconds=deadline,
+                ) from None
+            return {"ok": True, "result": result.as_payload()}
+        except ReproError as exc:
+            return _error_payload(exc)
+
+
+async def client_request(
+    host: str, port: int, message: dict[str, object]
+) -> dict[str, object]:
+    """One-shot protocol client (used by tests and simple tooling)."""
+    reader, writer = await asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES)
+    try:
+        writer.write(json.dumps(message).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ServerError("server closed the connection without a response")
+        return json.loads(line.decode())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def run_server(
+    db: Database,
+    host: str = "127.0.0.1",
+    port: int = 7077,
+    workers: int = 4,
+    partitions: int = 0,
+    partition_attrs: "tuple[tuple[str, str], ...] | list" = (),
+    ready_callback=None,
+) -> None:
+    """Blocking entry point for ``repro serve``: run until interrupted."""
+
+    async def _main() -> None:
+        handle = ServerHandle(
+            db, workers=workers, partitions=partitions,
+            partition_attrs=partition_attrs,
+        )
+        server = CrackServer(handle, host, port)
+        bound_host, bound_port = await server.start()
+        if ready_callback is not None:
+            ready_callback(bound_host, bound_port)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            handle.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -22,6 +22,7 @@ reconstruction before/after a join, ...).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 
 
@@ -127,6 +128,15 @@ class StatsRecorder:
 
     The cache size used to classify random accesses lives here so that the
     classification is consistent across every operator of an engine run.
+
+    Frame stacks are *per thread*: the creating thread uses ``_frames``
+    directly (the serial fast path is unchanged), while any other thread —
+    a serving worker running a query through a shared engine — gets its own
+    stack seeded with the shared root frame.  Push/pop therefore never
+    interleaves across threads; only the plain integer increments on the
+    root tally are shared, and those are lost-update races at worst (totals
+    may undercount slightly under contention; result correctness and the
+    tape/replay determinism checks never depend on them).
     """
 
     cache_elements: int = 64 * 1024
@@ -135,15 +145,29 @@ class StatsRecorder:
     def __post_init__(self) -> None:
         if not self._frames:
             self._frames.append(AccessStats())
+        self._owner = threading.get_ident()
+        self._tls = threading.local()
+        self._generation = 0
+
+    def _stack(self) -> list[AccessStats]:
+        """This thread's frame stack (owner thread uses ``_frames`` itself)."""
+        if threading.get_ident() == self._owner:
+            return self._frames
+        cached = getattr(self._tls, "stack", None)
+        if cached is None or self._tls.generation != self._generation:
+            cached = [self._frames[0]]
+            self._tls.stack = cached
+            self._tls.generation = self._generation
+        return cached
 
     @property
     def root(self) -> AccessStats:
-        """The bottom frame: the whole-run tally."""
+        """The bottom frame: the whole-run tally (shared across threads)."""
         return self._frames[0]
 
     @property
     def current(self) -> AccessStats:
-        return self._frames[-1]
+        return self._stack()[-1]
 
     def frame(self) -> "_Frame":
         """Open a nested accounting frame (context manager)."""
@@ -152,11 +176,11 @@ class StatsRecorder:
     # -- reporting API used by operators ------------------------------------
 
     def sequential(self, count: int) -> None:
-        for f in self._frames:
+        for f in self._stack():
             f.touch_sequential(count)
 
     def random(self, count: int, region_size: int) -> None:
-        for f in self._frames:
+        for f in self._stack():
             f.touch_random(count, region_size, self.cache_elements)
 
     def ordered(self, count: int, region_size: int) -> None:
@@ -169,36 +193,43 @@ class StatsRecorder:
         self.sequential(min(region_size, count * 8))
 
     def write(self, count: int) -> None:
-        for f in self._frames:
+        for f in self._stack():
             f.touch_write(count)
 
     def event(self, name: str, count: int = 1) -> None:
         """Record a structural event (``cracks``, ``map_creations``, ...)."""
-        for f in self._frames:
+        for f in self._stack():
             setattr(f, name, getattr(f, name) + count)
 
     def policy_cut(self, policy_name: str, count: int = 1) -> None:
         """Attribute ``count`` auxiliary cuts to a crack policy by name."""
-        for f in self._frames:
+        for f in self._stack():
             f.record_policy_cut(policy_name, count)
 
     def reset(self) -> None:
         self._frames = [AccessStats()]
+        # Invalidate every worker thread's cached stack: it must be re-seeded
+        # with the fresh root the next time that thread reports anything.
+        self._generation += 1
 
 
 class _Frame:
-    """Context manager that pushes/pops an :class:`AccessStats` frame."""
+    """Context manager that pushes/pops an :class:`AccessStats` frame.
+
+    Enter and exit happen on the same thread, so the frame lands on (and is
+    popped from) that thread's own stack.
+    """
 
     def __init__(self, recorder: StatsRecorder) -> None:
         self._recorder = recorder
         self.stats = AccessStats()
 
     def __enter__(self) -> AccessStats:
-        self._recorder._frames.append(self.stats)
+        self._recorder._stack().append(self.stats)
         return self.stats
 
     def __exit__(self, *exc_info: object) -> None:
-        popped = self._recorder._frames.pop()
+        popped = self._recorder._stack().pop()
         assert popped is self.stats
 
 

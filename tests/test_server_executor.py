@@ -1,0 +1,201 @@
+"""ServerExecutor: execution paths, caching, batching, deadlines."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cracking.bounds import Interval
+from repro.engine.database import Database
+from repro.engine.query import Predicate, Query
+from repro.engine.selection_cracking import SelectionCrackingEngine
+from repro.errors import QueryTimeout, ServerError
+from repro.server.executor import (
+    ServedQuery,
+    ServerExecutor,
+    canonicalize,
+    digest_columns,
+)
+
+
+@pytest.fixture
+def executor(db):
+    with ServerExecutor(db, workers=2, partitions=4) as ex:
+        yield ex
+
+
+def _span(lo, hi, attr="A", **kwargs):
+    return Query("R", (Predicate(attr, Interval.half_open(lo, hi)),), **kwargs)
+
+
+def test_canonicalize_is_schedule_independent(rng):
+    a = rng.integers(0, 50, size=200).astype(np.int64)
+    b = rng.integers(0, 50, size=200).astype(np.int64)
+    shuffled = rng.permutation(200)
+    one = canonicalize({"A": a, "B": b})
+    other = canonicalize({"A": a[shuffled], "B": b[shuffled]})
+    assert digest_columns(one) == digest_columns(other)
+
+
+def test_partition_path_and_cache(executor):
+    executor.partition("R", "A")
+    query = _span(5_000, 40_000, projections=("A", "B"))
+    first = executor.run(query)
+    assert first.path == "partition"
+    assert not first.cached
+    again = executor.run(query)
+    assert again.path == "cache"
+    assert again.cached
+    assert again.digest() == first.digest()
+
+
+def test_read_path_after_engine_builds_cracker(executor):
+    # The first two-predicate query pays the engine under the write lock...
+    query = Query(
+        "R",
+        (
+            Predicate("B", Interval.half_open(10_000, 80_000)),
+            Predicate("C", Interval.half_open(20_000, 90_000)),
+        ),
+        projections=("B", "C"),
+    )
+    first = executor.run(query)
+    assert first.path == "engine"
+    # ... which leaves B's index boundaries in place, so the identical
+    # selection (cache off via a distinct projection) probes read-only.
+    probe = Query(
+        "R",
+        (
+            Predicate("B", Interval.half_open(10_000, 80_000)),
+            Predicate("C", Interval.half_open(30_000, 70_000)),
+        ),
+        projections=("B", "D"),
+    )
+    second = executor.run(probe)
+    assert second.path == "read"
+
+
+def test_all_paths_agree_with_serial(small_arrays, rng):
+    queries = []
+    for _ in range(16):
+        lo = int(rng.integers(0, 80_000))
+        width = int(rng.integers(500, 40_000))
+        if rng.integers(0, 2):
+            queries.append(_span(lo, lo + width, projections=("A", "B"),
+                                 aggregates=(("sum", "B"),)))
+        else:
+            queries.append(Query(
+                "R",
+                (
+                    Predicate("B", Interval.half_open(lo, lo + width)),
+                    Predicate("D", Interval.half_open(lo // 2, lo // 2 + width)),
+                ),
+                projections=("B", "D"),
+                aggregates=(("count", "B"),),
+            ))
+
+    serial_db = Database()
+    serial_db.create_table("R", {k: v.copy() for k, v in small_arrays.items()})
+    engine = SelectionCrackingEngine(serial_db)
+    serial = [
+        digest_columns(canonicalize(engine.run(q).columns)) for q in queries
+    ]
+
+    served_db = Database()
+    served_db.create_table("R", {k: v.copy() for k, v in small_arrays.items()})
+    with ServerExecutor(served_db, workers=4, partitions=4) as ex:
+        ex.partition("R", "A")
+        results = ex.run_batch(queries)
+        repeats = ex.run_batch(queries)  # the second pass hits the cache
+        assert [r.digest() for r in results] == serial
+        assert [r.digest() for r in repeats] == serial
+        assert set(ex.path_counts) >= {"partition", "cache"}
+
+
+def test_run_batch_dedupes_identical_requests(executor):
+    query = _span(1_000, 50_000, projections=("A",))
+    results = executor.run_batch([query] * 10)
+    assert len(results) == 10
+    assert len({r.digest() for r in results}) == 1
+    # One execution serves the whole batch (dedup, not ten cache misses).
+    assert executor.queries_served == 1
+
+
+def test_cache_invalidation_on_update(executor):
+    executor.partition("R", "A")
+    query = _span(0, 100_001, projections=("A",), aggregates=(("count", "A"),))
+    before = executor.run(query)
+    keys = executor.insert("R", {
+        attr: np.array([50_000], dtype=np.int64) for attr in "ABCD"
+    })
+    after = executor.run(query)
+    assert not after.cached  # the data version moved, the entry is stale
+    assert after.row_count == before.row_count + 1
+    executor.delete("R", keys)
+    final = executor.run(query)
+    assert final.row_count == before.row_count
+
+
+def test_sql_and_served_query_entry_points(executor):
+    result = executor.run("select A, B from R where A between 100 and 20000")
+    assert result.row_count > 0
+    served = ServedQuery.from_sql(
+        "select A from R where A < 5000", executor.db
+    )
+    assert executor.run(served).path in ("partition", "read", "engine")
+
+
+def test_timeout_raises_query_timeout(executor):
+    # Hold the table's write lock from the test thread so any worker
+    # serving this query blocks for longer than the deadline.
+    lock = executor.registry.lock_for("R")
+    query = Query(
+        "R",
+        (
+            Predicate("C", Interval.half_open(0, 1)),
+            Predicate("D", Interval.half_open(0, 1)),
+        ),
+    )
+    acquired = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with lock.write():
+            acquired.set()
+            release.wait(timeout=10)
+
+    t = threading.Thread(target=holder)
+    t.start()
+    acquired.wait(timeout=5)
+    try:
+        with pytest.raises(QueryTimeout):
+            executor.run(query, timeout=0.1)
+    finally:
+        release.set()
+        t.join(timeout=5)
+
+
+def test_invalid_requests_rejected(db):
+    with pytest.raises(ServerError, match="must be >= 1"):
+        ServerExecutor(db, workers=0)
+    with ServerExecutor(db, workers=1) as ex:
+        with pytest.raises(ServerError, match="cannot serve"):
+            ex.run(42)
+        with pytest.raises(ServerError, match="cannot partition"):
+            ex.partition("R", "A")  # partitions=0 by default
+    with pytest.raises(ServerError, match="closed"):
+        ex.submit(_span(0, 10))
+
+
+def test_stats_report(executor):
+    executor.partition("R", "A")
+    query = _span(2_000, 30_000, projections=("A",))
+    executor.run(query)
+    executor.run(query)
+    stats = executor.stats()
+    assert stats["queries_served"] == 2
+    assert stats["cache_hits"] == 1
+    assert 0.0 < stats["cache_hit_rate"] < 1.0
+    assert stats["paths"]["partition"] == 1
+    assert stats["latency_p99"] >= stats["latency_p50"] >= 0.0
+    assert "R.A" in stats["partitioned"]

@@ -1,0 +1,131 @@
+"""The serving wire protocol: ServerHandle and the asyncio TCP front."""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.server.serve import (
+    CrackServer,
+    ServerHandle,
+    client_request,
+)
+
+
+@pytest.fixture
+def handle(db):
+    with ServerHandle(db, workers=2, partitions=4,
+                      partition_attrs=(("R", "A"),)) as h:
+        yield h
+
+
+def test_handle_ping_and_stats(handle):
+    assert handle.request({"op": "ping"}) == {"ok": True, "result": "pong"}
+    stats = handle.request({"op": "stats"})
+    assert stats["ok"] and stats["result"]["workers"] == 2
+
+
+def test_handle_query_payload(handle):
+    response = handle.request(
+        {"sql": "select A, B from R where A between 100 and 30000"}
+    )
+    assert response["ok"]
+    result = response["result"]
+    assert result["row_count"] == len(result["columns"]["A"])
+    assert result["path"] == "partition"
+    assert set(result["aggregates"]) == set()
+    repeat = handle.request(
+        {"sql": "select A, B from R where A between 100 and 30000"}
+    )
+    assert repeat["result"]["cached"]
+    assert repeat["result"]["digest"] == result["digest"]
+
+
+def test_handle_rejects_bad_requests(handle):
+    assert not handle.request({"op": "flush"})["ok"]
+    assert not handle.request({"op": "query"})["ok"]  # no sql
+    assert not handle.request({"sql": 42})["ok"]
+    assert not handle.request({"sql": "select A from R", "timeout": "x"})["ok"]
+    bad_sql = handle.request({"sql": "selec A from R"})
+    assert not bad_sql["ok"] and bad_sql["kind"] in ("SqlError", "PlanError")
+
+
+def _with_server(db, scenario):
+    """Run ``scenario(host, port)`` against a live TCP server."""
+
+    async def main():
+        with ServerHandle(db, workers=2, partitions=4,
+                          partition_attrs=(("R", "A"),)) as handle:
+            server = CrackServer(handle, port=0)
+            host, port = await server.start()
+            task = asyncio.create_task(server.serve_forever())
+            try:
+                return await scenario(host, port)
+            finally:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+                await server.stop()
+
+    return asyncio.run(main())
+
+
+def test_tcp_roundtrip(db):
+    async def scenario(host, port):
+        pong = await client_request(host, port, {"op": "ping"})
+        assert pong == {"ok": True, "result": "pong"}
+        reply = await client_request(
+            host, port, {"sql": "select A from R where A < 20000"}
+        )
+        assert reply["ok"] and reply["result"]["row_count"] > 0
+        stats = await client_request(host, port, {"op": "stats"})
+        assert stats["result"]["queries_served"] == 1
+
+    _with_server(db, scenario)
+
+
+def test_tcp_pipelined_requests_one_connection(db):
+    async def scenario(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        for lo in (100, 5_000, 20_000):
+            frame = {"sql": f"select A from R where A between {lo} and {lo + 999}"}
+            writer.write(json.dumps(frame).encode() + b"\n")
+        await writer.drain()
+        replies = [json.loads(await reader.readline()) for _ in range(3)]
+        writer.close()
+        await writer.wait_closed()
+        assert all(r["ok"] for r in replies)
+
+    _with_server(db, scenario)
+
+
+def test_tcp_malformed_frames(db):
+    async def scenario(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"this is not json\n")
+        writer.write(b"[1, 2, 3]\n")
+        writer.write(json.dumps({"op": "nope"}).encode() + b"\n")
+        await writer.drain()
+        replies = [json.loads(await reader.readline()) for _ in range(3)]
+        writer.close()
+        await writer.wait_closed()
+        assert [r["ok"] for r in replies] == [False, False, False]
+        assert "malformed" in replies[0]["error"]
+        assert "JSON object" in replies[1]["error"]
+        assert "unknown op" in replies[2]["error"]
+
+    _with_server(db, scenario)
+
+
+def test_tcp_concurrent_clients_agree(db):
+    async def scenario(host, port):
+        frame = {"sql": "select A, B from R where B between 1000 and 60000"}
+        replies = await asyncio.gather(
+            *(client_request(host, port, frame) for _ in range(12))
+        )
+        digests = {r["result"]["digest"] for r in replies}
+        assert all(r["ok"] for r in replies)
+        assert len(digests) == 1  # every client sees the same canonical bytes
+
+    _with_server(db, scenario)
