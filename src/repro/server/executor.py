@@ -17,9 +17,13 @@ Execution paths, fastest first:
     :attr:`~repro.engine.database.Database.data_version`, so any update
     invalidates every affected entry.
 ``partition``
-    Single-predicate selections on a partitioned attribute run as prune →
-    per-shard probe/crack (one shard lock at a time) → scatter-gather
-    merge, then reconstruct projections with read-only base-column gathers.
+    Single-predicate selections on a partitioned attribute run under the
+    table's *shared* lock as prune → per-shard probe/crack (one shard lock
+    at a time; the hierarchy is table → shard) → scatter-gather merge,
+    then reconstruct projections with read-only base-column gathers.  The
+    shared table lock serializes the scatter against :meth:`insert` /
+    :meth:`delete`, which route pending updates under the table's
+    exclusive lock — a query sees either all of an update or none of it.
 ``read``
     Multi-predicate queries whose leading predicate is answerable by
     :meth:`~repro.cracking.column.CrackerColumn.probe` run entirely under
@@ -33,7 +37,10 @@ Execution paths, fastest first:
 Every result is **canonicalized** — rows sorted lexicographically over the
 result columns, aggregates recomputed from the sorted columns — so the
 bytes a client sees are a pure function of (data version, query), not of
-how concurrent cracking happened to interleave.  ``ServedResult.digest()``
+how concurrent cracking happened to interleave.  The data version is
+sampled *inside* the table lock that serialized the query against
+updates, and results enter the cache under that captured version — never
+under a version sampled racily before execution.  ``ServedResult.digest()``
 is the sha1 of those bytes; the determinism tests and ``exp17`` compare it
 against a serial baseline.
 """
@@ -207,6 +214,7 @@ class ServerExecutor:
             else None
         )
         self._partitioned: dict[tuple[str, str], PartitionedColumn] = {}
+        self._partition_mutex = threading.Lock()
         self._cache_enabled = cache
         self._cache: dict[tuple, ServedResult] = {}
         self._cache_mutex = threading.Lock()
@@ -238,9 +246,17 @@ class ServerExecutor:
     # -- partitioning ----------------------------------------------------------
 
     def partition(self, table: str, attr: str, partitions: int | None = None) -> PartitionedColumn:
-        """Range-partition ``table.attr`` into independently-cracked shards."""
+        """Range-partition ``table.attr`` into independently-cracked shards.
+
+        Thread-safe and idempotent: racing calls agree on one column
+        (double-checked under ``_partition_mutex``), and the scatter
+        snapshot is built under the table's write lock so it cannot
+        interleave with an insert/delete routing rows mid-build.  The
+        lock order is table → partition mutex, matching :meth:`insert`.
+        """
         key = (table, attr)
-        existing = self._partitioned.get(key)
+        with self._partition_mutex:
+            existing = self._partitioned.get(key)
         if existing is not None:
             return existing
         count = self.partitions if partitions is None else partitions
@@ -248,14 +264,30 @@ class ServerExecutor:
             raise ServerError(
                 f"cannot partition {table}.{attr}: partition count {count} < 1"
             )
-        column = PartitionedColumn(
-            self.db.table(table).column(attr), count, self.registry,
-            table, attr, self.db.recorder,
-            budget=self.db.crack_budget, policy=self.db.crack_policy,
-            crack_seed=self.db.crack_seed,
-        )
-        self._partitioned[key] = column
+        with self.registry.lock_for(table).write():
+            with self._partition_mutex:
+                existing = self._partitioned.get(key)
+                if existing is not None:
+                    return existing
+            column = PartitionedColumn(
+                self.db.table(table).column(attr), count, self.registry,
+                table, attr, self.db.recorder,
+                budget=self.db.crack_budget, policy=self.db.crack_policy,
+                crack_seed=self.db.crack_seed,
+            )
+            with self._partition_mutex:
+                self._partitioned[key] = column
         return column
+
+    def _partitioned_for(self, table: str) -> list[tuple[str, PartitionedColumn]]:
+        """Snapshot of this table's partitioned columns (mutex-guarded, so
+        a concurrent :meth:`partition` call cannot resize mid-iteration)."""
+        with self._partition_mutex:
+            return [
+                (attr, column)
+                for (tbl, attr), column in self._partitioned.items()
+                if tbl == table
+            ]
 
     # -- submission ------------------------------------------------------------
 
@@ -297,7 +329,17 @@ class ServerExecutor:
             key = _cache_key(s.query)
             if key not in futures:
                 futures[key] = self.submit(s)
-        return [futures[_cache_key(s.query)].result() for s in served]
+        results = []
+        for s in served:
+            deadline = s.timeout if s.timeout is not None else self.default_timeout
+            try:
+                results.append(futures[_cache_key(s.query)].result(timeout=deadline))
+            except FutureTimeout:
+                raise QueryTimeout(
+                    f"query on {s.query.table!r} missed its deadline",
+                    seconds=deadline,
+                ) from None
+        return results
 
     def _coerce(self, request: "ServedQuery | Query | str") -> ServedQuery:
         if isinstance(request, ServedQuery):
@@ -313,27 +355,36 @@ class ServerExecutor:
     def _serve(self, served: ServedQuery, enqueued: float) -> ServedResult:
         started = time.perf_counter()
         query = served.query
-        version = self.db.data_version
-        key = (*_cache_key(query), version) if self._cache_enabled else None
-        if key is not None:
+        base_key = _cache_key(query) if self._cache_enabled else None
+        if base_key is not None:
+            # Optimistic, lock-free probe.  A hit was *stored* under the
+            # version captured inside the table lock that computed it, so
+            # it is exact for that version; if an update races past between
+            # this read and the return, serving the pre-update answer is
+            # still linearizable (the request overlapped the update).
+            version = self.db.data_version
             with self._cache_mutex:
-                hit = self._cache.get(key)
+                hit = self._cache.get((*base_key, version))
             if hit is not None:
                 result = ServedResult(
                     columns=hit.columns, aggregates=hit.aggregates,
                     row_count=hit.row_count, path="cache", cached=True,
                     elapsed_seconds=time.perf_counter() - started,
-                    queue_seconds=started - enqueued, data_version=version,
+                    queue_seconds=started - enqueued,
+                    data_version=hit.data_version,
                     _digest=hit.digest(),
                 )
                 self._note(result)
                 return result
-        result = self._execute(query, version)
+        result = self._execute(query)
         result.queue_seconds = started - enqueued
         result.elapsed_seconds = time.perf_counter() - started
-        if key is not None and not result.fault_recovered:
+        if base_key is not None and not result.fault_recovered:
+            # Keyed on the version _execute read under the table lock —
+            # never on a pre-execution sample that a racing update could
+            # have invalidated before the query ever touched a structure.
             with self._cache_mutex:
-                self._cache[key] = result
+                self._cache[(*base_key, result.data_version)] = result
         self._note(result)
         return result
 
@@ -347,27 +398,40 @@ class ServerExecutor:
 
     # -- execution paths -------------------------------------------------------
 
-    def _execute(self, query: Query, version: int) -> ServedResult:
-        partition_keys = self._try_partition_keys(query)
-        if partition_keys is not None:
-            return self._finish_from_keys(query, partition_keys, "partition", version)
+    def _execute(self, query: Query) -> ServedResult:
+        """Run one query, reading ``data_version`` only *inside* the table
+        lock that serializes it against updates — the version a result
+        carries (and is cached under) is exactly the version it saw."""
         table_lock = self.registry.lock_for(query.table)
-        if not query.group_by:
-            with table_lock.read():
+        with table_lock.read():
+            version = self.db.data_version
+            partition_keys = self._try_partition_keys(query)
+            if partition_keys is not None:
+                return self._finish_from_keys(
+                    query, partition_keys, "partition", version
+                )
+            if not query.group_by:
                 keys = self._try_read_only_keys(query)
                 if keys is not None:
                     return self._finish_from_keys(query, keys, "read", version)
         with table_lock.write():
+            version = self.db.data_version
             raw = self.engine.run(query)
             self._bind_table_structures(query.table, table_lock)
         return self._finish_from_result(query, raw, "engine", version)
 
     def _try_partition_keys(self, query: Query) -> np.ndarray | None:
-        """Scatter-gather path: single-predicate query on a partitioned attr."""
+        """Scatter-gather path: single-predicate query on a partitioned attr.
+
+        Caller holds the table's read lock, so the scatter cannot overlap
+        an :meth:`insert`/:meth:`delete` routing pending rows (those hold
+        the table's write lock); shard locks nest strictly inside.
+        """
         if query.group_by or len(query.predicates) != 1:
             return None
         pred = query.predicates[0]
-        column = self._partitioned.get((query.table, pred.attr))
+        with self._partition_mutex:
+            column = self._partitioned.get((query.table, pred.attr))
         if column is None:
             return None
         shards = column.relevant_shards(pred.interval)
@@ -518,28 +582,31 @@ class ServerExecutor:
     # -- updates ---------------------------------------------------------------
 
     def insert(self, table: str, rows: dict[str, object]) -> np.ndarray:
-        """Route an insert through the database and the partitioned shards."""
+        """Route an insert through the database and the partitioned shards.
+
+        The version bump (inside ``db.insert``) and the shard routing both
+        happen under the table's write lock, so no query can observe the
+        new version while a shard still lacks its pending rows: partition
+        and read paths take the table's read lock first.
+        """
         with self.registry.lock_for(table).write():
             keys = self.db.insert(table, rows)
             relation = self.db.table(table)
-            for (tbl, attr), column in self._partitioned.items():
-                if tbl == table:
-                    column.add_insertions(relation.values(attr)[keys], keys)
+            for attr, column in self._partitioned_for(table):
+                column.add_insertions(relation.values(attr)[keys], keys)
         return keys
 
     def delete(self, table: str, keys: np.ndarray) -> None:
         with self.registry.lock_for(table).write():
             keys = np.asarray(keys, dtype=np.int64)
             relation = self.db.table(table)
+            partitioned = self._partitioned_for(table)
             values = {
-                attr: relation.values(attr)[keys]
-                for (tbl, attr) in self._partitioned
-                if tbl == table
+                attr: relation.values(attr)[keys] for attr, _ in partitioned
             }
             self.db.delete(table, keys)
-            for (tbl, attr), column in self._partitioned.items():
-                if tbl == table:
-                    column.add_deletions(values[attr], keys)
+            for attr, column in partitioned:
+                column.add_deletions(values[attr], keys)
 
     # -- introspection ---------------------------------------------------------
 
@@ -560,6 +627,8 @@ class ServerExecutor:
             {"label": c.label, **c._tracker.hold_stats()}
             for c in self.db._crackers.values()
         ]
+        with self._partition_mutex:
+            partitioned = dict(self._partitioned)
         return {
             "workers": self.workers,
             "queries_served": served,
@@ -571,6 +640,6 @@ class ServerExecutor:
             "locks": lock_stats,
             "budget_holds": hold_stats,
             "partitioned": {
-                f"{t}.{a}": col.stats() for (t, a), col in self._partitioned.items()
+                f"{t}.{a}": col.stats() for (t, a), col in partitioned.items()
             },
         }

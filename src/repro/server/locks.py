@@ -9,8 +9,9 @@ The serving layer's concurrency protocol is deliberately small:
 * **crackers** take the write side for one budget-bounded operation; the
   progressive budget (``--crack-budget``) caps the partitioning work done
   inside the critical section, so it is also the lock-hold-time knob;
-* a thread holds at most **one** structure lock at a time (queries touching
-  several structures release each lock before taking the next), so lock
+* lock acquisition follows a strict **table → shard hierarchy**: a thread
+  may hold one table lock and nest shard locks (one at a time) inside it,
+  but never acquires a table lock while holding a shard lock, so lock
   cycles — and therefore deadlocks — cannot form;
 * sweeps that want to *peek* at many structures (CrackSan's post-query
   sweep) use :meth:`RWLock.try_read`: acquire-with-deadline-or-skip, never

@@ -153,7 +153,10 @@ class PartitionedColumn:
 
         Each relevant shard is answered under its own lock — probe first
         under a shared read, then the budget-bounded crack under exclusive
-        write — one lock at a time, so the at-most-one-lock protocol holds.
+        write — one shard lock at a time.  The serving executor calls this
+        while holding the table's *read* lock, which serializes the whole
+        scatter-gather against updates (they take the table's write lock);
+        the lock hierarchy is strictly table → shard, so no cycle can form.
         """
         relevant = self._relevant(interval)
         pruned = len(self.shards) - len(relevant)
@@ -195,7 +198,13 @@ class PartitionedColumn:
                 shard.cracker.apply_pending()
 
     def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
-        """Route new rows to their shards' pending buffers."""
+        """Route new rows to their shards' pending buffers.
+
+        Each shard's buffer is mutated under that shard's write lock, so
+        routing never races a concurrent :meth:`select_one` probing or
+        cracking the same shard.  Callers holding the table write lock are
+        fine: the lock hierarchy is table → shard everywhere.
+        """
         values = np.asarray(values)
         keys = np.asarray(keys, dtype=np.int64)
         for shard in self.shards:
@@ -205,10 +214,12 @@ class PartitionedColumn:
             if shard.hi != np.inf:
                 mask &= values < shard.hi
             if mask.any():
-                shard.cracker.add_insertions(values[mask], keys[mask])
+                with shard.lock.write():
+                    shard.cracker.add_insertions(values[mask], keys[mask])
 
     def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
-        """Route deletions to the shards holding the victims."""
+        """Route deletions to the shards holding the victims (under each
+        shard's write lock, like :meth:`add_insertions`)."""
         values = np.asarray(values)
         keys = np.asarray(keys, dtype=np.int64)
         for shard in self.shards:
@@ -218,7 +229,8 @@ class PartitionedColumn:
             if shard.hi != np.inf:
                 mask &= values < shard.hi
             if mask.any():
-                shard.cracker.add_deletions(values[mask], keys[mask])
+                with shard.lock.write():
+                    shard.cracker.add_deletions(values[mask], keys[mask])
 
     def stats(self) -> dict[str, object]:
         return {

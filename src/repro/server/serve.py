@@ -135,7 +135,11 @@ class CrackServer:
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError) as exc:
+                except (ConnectionError, ValueError, asyncio.LimitOverrunError) as exc:
+                    # readline signals an over-limit line as ValueError (it
+                    # swallows LimitOverrunError internally); catch both so
+                    # an oversized frame gets an error response, not an
+                    # unhandled-task crash.
                     response = _error_payload(
                         ServerError(f"frame too large or connection broken: {exc}")
                     )

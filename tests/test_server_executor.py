@@ -1,6 +1,7 @@
 """ServerExecutor: execution paths, caching, batching, deadlines."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -173,6 +174,99 @@ def test_timeout_raises_query_timeout(executor):
     finally:
         release.set()
         t.join(timeout=5)
+
+
+def test_run_batch_respects_per_request_timeouts(executor):
+    # One stuck query must not hang the whole batch: run_batch enforces
+    # each request's deadline just like run() does.
+    lock = executor.registry.lock_for("R")
+    query = Query(
+        "R",
+        (
+            Predicate("C", Interval.half_open(0, 1)),
+            Predicate("D", Interval.half_open(0, 1)),
+        ),
+    )
+    acquired = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with lock.write():
+            acquired.set()
+            release.wait(timeout=10)
+
+    t = threading.Thread(target=holder)
+    t.start()
+    acquired.wait(timeout=5)
+    try:
+        with pytest.raises(QueryTimeout):
+            executor.run_batch([ServedQuery(query, timeout=0.1)])
+    finally:
+        release.set()
+        t.join(timeout=5)
+
+
+def test_updates_never_race_partition_queries(executor):
+    """Regression: a result labeled version V reflects *all* updates <= V.
+
+    The old partition path never took the table lock, so a query could
+    observe the bumped data version while an insert's rows were still
+    waiting to be routed to the shards — and cache that short answer
+    under the new version forever.  Row counts make the race visible:
+    every insert adds exactly one qualifying row, so any served result
+    must satisfy ``row_count == base + (data_version - v0)``.
+    """
+    column = executor.partition("R", "A")
+    query = _span(0, 200_001, projections=("A",))
+    base = executor.run(query)
+    v0, base_count = base.data_version, base.row_count
+    inserts = 10
+    violations: list[str] = []
+    done = threading.Event()
+
+    # Deterministically widen the bump-to-routing window: the version has
+    # already moved while the rows are still in flight to the shards.  The
+    # table lock must keep queries out of that window entirely.
+    routed = column.add_insertions
+
+    def slow_routing(values, keys):
+        time.sleep(0.02)
+        routed(values, keys)
+
+    column.add_insertions = slow_routing
+
+    def writer():
+        for _ in range(inserts):
+            executor.insert("R", {
+                attr: np.array([150_000], dtype=np.int64) for attr in "ABCD"
+            })
+        done.set()
+
+    def reader():
+        while True:
+            finished = done.is_set()
+            result = executor.run(query, timeout=30)
+            expected = base_count + (result.data_version - v0)
+            if result.row_count != expected:
+                violations.append(
+                    f"version {result.data_version}: "
+                    f"{result.row_count} rows, expected {expected}"
+                )
+            if finished:
+                return
+
+    threads = [threading.Thread(target=writer)]
+    threads += [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not any(t.is_alive() for t in threads)
+    assert violations == []
+    # The cache must not have been poisoned either: the final version's
+    # answer stays correct on a repeat (served from cache).
+    final = executor.run(query)
+    assert final.row_count == base_count + inserts
 
 
 def test_invalid_requests_rejected(db):

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.server.serve import (
+    MAX_FRAME_BYTES,
     CrackServer,
     ServerHandle,
     client_request,
@@ -114,6 +115,24 @@ def test_tcp_malformed_frames(db):
         assert "malformed" in replies[0]["error"]
         assert "JSON object" in replies[1]["error"]
         assert "unknown op" in replies[2]["error"]
+
+    _with_server(db, scenario)
+
+
+def test_tcp_oversized_frame_gets_error(db):
+    # readline signals an over-limit line as ValueError; the server must
+    # answer with an error frame, not die with an unhandled exception.
+    async def scenario(host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"x" * (MAX_FRAME_BYTES + 4_096))
+        writer.write(b"\n")
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        assert not reply["ok"]
+        assert "frame too large or connection broken" in reply["error"]
+        writer.close()
+        with contextlib.suppress(ConnectionError):
+            await writer.wait_closed()
 
     _with_server(db, scenario)
 
