@@ -1,0 +1,63 @@
+"""Shared diagnostics plumbing for the analysis tools.
+
+CrackSan (runtime invariants), RaceSan (dynamic lockset race detection),
+and the two AST passes (:mod:`repro.analysis.lint`,
+:mod:`repro.analysis.locklint`) all report through the same conventions:
+
+* structured violation records with a ``describe()`` method, raised inside
+  a typed error (strict mode) or collected for a summary report;
+* best-effort JSON *repro artifacts* dropped next to a failing run when the
+  tool's ``*_ARTIFACTS`` environment variable is set (to a directory path,
+  or ``1`` for the working directory), so CI can attach reproduction
+  material without re-running anything.
+
+This module owns the artifact half so the tools cannot drift apart on
+file naming or dump format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+_COUNTER_LOCK = threading.Lock()
+_COUNTERS: dict[str, int] = {}
+
+
+def artifact_dir(env_var: str) -> str | None:
+    """The dump directory requested via ``env_var``, or ``None`` when off."""
+    target = os.environ.get(env_var)
+    if not target:
+        return None
+    return os.getcwd() if target in ("1", "true", "on") else target
+
+
+def dump_artifact(env_var: str, prefix: str, payload: dict) -> str | None:
+    """Write ``payload`` as ``<prefix>-<pid>-<n>.json`` under the directory
+    named by ``env_var``; best-effort (returns the path, or ``None``).
+
+    Never raises: the artifact must not mask the real error being reported.
+    """
+    directory = artifact_dir(env_var)
+    if directory is None:
+        return None
+    with _COUNTER_LOCK:
+        _COUNTERS[prefix] = _COUNTERS.get(prefix, 0) + 1
+        counter = _COUNTERS[prefix]
+    path = os.path.join(directory, f"{prefix}-{os.getpid()}-{counter}.json")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    except OSError:
+        return None
+    return path
+
+
+def format_report(title: str, violations) -> str:
+    """One-line header plus each violation's ``describe()``, indented."""
+    lines = [title]
+    for violation in violations:
+        lines.append("  " + violation.describe())
+    return "\n".join(lines)

@@ -37,9 +37,30 @@ pass enforces them syntactically:
     and defeat both the rollback journal and the chaos suite.  Name the
     exception types instead (``repro.faults.guard.RECOVERABLE`` exists for
     exactly this purpose).
+``raw-lock-construction``
+    ``threading.Lock`` / ``RLock`` / ``Condition`` / ``Semaphore`` may be
+    constructed only in :mod:`repro.server.locks` (plus the race detector's
+    own internals, which cannot instrument themselves).  Everything else
+    uses :class:`~repro.server.locks.Mutex` / ``RWLock`` so RaceSan sees
+    every acquisition and the LockSan discipline stays checkable.
+``sleep-under-lock``
+    No ``time.sleep`` lexically inside a ``with``-statement acquiring a
+    lock (``.read()`` / ``.write()`` / a lock-ish context expression) —
+    sleeping while holding a lock turns one slow request into a convoy.
+    (:mod:`repro.analysis.locklint` does the interprocedural version of
+    this check over the serving layer; this rule is the cheap file-local
+    net for the whole tree.)
 
-Each rule carries a file allowlist (suffix-matched, ``/``-normalized).
-Exit status is 0 when clean, 1 when any violation is found.
+Each rule carries a file allowlist (matched at path-component boundaries
+after ``/``-normalization, so ``./``-prefixed, relative, and absolute
+spellings of the same file all match — and ``mycracking/kernels.py`` does
+not match the ``cracking/kernels.py`` entry).
+
+Exit status contract (stable, relied on by CI and the tests):
+
+* **0** — every linted file is clean;
+* **1** — at least one violation (or unparseable file) was reported;
+* **2** — usage error: unknown flags, or a named path that does not exist.
 """
 
 from __future__ import annotations
@@ -85,7 +106,21 @@ RULES: dict[str, tuple[str, tuple[str, ...]]] = {
         "(would swallow injected faults)",
         (),
     ),
+    "raw-lock-construction": (
+        "raw threading lock constructed outside repro.server.locks",
+        # The lock module itself, plus the race detector's own internals —
+        # a detector cannot instrument the locks it synchronizes with.
+        ("server/locks.py", "analysis/racesan.py", "analysis/diagnostics.py"),
+    ),
+    "sleep-under-lock": (
+        "time.sleep while lexically holding a lock",
+        (),
+    ),
 }
+
+
+class LintUsageError(Exception):
+    """Bad invocation (unknown path, ...); ``main`` maps this to exit 2."""
 
 
 @dataclass(frozen=True)
@@ -101,8 +136,16 @@ class LintViolation:
 
 
 def _allowed(path: Path, rule: str) -> bool:
+    # Match allowlist entries at path-component boundaries so that
+    # "cracking/kernels.py", "./src/.../cracking/kernels.py", and an absolute
+    # spelling of the same file all hit the same entry — while a file merely
+    # *named* like one ("mycracking/kernels.py") does not.  Path() already
+    # normalizes a leading "./" away.
     posix = path.as_posix()
-    return any(posix.endswith(suffix) for suffix in RULES[rule][1])
+    return any(
+        posix == suffix or posix.endswith("/" + suffix)
+        for suffix in RULES[rule][1]
+    )
 
 
 def _attr_or_name(node: ast.AST) -> str | None:
@@ -131,14 +174,51 @@ _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict",
                             "Counter", "deque"})
 
+#: threading constructors that mint an untracked lock.
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                         "BoundedSemaphore"})
+#: RWLock context-manager entry points; a ``with x.read():`` body holds x.
+_LOCK_METHODS = frozenset({"read", "write", "try_read"})
+
+
+def _lockish(expr: ast.AST) -> str | None:
+    """A display string when ``expr`` looks like it acquires a lock.
+
+    Heuristic on purpose — the file-local net under the interprocedural
+    locklint pass: ``with something.read():`` / ``.write()`` /
+    ``.try_read()``, or a bare context whose trailing name mentions
+    lock/mutex (``with self._lock:``).
+    """
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in _LOCK_METHODS
+    ):
+        return ast.unparse(expr)
+    name = _attr_or_name(expr)
+    if name is not None:
+        lowered = name.lower()
+        if "lock" in lowered or "mutex" in lowered:
+            return ast.unparse(expr)
+    return None
+
 
 class _FileLinter(ast.NodeVisitor):
     """One file's lint pass; collects violations for the enabled rules."""
 
-    def __init__(self, path: Path, numpy_aliases: frozenset[str]) -> None:
+    def __init__(self, path: Path, numpy_aliases: frozenset[str],
+                 threading_aliases: frozenset[str] = frozenset({"threading"}),
+                 lock_ctors: "dict[str, str] | None" = None,
+                 time_aliases: frozenset[str] = frozenset({"time"}),
+                 sleep_names: frozenset[str] = frozenset()) -> None:
         self.path = path
         self.numpy_aliases = numpy_aliases
+        self.threading_aliases = threading_aliases
+        self.lock_ctors = lock_ctors or {}
+        self.time_aliases = time_aliases
+        self.sleep_names = sleep_names
         self.violations: list[LintViolation] = []
+        self._lock_stack: list[str] = []
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         if _allowed(self.path, rule):
@@ -212,7 +292,57 @@ class _FileLinter(ast.NodeVisitor):
                 f"tape.append / tape.append_crack",
             )
         self._check_random_call(node)
+        self._check_lock_call(node)
+        self._check_sleep_call(node)
         self.generic_visit(node)
+
+    # -- concurrency rules -----------------------------------------------------------
+
+    def _check_lock_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        ctor = None
+        if (len(parts) == 2 and parts[0] in self.threading_aliases
+                and parts[1] in _LOCK_CTORS):
+            ctor = parts[1]
+        elif len(parts) == 1 and parts[0] in self.lock_ctors:
+            ctor = self.lock_ctors[parts[0]]
+        if ctor is not None:
+            self._report(
+                node, "raw-lock-construction",
+                f"raw threading.{ctor}() constructed outside "
+                f"repro.server.locks; use Mutex/RWLock so RaceSan sees "
+                f"every acquisition",
+            )
+
+    def _check_sleep_call(self, node: ast.Call) -> None:
+        if not self._lock_stack:
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        is_sleep = (
+            (len(parts) == 2 and parts[0] in self.time_aliases
+             and parts[1] == "sleep")
+            or (len(parts) == 1 and parts[0] in self.sleep_names)
+        )
+        if is_sleep:
+            self._report(
+                node, "sleep-under-lock",
+                f"time.sleep while holding {self._lock_stack[-1]!r}; "
+                f"sleeping under a lock convoys every waiter",
+            )
+
+    def visit_With(self, node: ast.With) -> None:
+        held = [label for item in node.items
+                if (label := _lockish(item.context_expr)) is not None]
+        self._lock_stack.extend(held)
+        self.generic_visit(node)
+        if held:
+            del self._lock_stack[-len(held):]
 
     def _check_random_call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
@@ -290,15 +420,29 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _numpy_aliases(tree: ast.Module) -> frozenset[str]:
-    """Names the file binds to the numpy module (``import numpy as np``)."""
-    aliases = {"numpy"}
+def _module_aliases(tree: ast.Module, module: str) -> frozenset[str]:
+    """Names the file binds to ``module`` (``import numpy as np``)."""
+    aliases = {module}
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for item in node.names:
-                if item.name == "numpy":
-                    aliases.add(item.asname or "numpy")
+                if item.name == module:
+                    aliases.add(item.asname or module)
     return frozenset(aliases)
+
+
+def _from_import_aliases(
+    tree: ast.Module, module: str, names: frozenset[str]
+) -> dict[str, str]:
+    """Local alias -> original name for ``from module import name [as alias]``."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ImportFrom) and node.module == module
+                and node.level == 0):
+            for item in node.names:
+                if item.name in names:
+                    out[item.asname or item.name] = item.name
+    return out
 
 
 def lint_file(path: Path) -> list[LintViolation]:
@@ -308,19 +452,37 @@ def lint_file(path: Path) -> list[LintViolation]:
     except (OSError, SyntaxError) as err:
         return [LintViolation(path.as_posix(), getattr(err, "lineno", 1) or 1,
                               0, "parse-error", str(err))]
-    linter = _FileLinter(path, _numpy_aliases(tree))
+    linter = _FileLinter(
+        path,
+        _module_aliases(tree, "numpy"),
+        threading_aliases=_module_aliases(tree, "threading"),
+        lock_ctors=_from_import_aliases(tree, "threading", _LOCK_CTORS),
+        time_aliases=_module_aliases(tree, "time"),
+        sleep_names=frozenset(
+            _from_import_aliases(tree, "time", frozenset({"sleep"}))
+        ),
+    )
     linter.visit(tree)
     return linter.violations
 
 
 def iter_python_files(paths: list[str]) -> list[Path]:
+    """Expand ``paths`` to the ``.py`` files to lint.
+
+    Raises :class:`LintUsageError` for a named path that does not exist —
+    a typo'd path silently linting zero files would report "clean" for
+    code that was never checked.
+    """
     out: list[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             out.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            out.append(path)
+        elif path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
     return out
 
 
@@ -334,7 +496,8 @@ def lint_paths(paths: list[str]) -> list[LintViolation]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-contract AST lint for the cracking codebase.",
+        description="Repo-contract AST lint for the cracking codebase. "
+                    "Exits 0 when clean, 1 on violations, 2 on usage errors.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -349,12 +512,18 @@ def main(argv: list[str] | None = None) -> int:
             where = f" (allowed in: {', '.join(allowed)})" if allowed else ""
             print(f"{rule}: {description}{where}")
         return 0
-    violations = lint_paths(opts.paths)
+    try:
+        files = iter_python_files(opts.paths)
+    except LintUsageError as err:
+        print(f"repro-lint: error: {err}", file=sys.stderr)
+        return 2
+    violations: list[LintViolation] = []
+    for path in files:
+        violations.extend(lint_file(path))
     for violation in violations:
         print(violation.describe())
-    checked = len(iter_python_files(opts.paths))
     status = "clean" if not violations else f"{len(violations)} violation(s)"
-    print(f"repro-lint: {checked} file(s) checked, {status}")
+    print(f"repro-lint: {len(files)} file(s) checked, {status}")
     return 1 if violations else 0
 
 

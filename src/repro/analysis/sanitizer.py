@@ -48,6 +48,7 @@ import weakref
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.analysis.diagnostics import dump_artifact
 from repro.errors import InvariantError, InvariantViolation, PlanError
 
 #: Checkpoint levels, weakest to strongest.
@@ -69,42 +70,21 @@ DEFAULT_DEEP_REPLAY_BUDGET = 8_000_000
 #: the crack seed, so CI can attach reproduction material to a failed run.
 ARTIFACT_ENV_VAR = "REPRO_SANITIZE_ARTIFACTS"
 
-_ARTIFACT_COUNTER = 0
-
 
 def _dump_repro(violations: tuple[InvariantViolation, ...], level: str) -> None:
-    target = os.environ.get(ARTIFACT_ENV_VAR)
-    if not target:
-        return
-    global _ARTIFACT_COUNTER
-    _ARTIFACT_COUNTER += 1
-    directory = os.getcwd() if target in ("1", "true", "on") else target
-    path = os.path.join(
-        directory, f"cracksan-repro-{os.getpid()}-{_ARTIFACT_COUNTER}.json"
-    )
-    import json
-
-    try:
-        os.makedirs(directory, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(
-                {
-                    "level": level,
-                    "violations": [
-                        {
-                            "structure": v.structure,
-                            "invariant": v.invariant,
-                            "detail": v.detail,
-                            "context": [[str(k), str(val)] for k, val in v.context],
-                            "crack_seed": v.seed,
-                        }
-                        for v in violations
-                    ],
-                },
-                handle, indent=2,
-            )
-    except OSError:
-        pass  # the artifact is best-effort; never mask the real error
+    dump_artifact(ARTIFACT_ENV_VAR, "cracksan-repro", {
+        "level": level,
+        "violations": [
+            {
+                "structure": v.structure,
+                "invariant": v.invariant,
+                "detail": v.detail,
+                "context": [[str(k), str(val)] for k, val in v.context],
+                "crack_seed": v.seed,
+            }
+            for v in violations
+        ],
+    })
 
 
 def resolve_level(level: str | bool | None = None) -> str:
@@ -233,9 +213,12 @@ class Sanitizer:
         self._registry: dict[int, tuple[weakref.ref, str, str | None]] = {}
         self._clean_sigs: dict[tuple[int, bool], object] = {}
         #: Registry/skip-cache mutations can arrive from any serving thread
-        #: (structures register at construction time); an RLock keeps the
-        #: bookkeeping coherent without serializing validation itself.
-        self._lock = threading.RLock()
+        #: (structures register at construction time); a reentrant mutex
+        #: keeps the bookkeeping coherent without serializing validation.
+        #: Imported lazily: the locks module itself imports repro.analysis.
+        from repro.server.locks import Mutex
+
+        self._lock = Mutex("cracksan.registry", reentrant=True)
         #: Optional concurrency hook set by the serving layer: called with a
         #: structure about to be swept by :meth:`on_query`, must return a
         #: context manager yielding ``True`` to proceed or ``False`` to skip

@@ -207,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(e.g. 0.05) or an element count (e.g. 50000)")
     _add_sanitize_flag(run)
     _add_faults_flag(run)
+    _add_racesan_flag(run)
     run.set_defaults(func=cmd_run)
 
     verify = sub.add_parser(
@@ -216,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--variations", type=int, default=2)
     _add_sanitize_flag(verify)
     _add_faults_flag(verify)
+    _add_racesan_flag(verify)
     verify.set_defaults(func=cmd_verify)
 
     serve = sub.add_parser(
@@ -240,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=42)
     _add_sanitize_flag(serve)
     _add_faults_flag(serve)
+    _add_racesan_flag(serve)
     serve.set_defaults(func=cmd_serve)
     return parser
 
@@ -252,6 +255,16 @@ def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
         help="run under the CrackSan invariant sanitizer "
              f"({', '.join(LEVELS)}); sets $REPRO_SANITIZE so every Database "
              "the experiment creates is watched",
+    )
+
+
+def _add_racesan_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--racesan", nargs="?", const="on", choices=("on", "strict"),
+        default=None, metavar="MODE",
+        help="run under the RaceSan lockset race detector (on|strict, "
+             "default on); sets $REPRO_RACESAN so every Database the "
+             "experiment creates is instrumented",
     )
 
 
@@ -275,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
 
         FaultPlan.parse(args.faults)  # fail fast on a malformed plan
         os.environ["REPRO_FAULTS"] = args.faults
+    if getattr(args, "racesan", None) is not None:
+        os.environ["REPRO_RACESAN"] = args.racesan
     return args.func(args)
 
 

@@ -266,6 +266,37 @@ class CrackerIndex:
 
         rec(self._root)
 
+    def apply_order_shifts(self, shifts: list[tuple[int, int]]) -> None:
+        """Shift boundaries keyed by in-order *rank* instead of position.
+
+        ``shifts`` is a list of ``(rank, delta)``: every boundary whose
+        in-order index is ``>= rank`` moves by ``delta``.  Insertion merges
+        need this form: rows appended at the end of piece ``j`` displace
+        exactly the boundaries ranked ``>= j`` — a position-keyed shift
+        cannot say that when empty pieces make several boundaries share one
+        position (the lower boundary of the target piece must stay put).
+        """
+        if not shifts:
+            return
+        points = np.array(sorted(s[0] for s in shifts), dtype=np.int64)
+        deltas = np.array([d for _, d in sorted(shifts)], dtype=np.int64)
+        cumulative = np.cumsum(deltas)
+        for rank, (_, node) in enumerate(self._inorder_nodes()):
+            idx = int(np.searchsorted(points, rank, side="right"))
+            if idx > 0:
+                node.pos += int(cumulative[idx - 1])
+
+    def _inorder_nodes(self) -> Iterator[tuple[Bound, "_Node"]]:
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.bound, node
+            node = node.right
+
     # -- sanity -------------------------------------------------------------------
 
     def validate(self, n: int | None = None, deep: bool = False) -> None:

@@ -12,13 +12,13 @@ attribute, plus the set-level ``M_Akey`` map).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cracking.bounds import Interval
 from repro.errors import UpdateError
+from repro.server.locks import Mutex
 
 
 def _empty(dtype: np.dtype) -> np.ndarray:
@@ -44,8 +44,8 @@ class PendingUpdates:
     ins_tails: list[np.ndarray] = field(default_factory=list)
     del_values: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
     del_keys: np.ndarray = field(default_factory=lambda: _empty(np.dtype(np.int64)))
-    _mutex: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _mutex: Mutex = field(
+        default_factory=lambda: Mutex("pending"), repr=False, compare=False
     )
 
     def __post_init__(self) -> None:

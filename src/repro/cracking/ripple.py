@@ -90,7 +90,11 @@ def merge_insertions(
         for parts, tail, ins in zip(new_tail_parts, tails, ins_tails):
             parts.append(tail[cursor:end])
             parts.append(ins[sel])
-        shifts.append((end, int(count)))
+        # Keyed by boundary rank, not position: rows appended at the end of
+        # piece j displace exactly the boundaries ranked >= j, and when empty
+        # pieces stack several boundaries on one position, the target piece's
+        # *lower* boundary shares that position but must not move.
+        shifts.append((int(piece_id), int(count)))
         cursor = end
         offset += count
     new_head_parts.append(head[cursor:])
@@ -101,7 +105,7 @@ def merge_insertions(
     recorder.sequential(moved)
     recorder.write(moved)
 
-    index.apply_shifts(shifts)
+    index.apply_order_shifts(shifts)
     return (
         np.concatenate(new_head_parts),
         [np.concatenate(parts) for parts in new_tail_parts],

@@ -14,11 +14,11 @@ every auxiliary structure consistently:
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.racesan import RaceSan
 from repro.analysis.sanitizer import Sanitizer
 from repro.core.mapset import FullMapStorage
 from repro.core.partial.engine import PartialConfig, PartialSidewaysCracker
@@ -30,6 +30,7 @@ from repro.cracking.stochastic import CrackPolicy, policy_rng, resolve_policy
 from repro.errors import CatalogError, UpdateError
 from repro.faults.guard import is_quarantined
 from repro.faults.plan import FaultPlan, install_plan, resolve_plan
+from repro.server.locks import Mutex
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
@@ -62,6 +63,7 @@ class Database:
         crack_seed: int = 42,
         sanitize: "str | bool | None" = None,
         faults: "str | FaultPlan | None" = None,
+        racesan: "str | bool | None" = None,
     ) -> None:
         self.recorder = recorder or global_recorder()
         self.crack_policy = resolve_policy(crack_policy)
@@ -70,6 +72,9 @@ class Database:
         # CrackSan: None falls back to $REPRO_SANITIZE (default "off").
         # Activated before any structure exists so everything is watched.
         self.sanitizer = Sanitizer(sanitize, seed=crack_seed).activate()
+        # RaceSan: None falls back to $REPRO_RACESAN (default "off").  Same
+        # lifetime story as CrackSan: active while this database is alive.
+        self.racesan = RaceSan(racesan, seed=crack_seed).activate()
         # FaultSan: None falls back to $REPRO_FAULTS (default: no plan).
         # The plan is process-global, mirroring the sanitizer's checkpoint
         # hooks; installing from here keeps the CLI/env plumbing symmetric.
@@ -89,7 +94,7 @@ class Database:
         # atomic when many executor threads share one database.  The lock
         # guards the *catalog of structures*, never a query's cracking work —
         # the server's per-structure RW locks own that.
-        self._meta_lock = threading.RLock()
+        self._meta_lock = Mutex("db.meta", reentrant=True)
         # Monotonic logical-data version: bumped by every insert/delete so
         # the serving layer's result cache can invalidate stale entries.
         self._data_version = 0

@@ -82,6 +82,63 @@ class InvariantError(CrackError):
         return cls("\n".join([header] + lines), violations)
 
 
+@dataclass(frozen=True)
+class RaceViolation:
+    """One concurrency-discipline violation found by RaceSan.
+
+    The dynamic twin of :class:`InvariantViolation`, sharing its shape:
+    ``kind`` is the catalog entry (``data-race`` or ``lock-order-cycle``),
+    ``subject`` identifies the racing variable (``"R.data_version"``,
+    ``"shard[R.A#2].pieces"``) or the lock cycle, ``detail`` is the
+    human-readable story, ``context`` carries threads/locksets, ``stacks``
+    the captured acquisition/access stacks, and ``seed`` the owning
+    database's crack seed so a stochastic schedule can be replayed.
+    """
+
+    kind: str
+    subject: str
+    detail: str
+    context: tuple = field(default_factory=tuple)
+    stacks: tuple = field(default_factory=tuple)
+    seed: int | None = None
+
+    def describe(self) -> str:
+        parts = [f"[{self.subject}] {self.kind}: {self.detail}"]
+        if self.context:
+            ctx = ", ".join(f"{k}={v}" for k, v in self.context)
+            parts.append(f"({ctx})")
+        if self.seed is not None:
+            parts.append(f"(crack_seed={self.seed})")
+        return " ".join(parts)
+
+    def describe_full(self) -> str:
+        lines = [self.describe()]
+        for title, stack in self.stacks:
+            lines.append(f"  -- {title} --")
+            lines.extend(f"    {frame}" for frame in stack)
+        return "\n".join(lines)
+
+
+class RaceError(ReproError):
+    """RaceSan found a data race or a potential deadlock (strict mode).
+
+    Carries the structured :class:`RaceViolation` records, mirroring
+    :class:`InvariantError` for CrackSan.
+    """
+
+    def __init__(self, message: str, violations: Iterable[RaceViolation] = ()) -> None:
+        super().__init__(message)
+        self.violations: tuple[RaceViolation, ...] = tuple(violations)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[RaceViolation]) -> "RaceError":
+        violations = tuple(violations)
+        count = len(violations)
+        header = f"{count} concurrency violation{'s' if count != 1 else ''}"
+        lines = [v.describe_full() for v in violations]
+        return cls("\n".join([header] + lines), violations)
+
+
 class StorageBudgetError(ReproError):
     """The storage manager cannot satisfy an allocation within its budget."""
 

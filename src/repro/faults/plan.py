@@ -33,13 +33,13 @@ seeded from ``(seed, site)`` so the flipped positions replay too.
 from __future__ import annotations
 
 import os
-import threading
 import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ArenaPressure, InjectedFault, ReproError
+from repro.server.locks import Mutex
 
 ENV_VAR = "REPRO_FAULTS"
 
@@ -60,6 +60,8 @@ SITES: tuple[str, ...] = (
     "chunkmap.fetch",
     "ripple.merge_insertions",
     "ripple.delete_positions",
+    "persist.save",
+    "persist.load",
 )
 
 KINDS: tuple[str, ...] = ("error", "oom", "corrupt")
@@ -74,6 +76,8 @@ PAYLOAD_SITES: frozenset[str] = frozenset(
         "partial.align",
         "chunkmap.fetch",
         "ripple.merge_insertions",
+        "persist.save",
+        "persist.load",
     }
 )
 
@@ -128,8 +132,8 @@ class FaultPlan:
     #: serving threads reach hooks concurrently; the lock makes each visit's
     #: count-then-match atomic.  (Cross-site interleaving is inherently
     #: schedule-dependent; per-site counts are not.)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _lock: Mutex = field(
+        default_factory=lambda: Mutex("faultplan"), repr=False, compare=False
     )
 
     @classmethod

@@ -29,15 +29,36 @@ every structure.  This package layers concurrent serving on top of them:
 and how the budget knob doubles as the lock-hold-time knob.
 """
 
-from repro.server.executor import ServedQuery, ServedResult, ServerExecutor
-from repro.server.locks import LockRegistry, RWLock
-from repro.server.partition import PartitionedColumn
-
+# Re-exports are lazy (PEP 562): `repro.server.locks` is the repo's only
+# lock-construction site (the LockSan discipline), so low-level modules —
+# pending buffers, the database facade, the sanitizer — import it for
+# `Mutex`.  Eagerly importing the executor here would drag the whole engine
+# stack into those imports and close a cycle.
 __all__ = [
     "LockRegistry",
+    "Mutex",
     "PartitionedColumn",
     "RWLock",
     "ServedQuery",
     "ServedResult",
     "ServerExecutor",
 ]
+
+_HOMES = {
+    "LockRegistry": "repro.server.locks",
+    "Mutex": "repro.server.locks",
+    "RWLock": "repro.server.locks",
+    "PartitionedColumn": "repro.server.partition",
+    "ServedQuery": "repro.server.executor",
+    "ServedResult": "repro.server.executor",
+    "ServerExecutor": "repro.server.executor",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(home), name)

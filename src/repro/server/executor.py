@@ -48,7 +48,6 @@ against a serial baseline.
 from __future__ import annotations
 
 import hashlib
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -56,13 +55,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import racesan
 from repro.engine.base import Engine
 from repro.engine.database import Database
 from repro.engine.operators import random_gather
 from repro.engine.query import Query, QueryResult, compute_aggregates
 from repro.engine.selection_cracking import SelectionCrackingEngine
 from repro.errors import QueryTimeout, ServerError
-from repro.server.locks import LockRegistry
+from repro.server.locks import LockRegistry, Mutex
 from repro.server.partition import PartitionedColumn
 
 #: Default per-query deadline (seconds) for the blocking entry points.
@@ -214,11 +214,11 @@ class ServerExecutor:
             else None
         )
         self._partitioned: dict[tuple[str, str], PartitionedColumn] = {}
-        self._partition_mutex = threading.Lock()
+        self._partition_mutex = Mutex("executor.partition")
         self._cache_enabled = cache
         self._cache: dict[tuple, ServedResult] = {}
-        self._cache_mutex = threading.Lock()
-        self._stats_mutex = threading.Lock()
+        self._cache_mutex = Mutex("executor.cache")
+        self._stats_mutex = Mutex("executor.stats")
         self._closed = False
         self.queries_served = 0
         self.cache_hits = 0
@@ -361,10 +361,14 @@ class ServerExecutor:
             # version captured inside the table lock that computed it, so
             # it is exact for that version; if an update races past between
             # this read and the return, serving the pre-update answer is
-            # still linearizable (the request overlapped the update).
-            version = self.db.data_version
+            # still linearizable (the request overlapped the update).  This
+            # is the one sanctioned unlocked version read, and deliberately
+            # not RaceSan-noted — its correctness argument is versioned
+            # immutability, not mutual exclusion.
+            version = self.db.data_version  # locksan: allow(unlocked-version-read)
             with self._cache_mutex:
                 hit = self._cache.get((*base_key, version))
+                racesan.note_access("executor.cache", "read")
             if hit is not None:
                 result = ServedResult(
                     columns=hit.columns, aggregates=hit.aggregates,
@@ -385,6 +389,7 @@ class ServerExecutor:
             # have invalidated before the query ever touched a structure.
             with self._cache_mutex:
                 self._cache[(*base_key, result.data_version)] = result
+                racesan.note_access("executor.cache", "write")
         self._note(result)
         return result
 
@@ -404,7 +409,7 @@ class ServerExecutor:
         carries (and is cached under) is exactly the version it saw."""
         table_lock = self.registry.lock_for(query.table)
         with table_lock.read():
-            version = self.db.data_version
+            version = self._capture_version(query.table)
             partition_keys = self._try_partition_keys(query)
             if partition_keys is not None:
                 return self._finish_from_keys(
@@ -415,10 +420,32 @@ class ServerExecutor:
                 if keys is not None:
                     return self._finish_from_keys(query, keys, "read", version)
         with table_lock.write():
-            version = self.db.data_version
-            raw = self.engine.run(query)
+            version = self._capture_version(query.table)
+            # The engine call is sanctioned here: cracking *is* the write
+            # this exclusive section exists for, and the crack budget caps
+            # the hold time.  Everywhere else the rule stands.
+            raw = self.engine.run(query)  # locksan: allow(blocking-under-write-lock)
+            self._note_engine_writes(query.table)
             self._bind_table_structures(query.table, table_lock)
         return self._finish_from_result(query, raw, "engine", version)
+
+    def _capture_version(self, table: str) -> int:
+        """Read ``data_version`` and tell RaceSan which table's lock guards
+        the read.  Every caller sits inside ``table``'s lock; the lockset of
+        this access going empty is exactly the PR 6 race class."""
+        version = self.db.data_version
+        racesan.note_access(
+            f"{table}.data_version", "read", seed=self.db.crack_seed
+        )
+        return version
+
+    def _note_engine_writes(self, table: str) -> None:
+        """Mark the engine path's structure mutations for RaceSan (caller
+        holds the table's write lock)."""
+        for (tbl, _attr), cracker in list(self.db._crackers.items()):
+            if tbl == table:
+                racesan.note_access(f"cracker[{cracker.label}].pieces", "write")
+                racesan.note_access(f"cracker[{cracker.label}].tape", "write")
 
     def _try_partition_keys(self, query: Query) -> np.ndarray | None:
         """Scatter-gather path: single-predicate query on a partitioned attr.
@@ -473,6 +500,7 @@ class ServerExecutor:
                 if cracker is None:
                     continue
                 keys = cracker.probe(pred.interval)
+                racesan.note_access(f"cracker[{cracker.label}].pieces", "read")
                 if keys is not None:
                     probed_attr = pred.attr
                     break
@@ -492,6 +520,7 @@ class ServerExecutor:
             if cracker is None:
                 return None
             keys = cracker.probe(pred.interval)
+            racesan.note_access(f"cracker[{cracker.label}].pieces", "read")
             if keys is None:
                 return None
             parts.append(keys)
@@ -591,6 +620,9 @@ class ServerExecutor:
         """
         with self.registry.lock_for(table).write():
             keys = self.db.insert(table, rows)
+            racesan.note_access(
+                f"{table}.data_version", "write", seed=self.db.crack_seed
+            )
             relation = self.db.table(table)
             for attr, column in self._partitioned_for(table):
                 column.add_insertions(relation.values(attr)[keys], keys)
@@ -605,6 +637,9 @@ class ServerExecutor:
                 attr: relation.values(attr)[keys] for attr, _ in partitioned
             }
             self.db.delete(table, keys)
+            racesan.note_access(
+                f"{table}.data_version", "write", seed=self.db.crack_seed
+            )
             for attr, column in partitioned:
                 column.add_deletions(values[attr], keys)
 

@@ -21,14 +21,26 @@ The lock is write-reentrant (a writer may re-enter its own write section)
 and read-while-writing is a pass-through for the owning thread — the
 sanitizer validates structures from inside the very critical section that
 cracks them, and must not self-deadlock.
+
+This module is the repo's **only lock-construction site**: everything else
+uses :class:`RWLock` or :class:`Mutex` from here, never raw
+``threading.Lock``/``RLock`` — a discipline enforced by the
+``raw-lock-construction`` rule of :mod:`repro.analysis.lint` and
+:mod:`repro.analysis.locklint`.  Both classes report every successful
+acquisition/release to :mod:`repro.analysis.racesan`, which maintains the
+per-thread held-lock sets, candidate locksets, and the lock-order graph
+(``docs/locksan.md``).  The hooks are a single ``WeakSet`` emptiness check
+when no detector is active.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 import weakref
 
+from repro.analysis import racesan
 from repro.errors import ServerError
 
 #: Deadline used by sweep-style conditional reads (seconds).  Short on
@@ -63,6 +75,12 @@ class RWLock:
     # -- core acquire/release ------------------------------------------------
 
     def acquire_read(self, timeout: float | None = None) -> bool:
+        ok = self._acquire_read(timeout)
+        if ok:
+            racesan.note_acquire(self, "read")
+        return ok
+
+    def _acquire_read(self, timeout: float | None) -> bool:
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
@@ -83,6 +101,10 @@ class RWLock:
             return True
 
     def release_read(self) -> None:
+        self._release_read()
+        racesan.note_release(self, "read")
+
+    def _release_read(self) -> None:
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
@@ -99,6 +121,12 @@ class RWLock:
                 self._readers[me] = depth - 1
 
     def acquire_write(self, timeout: float | None = None) -> bool:
+        ok = self._acquire_write(timeout)
+        if ok:
+            racesan.note_acquire(self, "write")
+        return ok
+
+    def _acquire_write(self, timeout: float | None) -> bool:
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
@@ -127,6 +155,10 @@ class RWLock:
             return True
 
     def release_write(self) -> None:
+        self._release_write()
+        racesan.note_release(self, "write")
+
+    def _release_write(self) -> None:
         me = threading.get_ident()
         with self._cond:
             if self._writer != me:
@@ -230,6 +262,53 @@ class RWLock:
         }
 
 
+class Mutex:
+    """A named, RaceSan-tracked mutual-exclusion lock.
+
+    The plain-lock counterpart of :class:`RWLock` for leaf state that never
+    needs shared readers: pending-update buffers, the result cache, stats
+    counters, metadata.  Naming matters — RaceSan's lock-order graph and
+    candidate locksets group locks by name, so recreated instances of the
+    same logical lock (each ``PendingUpdates`` has its own ``pending``
+    mutex) alias correctly.
+
+    ``reentrant=True`` wraps :class:`threading.RLock` instead; RaceSan
+    tracks re-entry depth either way.  Leaf mutexes sit at the bottom of
+    the lock hierarchy: no :class:`RWLock` may be acquired while one is
+    held (machine-checked, not merely conventional).
+    """
+
+    __slots__ = ("name", "reentrant", "_lock")
+
+    _ANON = itertools.count()
+
+    def __init__(self, name: str = "", reentrant: bool = False) -> None:
+        self.name = name or f"mutex#{next(Mutex._ANON)}"
+        self.reentrant = reentrant
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        ok = self._lock.acquire(timeout=-1 if timeout is None else timeout)
+        if ok:
+            racesan.note_acquire(self, "mutex")
+        return ok
+
+    def release(self) -> None:
+        self._lock.release()
+        racesan.note_release(self, "mutex")
+
+    def __enter__(self) -> "Mutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "reentrant mutex" if self.reentrant else "mutex"
+        return f"<{kind} {self.name!r}>"
+
+
 class LockRegistry:
     """All of one server's structure locks, keyed by structure identity.
 
@@ -247,6 +326,9 @@ class LockRegistry:
     """
 
     def __init__(self) -> None:
+        # Deliberately a raw, untracked lock: weakref callbacks (`_gone`)
+        # fire from GC at arbitrary points — including inside RaceSan's own
+        # hooks — so this lock must stay invisible to the detector.
         self._mutex = threading.Lock()
         self._by_key: dict[tuple, RWLock] = {}
         self._by_obj: dict[int, tuple[weakref.ref, RWLock]] = {}

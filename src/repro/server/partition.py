@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import racesan
 from repro.cracking.bounds import Interval
 from repro.cracking.column import CrackerColumn
 from repro.cracking.stochastic import policy_rng
@@ -178,15 +179,20 @@ class PartitionedColumn:
     @staticmethod
     def select_one(shard: _Shard, interval: Interval) -> np.ndarray:
         """One shard's share of a scatter-gather select (pool worker body)."""
+        label = shard.cracker.label
         with shard.lock.read():
             # Degenerate shards (quantile collapse on low-cardinality data)
             # answer without ever taking the write side.
             if not len(shard.cracker) and not shard.cracker.pending.has_pending():
                 return np.empty(0, dtype=np.int64)
             keys = shard.cracker.probe(interval)
+            racesan.note_access(f"{label}.pieces", "read")
         if keys is None:
             with shard.lock.write():
                 keys = shard.cracker.select(interval)
+                racesan.note_access(f"{label}.pieces", "write")
+                racesan.note_access(f"{label}.tape", "write")
+                racesan.note_access(f"{label}.pendings", "write")
         return keys
 
     # -- maintenance ----------------------------------------------------------
@@ -196,6 +202,7 @@ class PartitionedColumn:
         for shard in self.shards:
             with shard.lock.write():
                 shard.cracker.apply_pending()
+                racesan.note_access(f"{shard.cracker.label}.pendings", "write")
 
     def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
         """Route new rows to their shards' pending buffers.
@@ -216,6 +223,9 @@ class PartitionedColumn:
             if mask.any():
                 with shard.lock.write():
                     shard.cracker.add_insertions(values[mask], keys[mask])
+                    racesan.note_access(
+                        f"{shard.cracker.label}.pendings", "write"
+                    )
 
     def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
         """Route deletions to the shards holding the victims (under each
@@ -231,6 +241,9 @@ class PartitionedColumn:
             if mask.any():
                 with shard.lock.write():
                     shard.cracker.add_deletions(values[mask], keys[mask])
+                    racesan.note_access(
+                        f"{shard.cracker.label}.pendings", "write"
+                    )
 
     def stats(self) -> dict[str, object]:
         return {

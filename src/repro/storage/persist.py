@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.engine.database import Database
 from repro.errors import PersistError, SchemaError
+from repro.faults.plan import active_plan, fault_hook
 
 _MANIFEST_KEY = "__manifest__"
 _FORMAT_VERSION = 2
@@ -59,6 +60,23 @@ def _file_size(path: "str | pathlib.Path | io.IOBase") -> int | None:
     return None
 
 
+def _stage(values: np.ndarray) -> np.ndarray:
+    """Pass one outbound array through the ``persist.save`` failpoint.
+
+    The manifest CRC is always computed from the *live* array, so a
+    ``corrupt`` fault here yields exactly the torn-write scenario the
+    checksums exist for: the archive holds flipped bytes under a pristine
+    checksum, and the next :func:`load_database` reports a structured
+    :class:`PersistError` instead of serving damaged base data.  The copy
+    is taken only while a plan is armed — live columns must never be the
+    corruption target.
+    """
+    if active_plan() is not None:
+        values = values.copy()
+    fault_hook("persist.save", values)
+    return values
+
+
 def save_database(db: Database, path: "str | pathlib.Path") -> None:
     """Write every table of ``db`` (values, dictionaries, tombstones)."""
     arrays: dict[str, np.ndarray] = {}
@@ -69,14 +87,14 @@ def save_database(db: Database, path: "str | pathlib.Path") -> None:
         for attr in relation.attributes:
             bat = relation.column(attr)
             key = f"{table}::{attr}"
-            arrays[key] = bat.values
+            arrays[key] = _stage(bat.values)
             columns[attr] = {
                 "ctype": bat.ctype.value,
                 "dictionary": list(bat.dictionary.values) if bat.dictionary else None,
                 "crc32": _crc32(bat.values),
             }
         tombstones = db.tombstones(table)
-        arrays[f"{table}::@tombstones"] = tombstones
+        arrays[f"{table}::@tombstones"] = _stage(tombstones)
         manifest["tables"][table] = {
             "columns": columns,
             "tombstones_crc32": _crc32(tombstones),
@@ -157,6 +175,9 @@ def load_database(path: "str | pathlib.Path", db: Database | None = None) -> Dat
                 key = f"{table}::{attr}"
                 ctype = ColumnType(column_spec["ctype"])
                 values = _read_member(archive, key, path_str)
+                # Between read and verify: a corrupt fault here models
+                # in-flight damage, which the CRC check below must catch.
+                fault_hook("persist.load", values)
                 _verify_crc(values, column_spec.get("crc32"), path_str, key)
                 dictionary = None
                 if column_spec["dictionary"] is not None:
@@ -169,6 +190,7 @@ def load_database(path: "str | pathlib.Path", db: Database | None = None) -> Dat
 
             key = f"{table}::@tombstones"
             tombstones = _read_member(archive, key, path_str).astype(bool)
+            fault_hook("persist.load", tombstones)
             _verify_crc(
                 tombstones, spec.get("tombstones_crc32"), path_str, key
             )

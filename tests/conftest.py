@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.racesan import RaceSan, active_detectors
 from repro.analysis.sanitizer import Sanitizer, active_sanitizers, resolve_level
 from repro.engine.database import Database
 from repro.faults.plan import FaultPlan, install_plan, uninstall_plan
@@ -23,6 +24,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the whole suite under a FaultSan fault-injection plan "
              "(e.g. 'mapset.align=error'); every engine must still answer "
              "correctly or raise a structured FaultError",
+    )
+    parser.addoption(
+        "--racesan", action="store_true", default=False,
+        help="run the whole suite under the RaceSan lockset race detector; "
+             "any data race or lock-order cycle observed during a test "
+             "fails it with both stacks",
     )
 
 
@@ -47,6 +54,30 @@ def _cracksan(request: pytest.FixtureRequest):
     # on purpose.
     for stray in active_sanitizers():
         stray.deactivate()
+
+
+@pytest.fixture(autouse=True)
+def _racesan(request: pytest.FixtureRequest):
+    """Suite-wide RaceSan (``--racesan``): fail tests on observed races.
+
+    Collect-mode (non-strict) so a violation surfaces as a test failure
+    with the full report at teardown rather than an exception at an
+    arbitrary depth inside a worker thread.  Without the option this only
+    provides isolation: detectors left active by a test's
+    ``Database(racesan=...)`` are deactivated so they cannot observe (and
+    fail on) a later test's accesses.
+    """
+    enabled = request.config.getoption("--racesan")
+    detector = RaceSan("on", strict=False).activate() if enabled else None
+    try:
+        yield detector
+    finally:
+        if detector is not None:
+            detector.deactivate()
+        for stray in active_detectors():
+            stray.deactivate()
+    if detector is not None and detector.violations:
+        pytest.fail(detector.report(), pytrace=False)
 
 
 @pytest.fixture(autouse=True)

@@ -137,6 +137,59 @@ def test_syntax_error_reported_not_raised(tmp_path):
     assert violations and violations[0].rule == "parse-error"
 
 
+def test_raw_lock_construction_detected(tmp_path):
+    source = (
+        "import threading\n"
+        "from threading import RLock as _R\n"
+        "def f():\n"
+        "    a = threading.Lock()\n"
+        "    b = threading.Semaphore(2)\n"
+        "    c = _R()\n"
+        "    d = threading.current_thread()\n"  # not a lock ctor: fine
+    )
+    path = write(tmp_path, "server/bad_locks.py", source)
+    violations = [v for v in lint_file(path) if v.rule == "raw-lock-construction"]
+    assert {v.line for v in violations} == {4, 5, 6}
+    # The lock module and the race detector construct the primitives.
+    assert rules_in(write(tmp_path, "server/locks.py", source)) == set()
+    assert rules_in(write(tmp_path, "analysis/racesan.py", source)) == set()
+
+
+def test_sleep_under_lock_detected(tmp_path):
+    path = write(tmp_path, "server/bad_sleep.py", (
+        "import time\n"
+        "def f(self, lock):\n"
+        "    with lock.read():\n"
+        "        time.sleep(0.1)\n"
+        "    with self._cache_mutex:\n"
+        "        time.sleep(0.1)\n"
+        "    time.sleep(0.1)\n"  # outside any lock: fine
+    ))
+    violations = [v for v in lint_file(path) if v.rule == "sleep-under-lock"]
+    assert {v.line for v in violations} == {4, 6}
+
+
+def test_sleep_alias_under_lock_detected(tmp_path):
+    path = write(tmp_path, "server/bad_sleep2.py", (
+        "from time import sleep\n"
+        "def f(self, lock):\n"
+        "    with lock.write():\n"
+        "        sleep(0.1)\n"
+    ))
+    assert [v.rule for v in lint_file(path)] == ["sleep-under-lock"]
+
+
+def test_sleep_under_non_lock_context_is_fine(tmp_path):
+    path = write(tmp_path, "server/ok_sleep.py", (
+        "import time\n"
+        "def f(path):\n"
+        "    with open(path) as fh:\n"
+        "        time.sleep(0.1)\n"
+        "        return fh.read()\n"
+    ))
+    assert rules_in(path) == set()
+
+
 # -- driver ---------------------------------------------------------------------
 
 
@@ -156,6 +209,26 @@ def test_main_exit_status(tmp_path, capsys):
     good = write(tmp_path, "good.py", "def f(x=None):\n    return x\n")
     assert main([str(good)]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_main_usage_error_exit_status(tmp_path, capsys):
+    assert main([str(tmp_path / "nowhere.py")]) == 2
+    err = capsys.readouterr().err
+    assert "repro-lint: error" in err and "nowhere.py" in err
+
+
+def test_allowlist_matches_path_component_boundaries(tmp_path):
+    source = "def f(head, lo, hi):\n    head[lo:hi] = 0\n"
+    # `./`-style relative prefixes and absolute paths both match...
+    import os
+
+    here = Path(os.path.relpath(write(tmp_path, "cracking/kernels.py", source)))
+    assert rules_in(Path("./" + str(here))) == set()
+    assert rules_in(tmp_path / "cracking" / "kernels.py") == set()
+    # ...but a suffix that only matches mid-component must not.
+    assert rules_in(write(tmp_path, "mycracking/kernels.py", source)) == {
+        "payload-mutation"
+    }
 
 
 def test_list_rules(capsys):

@@ -7,7 +7,14 @@ import pytest
 
 from repro.cracking.bounds import Interval
 from repro.engine import Database, PlainEngine, Predicate, Query, SidewaysEngine
-from repro.errors import PersistError, SchemaError
+from repro.errors import InjectedFault, PersistError, SchemaError
+from repro.faults.plan import (
+    PAYLOAD_SITES,
+    SITES,
+    FaultPlan,
+    install_plan,
+    uninstall_plan,
+)
 from repro.storage.persist import (
     _MANIFEST_KEY,
     _crc32,
@@ -208,6 +215,62 @@ class TestCorruption:
 
         path = _tampered(populated, tmp_path, downgrade)
         restored = load_database(path)
+        assert np.array_equal(
+            restored.table("R").values("A"), populated.table("R").values("A")
+        )
+
+
+class TestFailpoints:
+    """The ``persist.save`` / ``persist.load`` FaultSan sites."""
+
+    def _armed(self, spec):
+        install_plan(FaultPlan.parse(spec))
+
+    def teardown_method(self):
+        uninstall_plan()
+
+    def test_sites_are_registered(self):
+        assert {"persist.save", "persist.load"} <= set(SITES)
+        assert {"persist.save", "persist.load"} <= PAYLOAD_SITES
+
+    def test_save_error_leaves_no_archive(self, populated, tmp_path):
+        path = tmp_path / "db.npz"
+        self._armed("persist.save=error")
+        with pytest.raises(InjectedFault, match="persist.save"):
+            save_database(populated, path)
+        assert not path.exists()
+
+    def test_save_corrupt_is_a_torn_write(self, populated, tmp_path):
+        """A corrupt fault at save time flips archive bytes under a
+        pristine checksum; the live columns stay untouched and the next
+        load reports the damage instead of serving it."""
+        path = tmp_path / "db.npz"
+        pristine = populated.table("R").values("A").copy()
+        self._armed("persist.save=corrupt")
+        save_database(populated, path)
+        uninstall_plan()
+        assert np.array_equal(populated.table("R").values("A"), pristine)
+        with pytest.raises(PersistError, match="checksum mismatch") as exc:
+            load_database(path)
+        assert exc.value.member == "R::A"
+
+    def test_load_error_fires(self, populated, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(populated, path)
+        self._armed("persist.load=error")
+        with pytest.raises(InjectedFault, match="persist.load"):
+            load_database(path)
+
+    def test_load_corrupt_fails_the_checksum(self, populated, tmp_path):
+        path = tmp_path / "db.npz"
+        save_database(populated, path)
+        self._armed("persist.load=corrupt")
+        with pytest.raises(PersistError, match="checksum mismatch"):
+            load_database(path)
+
+    def test_unarmed_round_trip_avoids_staging_copies(self, populated):
+        blob = dumps(populated)
+        restored = loads(blob)
         assert np.array_equal(
             restored.table("R").values("A"), populated.table("R").values("A")
         )
