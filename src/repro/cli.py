@@ -38,6 +38,8 @@ EXPERIMENTS = {
               "Progressive cracking (per-query budgets x adaptive policy)"),
     "exp17": ("exp17_concurrency",
               "Concurrent serving throughput + bit-identity vs serial"),
+    "exp18": ("exp18_multicore",
+              "Process-parallel shard workers vs threads vs serial"),
 }
 
 ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
@@ -167,9 +169,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     def ready(host: str, port: int) -> None:
         print(f"serving {source}", flush=True)
+        backend = (
+            f"{args.processes} shard worker processes"
+            if args.processes
+            else f"{args.partitions} partitions"
+        )
         print(
             f"listening on {host}:{port} "
-            f"({args.workers} workers, {args.partitions} partitions)",
+            f"({args.workers} workers, {backend})",
             flush=True,
         )
 
@@ -177,6 +184,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         db, host=args.host, port=args.port, workers=args.workers,
         partitions=args.partitions, partition_attrs=partition_attrs,
         ready_callback=ready,
+        processes=args.processes, cache_bytes=args.cache_bytes,
     )
     return 0
 
@@ -231,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--partitions", type=int, default=0,
                        help="shard count for partitioned attributes "
                             "(0 disables the partition path)")
+    serve.add_argument("--processes", type=int, default=0,
+                       help="shard worker processes per partitioned column "
+                            "(0 = in-process thread shards)")
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       help="result-cache LRU budget in bytes "
+                            "(default 64 MiB; 0 disables caching)")
     serve.add_argument("--partition-attr", action="append", metavar="TABLE.ATTR",
                        help="range-partition this attribute into --partitions "
                             "independently-cracked shards (repeatable)")

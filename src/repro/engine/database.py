@@ -98,11 +98,47 @@ class Database:
         # Monotonic logical-data version: bumped by every insert/delete so
         # the serving layer's result cache can invalidate stale entries.
         self._data_version = 0
+        # Resources that must be torn down with the database — serving
+        # executors register here so their worker processes and shared-
+        # memory segments never outlive (or leak past) the owning Database.
+        self._closeables: list = []
+        self._closed = False
 
     @property
     def data_version(self) -> int:
         """Monotonic counter of logical-data changes (inserts/deletes)."""
         return self._data_version
+
+    def register_closeable(self, resource) -> None:
+        """Tie ``resource`` (anything with an idempotent ``close()``) to
+        this database's lifetime: :meth:`close` closes it."""
+        with self._meta_lock:
+            self._closeables.append(resource)
+
+    def close(self) -> None:
+        """Release everything registered against this database.  Idempotent.
+
+        The serving layer registers its executors here, so closing the
+        database shuts worker processes down and unlinks every shared-
+        memory segment they mapped — no ``/dev/shm`` entry survives a
+        closed database.
+        """
+        with self._meta_lock:
+            if self._closed:
+                return
+            self._closed = True
+            resources = list(self._closeables)
+            self._closeables.clear()
+        # Close outside the meta lock: an executor's close() joins worker
+        # threads that may still need database reads to finish.
+        for resource in reversed(resources):
+            resource.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def set_crack_policy(self, policy: "CrackPolicy | str | None") -> None:
         """Select the crack policy for every current and future structure.

@@ -62,6 +62,7 @@ SITES: tuple[str, ...] = (
     "ripple.delete_positions",
     "persist.save",
     "persist.load",
+    "procpool.worker",
 )
 
 KINDS: tuple[str, ...] = ("error", "oom", "corrupt")

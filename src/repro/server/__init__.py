@@ -18,6 +18,12 @@ every structure.  This package layers concurrent serving on top of them:
     each an independently-cracked :class:`~repro.cracking.column.CrackerColumn`
     over shared NumPy arrays, queried with pruning and a scatter-gather
     merge.
+:mod:`repro.server.procpool`
+    The process backend of the partition path: one long-lived worker
+    process per shard over :class:`~repro.storage.shared.SharedBAT`
+    segments, driven by a compact command protocol with per-request
+    deadlines and deterministic respawn-and-replay on worker death —
+    shard cracks on separate cores instead of one GIL.
 :mod:`repro.server.serve`
     An asyncio TCP front end speaking newline-delimited JSON, plus an
     in-process handle used by tests and the ``repro serve`` CLI subcommand.
@@ -38,6 +44,8 @@ __all__ = [
     "LockRegistry",
     "Mutex",
     "PartitionedColumn",
+    "ProcessShardPool",
+    "ResultCacheLRU",
     "RWLock",
     "ServedQuery",
     "ServedResult",
@@ -49,6 +57,8 @@ _HOMES = {
     "Mutex": "repro.server.locks",
     "RWLock": "repro.server.locks",
     "PartitionedColumn": "repro.server.partition",
+    "ProcessShardPool": "repro.server.procpool",
+    "ResultCacheLRU": "repro.server.executor",
     "ServedQuery": "repro.server.executor",
     "ServedResult": "repro.server.executor",
     "ServerExecutor": "repro.server.executor",

@@ -24,6 +24,18 @@ Execution paths, fastest first:
     shared table lock serializes the scatter against :meth:`insert` /
     :meth:`delete`, which route pending updates under the table's
     exclusive lock — a query sees either all of an update or none of it.
+``process``
+    The same scatter-gather, but each shard lives in its own **worker
+    process** (:class:`~repro.server.procpool.ProcessShardPool`): payloads
+    sit in shared-memory segments, commands cross a pipe, and qualifying
+    keys come back through shared result buffers, so shard cracks run on
+    separate cores instead of interleaving under one GIL.  Enabled with
+    ``processes > 0``; results stay bit-identical to every other path.
+
+The result cache is an **LRU sized in bytes** (``cache_bytes``): whole
+entries are admitted at their payload size and evicted
+least-recently-served-first once the budget is exceeded; admission and
+eviction counts surface in :meth:`ServerExecutor.stats`.
 ``read``
     Multi-predicate queries whose leading predicate is answerable by
     :meth:`~repro.cracking.column.CrackerColumn.probe` run entirely under
@@ -49,6 +61,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
@@ -64,9 +77,82 @@ from repro.engine.selection_cracking import SelectionCrackingEngine
 from repro.errors import QueryTimeout, ServerError
 from repro.server.locks import LockRegistry, Mutex
 from repro.server.partition import PartitionedColumn
+from repro.server.procpool import ProcessShardPool
 
 #: Default per-query deadline (seconds) for the blocking entry points.
 DEFAULT_TIMEOUT = 30.0
+
+#: Default result-cache budget: 64 MiB of canonical result payloads.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class ResultCacheLRU:
+    """A bytes-budgeted LRU over canonical served results.
+
+    Entries cost their result-column payload bytes (plus a small fixed
+    overhead for the key and bookkeeping).  A hit refreshes recency; an
+    admission that overflows the budget evicts least-recently-served
+    entries until it fits.  An entry larger than the whole budget is
+    refused outright (admitting it would just evict everything for one
+    un-reusable answer).  Not thread-safe: callers hold the executor's
+    cache mutex.
+    """
+
+    _ENTRY_OVERHEAD = 512
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ServerError(
+                f"cache budget {capacity_bytes} must be >= 0 bytes"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[tuple, tuple[ServedResult, int]]" = OrderedDict()
+        self.bytes = 0
+        self.admissions = 0
+        self.evictions = 0
+        self.rejections = 0
+
+    @staticmethod
+    def cost_of(result: "ServedResult") -> int:
+        payload = sum(arr.nbytes for arr in result.columns.values())
+        return payload + ResultCacheLRU._ENTRY_OVERHEAD
+
+    def get(self, key: tuple) -> "ServedResult | None":
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: tuple, result: "ServedResult") -> bool:
+        cost = self.cost_of(result)
+        if cost > self.capacity_bytes:
+            self.rejections += 1
+            return False
+        stale = self._entries.pop(key, None)
+        if stale is not None:
+            self.bytes -= stale[1]
+        self._entries[key] = (result, cost)
+        self.bytes += cost
+        self.admissions += 1
+        while self.bytes > self.capacity_bytes:
+            _, (_, evicted_cost) = self._entries.popitem(last=False)
+            self.bytes -= evicted_cost
+            self.evictions += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "admissions": self.admissions,
+            "evictions": self.evictions,
+            "rejections": self.rejections,
+        }
 
 
 def canonicalize(columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -182,6 +268,14 @@ class ServerExecutor:
         knob); ``0`` disables the partition path entirely.
     cache:
         Enable the version-keyed result cache.
+    processes:
+        ``> 0`` selects the **process** backend: :meth:`partition` builds
+        :class:`~repro.server.procpool.ProcessShardPool` columns whose
+        shards live in worker processes over shared memory (the
+        ``--processes`` knob).  ``0`` keeps the in-process thread shards.
+    cache_bytes:
+        The result cache's LRU budget in bytes (``--cache-bytes``);
+        ``0`` disables caching like ``cache=False``.
     """
 
     def __init__(
@@ -192,13 +286,18 @@ class ServerExecutor:
         partitions: int = 0,
         cache: bool = True,
         default_timeout: float | None = DEFAULT_TIMEOUT,
+        processes: int = 0,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         if workers < 1:
             raise ServerError(f"worker count {workers} must be >= 1")
+        if processes < 0:
+            raise ServerError(f"process count {processes} must be >= 0")
         self.db = db
         self.engine = engine if engine is not None else SelectionCrackingEngine(db)
         self.workers = workers
         self.partitions = partitions
+        self.processes = processes
         self.default_timeout = default_timeout
         self.registry = LockRegistry()
         self._pool = ThreadPoolExecutor(
@@ -207,16 +306,21 @@ class ServerExecutor:
         # Shard fan-out gets its own pool: a query worker blocking on its
         # own pool's shard futures can deadlock once every worker does it
         # (all slots waiting, none running).  Shard tasks never re-submit,
-        # so a dedicated pool cannot form that cycle.
+        # so a dedicated pool cannot form that cycle.  In process mode the
+        # pool must cover the whole process fan-out — its threads only
+        # block on pipe I/O (GIL released) while the workers compute.
+        fanout = max(workers, processes)
         self._shard_pool = (
-            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
-            if workers > 1
+            ThreadPoolExecutor(max_workers=fanout, thread_name_prefix="repro-shard")
+            if fanout > 1
             else None
         )
-        self._partitioned: dict[tuple[str, str], PartitionedColumn] = {}
+        self._partitioned: dict[
+            tuple[str, str], "PartitionedColumn | ProcessShardPool"
+        ] = {}
         self._partition_mutex = Mutex("executor.partition")
-        self._cache_enabled = cache
-        self._cache: dict[tuple, ServedResult] = {}
+        self._cache_enabled = cache and cache_bytes > 0
+        self._cache = ResultCacheLRU(cache_bytes)
         self._cache_mutex = Mutex("executor.cache")
         self._stats_mutex = Mutex("executor.stats")
         self._closed = False
@@ -228,14 +332,29 @@ class ServerExecutor:
         # write lock (that worker validates them at its own checkpoint).
         if db.sanitizer is not None:
             db.sanitizer.structure_guard = self.registry.structure_guard
+        # Database.close() must tear the executor (and its shared-memory
+        # segments) down even if the embedder forgets to.
+        db.register_closeable(self)
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
         self._pool.shutdown(wait=True)
         if self._shard_pool is not None:
             self._shard_pool.shutdown(wait=True)
+        # Process pools last: their workers may still be draining commands
+        # submitted by in-flight queries above.  Closing unlinks every
+        # shared-memory segment the pools own.
+        with self._partition_mutex:
+            pools = [
+                column for column in self._partitioned.values()
+                if isinstance(column, ProcessShardPool)
+            ]
+        for pool in pools:
+            pool.close()
 
     def __enter__(self) -> "ServerExecutor":
         return self
@@ -245,8 +364,15 @@ class ServerExecutor:
 
     # -- partitioning ----------------------------------------------------------
 
-    def partition(self, table: str, attr: str, partitions: int | None = None) -> PartitionedColumn:
+    def partition(
+        self, table: str, attr: str, partitions: int | None = None
+    ) -> "PartitionedColumn | ProcessShardPool":
         """Range-partition ``table.attr`` into independently-cracked shards.
+
+        With ``processes > 0`` the shards are built as a
+        :class:`~repro.server.procpool.ProcessShardPool` — one worker
+        process per shard over shared-memory payloads; otherwise as the
+        in-process :class:`~repro.server.partition.PartitionedColumn`.
 
         Thread-safe and idempotent: racing calls agree on one column
         (double-checked under ``_partition_mutex``), and the scatter
@@ -259,7 +385,10 @@ class ServerExecutor:
             existing = self._partitioned.get(key)
         if existing is not None:
             return existing
-        count = self.partitions if partitions is None else partitions
+        if self.processes > 0:
+            count = self.processes if partitions is None else partitions
+        else:
+            count = self.partitions if partitions is None else partitions
         if count < 1:
             raise ServerError(
                 f"cannot partition {table}.{attr}: partition count {count} < 1"
@@ -269,12 +398,20 @@ class ServerExecutor:
                 existing = self._partitioned.get(key)
                 if existing is not None:
                     return existing
-            column = PartitionedColumn(
-                self.db.table(table).column(attr), count, self.registry,
-                table, attr, self.db.recorder,
-                budget=self.db.crack_budget, policy=self.db.crack_policy,
-                crack_seed=self.db.crack_seed,
-            )
+            if self.processes > 0:
+                column = ProcessShardPool(
+                    self.db.table(table).column(attr), count,
+                    table, attr, self.db.recorder,
+                    budget=self.db.crack_budget, policy=self.db.crack_policy,
+                    crack_seed=self.db.crack_seed,
+                )
+            else:
+                column = PartitionedColumn(
+                    self.db.table(table).column(attr), count, self.registry,
+                    table, attr, self.db.recorder,
+                    budget=self.db.crack_budget, policy=self.db.crack_policy,
+                    crack_seed=self.db.crack_seed,
+                )
             with self._partition_mutex:
                 self._partitioned[key] = column
         return column
@@ -367,7 +504,7 @@ class ServerExecutor:
             # immutability, not mutual exclusion.
             version = self.db.data_version  # locksan: allow(unlocked-version-read)
             with self._cache_mutex:
-                hit = self._cache.get((*base_key, version))
+                hit = self._cache.get((*base_key, version))  # refreshes LRU recency
                 racesan.note_access("executor.cache", "read")
             if hit is not None:
                 result = ServedResult(
@@ -380,7 +517,10 @@ class ServerExecutor:
                 )
                 self._note(result)
                 return result
-        result = self._execute(query)
+        deadline = (
+            served.timeout if served.timeout is not None else self.default_timeout
+        )
+        result = self._execute(query, deadline)
         result.queue_seconds = started - enqueued
         result.elapsed_seconds = time.perf_counter() - started
         if base_key is not None and not result.fault_recovered:
@@ -388,7 +528,7 @@ class ServerExecutor:
             # never on a pre-execution sample that a racing update could
             # have invalidated before the query ever touched a structure.
             with self._cache_mutex:
-                self._cache[(*base_key, result.data_version)] = result
+                self._cache.put((*base_key, result.data_version), result)
                 racesan.note_access("executor.cache", "write")
         self._note(result)
         return result
@@ -403,17 +543,21 @@ class ServerExecutor:
 
     # -- execution paths -------------------------------------------------------
 
-    def _execute(self, query: Query) -> ServedResult:
+    def _execute(self, query: Query, deadline: float | None = None) -> ServedResult:
         """Run one query, reading ``data_version`` only *inside* the table
         lock that serializes it against updates — the version a result
-        carries (and is cached under) is exactly the version it saw."""
+        carries (and is cached under) is exactly the version it saw.
+        ``deadline`` bounds process-backed shard dispatches; a worker that
+        misses it surfaces as :class:`~repro.errors.QueryTimeout`."""
         table_lock = self.registry.lock_for(query.table)
         with table_lock.read():
             version = self._capture_version(query.table)
-            partition_keys = self._try_partition_keys(query)
-            if partition_keys is not None:
+            scatter = self._try_partition_keys(query, deadline)
+            if scatter is not None:
+                partition_keys, path, recovered = scatter
                 return self._finish_from_keys(
-                    query, partition_keys, "partition", version
+                    query, partition_keys, path, version,
+                    fault_recovered=recovered,
                 )
             if not query.group_by:
                 keys = self._try_read_only_keys(query)
@@ -447,12 +591,18 @@ class ServerExecutor:
                 racesan.note_access(f"cracker[{cracker.label}].pieces", "write")
                 racesan.note_access(f"cracker[{cracker.label}].tape", "write")
 
-    def _try_partition_keys(self, query: Query) -> np.ndarray | None:
+    def _try_partition_keys(
+        self, query: Query, deadline: float | None = None
+    ) -> "tuple[np.ndarray, str, bool] | None":
         """Scatter-gather path: single-predicate query on a partitioned attr.
 
-        Caller holds the table's read lock, so the scatter cannot overlap
-        an :meth:`insert`/:meth:`delete` routing pending rows (those hold
-        the table's write lock); shard locks nest strictly inside.
+        Returns ``(keys, path, fault_recovered)`` — path ``"partition"``
+        for in-process thread shards, ``"process"`` for the shared-memory
+        worker-process backend — or ``None`` when the query is not
+        scatter-shaped.  Caller holds the table's read lock, so the scatter
+        cannot overlap an :meth:`insert`/:meth:`delete` routing pending
+        rows (those hold the table's write lock); shard locks (and worker
+        pipes) nest strictly inside.
         """
         if query.group_by or len(query.predicates) != 1:
             return None
@@ -461,6 +611,11 @@ class ServerExecutor:
             column = self._partitioned.get((query.table, pred.attr))
         if column is None:
             return None
+        if isinstance(column, ProcessShardPool):
+            keys, recovered = column.select(
+                pred.interval, deadline=deadline, pool=self._shard_pool
+            )
+            return keys, "process", recovered
         shards = column.relevant_shards(pred.interval)
         if len(shards) > 1 and self._shard_pool is not None:
             # Scatter onto the shard pool (each task takes one shard lock)...
@@ -476,9 +631,10 @@ class ServerExecutor:
         if pruned:
             self.db.recorder.event("index_lookups", pruned)
         if not parts:
-            return np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=np.int64), "partition", False
         # ... and gather.
-        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return keys, "partition", False
 
     def _try_read_only_keys(self, query: Query) -> np.ndarray | None:
         """Answer the selection with zero reorganization, or give up.
@@ -528,7 +684,8 @@ class ServerExecutor:
         return np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
 
     def _finish_from_keys(
-        self, query: Query, keys: np.ndarray, path: str, version: int
+        self, query: Query, keys: np.ndarray, path: str, version: int,
+        fault_recovered: bool = False,
     ) -> ServedResult:
         """Reconstruct, canonicalize, and aggregate from qualifying keys."""
         relation = self.db.table(query.table)
@@ -546,6 +703,7 @@ class ServerExecutor:
             row_count=len(keys),
             path=path,
             data_version=version,
+            fault_recovered=fault_recovered,
         )
 
     def _finish_from_result(
@@ -664,11 +822,16 @@ class ServerExecutor:
         ]
         with self._partition_mutex:
             partitioned = dict(self._partitioned)
+        with self._cache_mutex:
+            cache_stats = self._cache.stats()
         return {
             "workers": self.workers,
+            "processes": self.processes,
+            "engine_mode": "process" if self.processes > 0 else "thread",
             "queries_served": served,
             "cache_hits": hits,
             "cache_hit_rate": (hits / served) if served else 0.0,
+            "cache": cache_stats,
             "paths": paths,
             "latency_p50": pct(0.50),
             "latency_p99": pct(0.99),

@@ -39,6 +39,58 @@ from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.bat import BAT
 
 
+def partition_layout(
+    values: np.ndarray, partitions: int
+) -> tuple[list[float], np.ndarray, list[tuple[int, int]]]:
+    """The quantile scatter both shard backends share.
+
+    Returns ``(edges, order, spans)``: shard value edges (first ``-inf``,
+    last ``+inf``), one stable argsort grouping rows by shard while
+    preserving tuple order inside each, and the ``[start, end)`` span of
+    each shard inside ``order``.  Quantile bounds over the actual data are
+    deterministic and balanced under value skew (equal-width bounds would
+    not be); duplicate quantiles (low-cardinality data) collapse, so the
+    effective shard count can be smaller than requested.
+    """
+    if partitions < 1:
+        raise PlanError(f"partition count {partitions} must be >= 1")
+    n = len(values)
+    if partitions > 1 and n:
+        qs = np.linspace(0, 1, partitions + 1)[1:-1]
+        bounds = np.unique(np.quantile(values, qs))
+    else:
+        bounds = np.empty(0, dtype=np.float64)
+    # One scatter pass: classify every row, then one stable argsort groups
+    # rows by shard while preserving tuple order inside each.
+    if len(bounds):
+        part_of = np.searchsorted(bounds, values, side="right")
+        order = np.argsort(part_of, kind="stable")
+        offsets = np.searchsorted(part_of[order], np.arange(len(bounds) + 1))
+    else:
+        order = np.arange(n)
+        offsets = np.array([0])
+    edges = [-np.inf, *(float(b) for b in bounds), np.inf]
+    ends = [*offsets[1:], n]
+    spans = [(int(s), int(e)) for s, e in zip(offsets, ends)]
+    return edges, order, spans
+
+
+def route_masks(
+    values: np.ndarray, edges: list[float]
+) -> "list[np.ndarray]":
+    """Per-shard boolean masks routing ``values`` by the shard value edges."""
+    values = np.asarray(values)
+    out = []
+    for lo, hi in zip(edges, edges[1:]):
+        mask = np.ones(len(values), dtype=bool)
+        if lo != -np.inf:
+            mask &= values >= lo
+        if hi != np.inf:
+            mask &= values < hi
+        out.append(mask)
+    return out
+
+
 class _Shard:
     """One partition: its value range, cracker column, and lock."""
 
@@ -82,36 +134,16 @@ class PartitionedColumn:
         policy: object = None,
         crack_seed: int = 42,
     ) -> None:
-        if partitions < 1:
-            raise PlanError(f"partition count {partitions} must be >= 1")
         self.table = table
         self.attr = attr
         self._recorder = recorder or global_recorder()
         values = base.values
         n = len(values)
-        # Quantile bounds over the actual data: deterministic, and balanced
-        # under value skew (equal-width bounds would not be).
-        if partitions > 1 and n:
-            qs = np.linspace(0, 1, partitions + 1)[1:-1]
-            bounds = np.unique(np.quantile(values, qs))
-        else:
-            bounds = np.empty(0, dtype=np.float64)
-        # One scatter pass: classify every row, then one stable argsort
-        # groups rows by shard while preserving tuple order inside each.
-        if len(bounds):
-            part_of = np.searchsorted(bounds, values, side="right")
-            order = np.argsort(part_of, kind="stable")
-            offsets = np.searchsorted(part_of[order], np.arange(len(bounds) + 1))
-        else:
-            part_of = None
-            order = np.arange(n)
-            offsets = np.array([0])
+        edges, order, spans = partition_layout(values, partitions)
         self._recorder.sequential(2 * n)
         self._recorder.write(2 * n)
-        edges = [-np.inf, *(float(b) for b in bounds), np.inf]
         self.shards: list[_Shard] = []
-        ends = [*offsets[1:], n]
-        for i, (start, end) in enumerate(zip(offsets, ends)):
+        for i, (start, end) in enumerate(spans):
             positions = order[start:end]
             shard_bat = base.gather(positions)  # values + global keys
             cracker = CrackerColumn(
@@ -214,12 +246,8 @@ class PartitionedColumn:
         """
         values = np.asarray(values)
         keys = np.asarray(keys, dtype=np.int64)
-        for shard in self.shards:
-            mask = np.ones(len(values), dtype=bool)
-            if shard.lo != -np.inf:
-                mask &= values >= shard.lo
-            if shard.hi != np.inf:
-                mask &= values < shard.hi
+        masks = route_masks(values, self.partition_bounds)
+        for shard, mask in zip(self.shards, masks):
             if mask.any():
                 with shard.lock.write():
                     shard.cracker.add_insertions(values[mask], keys[mask])
@@ -232,12 +260,8 @@ class PartitionedColumn:
         shard's write lock, like :meth:`add_insertions`)."""
         values = np.asarray(values)
         keys = np.asarray(keys, dtype=np.int64)
-        for shard in self.shards:
-            mask = np.ones(len(values), dtype=bool)
-            if shard.lo != -np.inf:
-                mask &= values >= shard.lo
-            if shard.hi != np.inf:
-                mask &= values < shard.hi
+        masks = route_masks(values, self.partition_bounds)
+        for shard, mask in zip(self.shards, masks):
             if mask.any():
                 with shard.lock.write():
                     shard.cracker.add_deletions(values[mask], keys[mask])

@@ -1,0 +1,703 @@
+"""Process-parallel shard workers over shared memory.
+
+The thread-mode scatter-gather of :mod:`repro.server.partition` keeps every
+shard crack inside one GIL: shards interleave, they do not overlap.  This
+module is the serving layer's *process* backend — real multi-core
+scatter-gather:
+
+* one **long-lived worker process per shard**.  At startup the worker maps
+  its shard's value/key payload from :class:`~repro.storage.shared.SharedBAT`
+  segments (zero-copy; no payload pickling) and builds an ordinary
+  :class:`~repro.cracking.column.CrackerColumn` over it, seeded exactly like
+  the thread-mode shard (``policy_rng(seed, "shard", table, attr, i)``) so
+  the two backends crack identically;
+* a compact **command protocol** over one duplex pipe per worker —
+  ``probe`` / ``select`` / ``crack`` / ``update`` / ``replay`` /
+  ``snapshot`` / ``shutdown``.  Commands and replies are small tuples;
+  qualifying keys come back through a per-worker **shared result buffer**
+  (the parent reads ``result[:n]``), so result payloads never cross the
+  pipe either;
+* **per-request deadlines**: the parent bounds every dispatch with
+  ``conn.poll(deadline)``.  A worker that misses its deadline is killed and
+  deterministically respawned; the caller sees the serving layer's ordinary
+  :class:`~repro.errors.QueryTimeout` — one error contract across thread
+  and process paths;
+* **crash detection + respawn-and-replay**: every state-mutating command
+  (a ``select`` that actually cracked, every ``update``) is appended to the
+  parent-side *tape* of its shard after the worker acknowledged it.  When a
+  worker dies mid-command — a real crash, a deadline kill, or the
+  ``procpool.worker`` FaultSan failpoint — the parent spawns a fresh
+  process over the same shared segments, replays the tape (deterministic:
+  same seeded RNG, same command order), retries the in-flight command once,
+  and marks the result ``fault_recovered``.
+
+Lock discipline: the parent serializes each worker's request/response pairs
+under a per-worker leaf :class:`~repro.server.locks.Mutex`; the executor
+holds the table's read lock around the whole scatter (exactly like thread
+mode), so updates can never interleave with a scatter.  Workers themselves
+are single-threaded and own their shard exclusively — the in-process lock
+hierarchy does not extend into them (``docs/locksan.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cracking.bounds import Interval
+from repro.cracking.column import CrackerColumn
+from repro.cracking.stochastic import policy_rng, resolve_policy
+from repro.errors import (
+    InjectedFault,
+    QueryTimeout,
+    ReproError,
+    ServerError,
+)
+from repro.faults.plan import fault_hook
+from repro.server.locks import Mutex
+from repro.server.partition import partition_layout, route_masks
+from repro.stats.counters import StatsRecorder, global_recorder
+from repro.storage.bat import BAT
+from repro.storage.shared import SharedArray, SharedBAT
+
+#: Default per-command deadline (seconds) when the caller supplies none.
+DEFAULT_DEADLINE = 30.0
+
+#: Environment override for the multiprocessing start method.  ``fork`` is
+#: the default where available (workers inherit the imported interpreter,
+#: so spawning a shard worker is milliseconds, not a fresh numpy import);
+#: ``spawn`` is the portable fallback.
+START_METHOD_ENV = "REPRO_PROCPOOL_START"
+
+#: Exceptions a worker reports as structured error replies.  Anything
+#: outside this tuple crashes the worker — deliberately: an unexpected
+#: failure mode *is* a worker death, and the parent's respawn-and-replay
+#: path is the recovery story for it.
+_WORKER_REPORTABLE = (
+    ReproError,
+    InjectedFault,
+    MemoryError,
+    ValueError,
+    IndexError,
+    KeyError,
+    OSError,
+)
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    preferred = os.environ.get(START_METHOD_ENV, "").strip()
+    if not preferred:
+        preferred = "fork" if "fork" in methods else "spawn"
+    if preferred not in methods:
+        raise ServerError(
+            f"start method {preferred!r} unavailable; have {methods}"
+        )
+    return multiprocessing.get_context(preferred)
+
+
+# ---------------------------------------------------------------------------
+# The worker process body.
+# ---------------------------------------------------------------------------
+
+
+def _reset_inherited_state() -> None:
+    """Detach a fresh worker from parent-process instrumentation.
+
+    Fork-started workers inherit the parent's armed FaultSan plan, active
+    CrackSan sanitizers, and RaceSan detectors.  All three must stay
+    parent-side: fault hit counts are only deterministic when every visit
+    happens in one process (the ``procpool.worker`` site fires in the
+    parent *about* workers), and the sanitizer/detector registries refer to
+    parent structures a worker never sees.
+    """
+    from repro.analysis.racesan import active_detectors
+    from repro.analysis.sanitizer import active_sanitizers
+    from repro.faults.plan import uninstall_plan
+
+    uninstall_plan()
+    for sanitizer in active_sanitizers():
+        sanitizer.deactivate()
+    for detector in active_detectors():
+        detector.deactivate()
+
+
+def _shard_worker_main(spec: dict, conn) -> None:
+    """Long-lived worker loop: map the shard, serve commands until shutdown.
+
+    Replies are ``("ok", rows, meta)`` — ``rows`` qualifying keys sit in
+    ``result[:rows]`` when the command produces keys — or
+    ``("err", kind, message)`` for reportable failures.  The loop exits on
+    ``shutdown``, EOF (parent died), or an unreportable exception (which
+    the parent observes as a crash).
+    """
+    _reset_inherited_state()
+    base = SharedBAT.attach(spec["base"])
+    result = SharedArray.attach(spec["result"])
+    cracker = CrackerColumn(
+        base.as_bat(),
+        global_recorder(),
+        policy=resolve_policy(spec["policy"]),
+        budget=spec["budget"],
+        rng=policy_rng(spec["seed"], "shard", spec["table"], spec["attr"],
+                       spec["index"]),
+        label=f"shard[{spec['table']}.{spec['attr']}#{spec['index']}]",
+    )
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = command[0]
+            if op == "shutdown":
+                conn.send(("ok", 0, {}))
+                break
+            started = time.perf_counter()
+            try:
+                reply = _apply_command(cracker, command, result)
+            except _WORKER_REPORTABLE as exc:
+                conn.send(("err", type(exc).__name__, str(exc)))
+                continue
+            if reply[0] == "ok":
+                reply[2]["seconds"] = time.perf_counter() - started
+            conn.send(reply)
+    finally:
+        result.close()
+        base.close()
+        conn.close()
+
+
+def _apply_command(
+    cracker: CrackerColumn, command: tuple, result: SharedArray
+) -> tuple:
+    """Execute one protocol command against the worker's cracker column."""
+    op = command[0]
+    if op == "select":
+        return _do_select(cracker, command[1], result, force_crack=False)
+    if op == "crack":
+        return _do_select(cracker, command[1], result, force_crack=True)
+    if op == "probe":
+        keys = cracker.probe(command[1])
+        if keys is None:
+            return ("ok", -1, {"path": "miss"})
+        n = _write_result(keys, result)
+        return ("ok", n, {"path": "probe"})
+    if op == "update":
+        _, ins_values, ins_keys, del_values, del_keys, remap = command
+        if remap is not None:
+            # The parent grew the result buffer for the incoming rows;
+            # switch attachments before the shard can produce a larger
+            # result.  (The old segment is unlinked parent-side.)
+            result.close()
+            grown = SharedArray.attach(remap)
+            result.shm, result.view = grown.shm, grown.view
+            result.shape, result.dtype = grown.shape, grown.dtype
+            result.owner, result.closed = grown.owner, grown.closed
+        if len(ins_values):
+            cracker.add_insertions(ins_values, ins_keys)
+        if len(del_values):
+            cracker.add_deletions(del_values, del_keys)
+        return ("ok", 0, {"rows": len(cracker)})
+    if op == "apply_pending":
+        cracker.apply_pending()
+        return ("ok", 0, {"rows": len(cracker)})
+    if op == "replay":
+        for entry in command[1]:
+            _apply_command(cracker, entry, result)
+        return ("ok", 0, {"replayed": len(command[1])})
+    if op == "snapshot":
+        return ("ok", 0, _snapshot(cracker))
+    raise ServerError(f"unknown shard-worker command {op!r}")
+
+
+def _do_select(
+    cracker: CrackerColumn,
+    interval: Interval,
+    result: SharedArray,
+    force_crack: bool,
+) -> tuple:
+    """``select``: probe first, crack when the probe cannot answer."""
+    path = "probe"
+    keys = None if force_crack else cracker.probe(interval)
+    if keys is None:
+        # Degenerate shards (quantile collapse) answer empty without
+        # cracking, mirroring the thread backend's fast path.
+        if not len(cracker) and not cracker.pending.has_pending():
+            keys = np.empty(0, dtype=np.int64)
+            path = "empty"
+        else:
+            keys = cracker.select(interval)
+            path = "crack"
+    n = _write_result(keys, result)
+    return ("ok", n, {"path": path})
+
+
+def _write_result(keys: np.ndarray, result: SharedArray) -> int:
+    n = len(keys)
+    if n > len(result):
+        raise ServerError(
+            f"shard result ({n} keys) exceeds the shared result buffer "
+            f"({len(result)}); the parent under-sized an update remap"
+        )
+    result.view[:n] = keys
+    return n
+
+
+def _snapshot(cracker: CrackerColumn) -> dict:
+    """A deterministic state fingerprint for respawn/replay verification."""
+    return {
+        "rows": len(cracker),
+        "pieces": cracker.index.piece_count,
+        "head_crc": zlib.crc32(np.ascontiguousarray(cracker.head).tobytes()),
+        "keys_crc": zlib.crc32(np.ascontiguousarray(cracker.keys).tobytes()),
+        "pending_insertions": cracker.pending.insertion_count,
+        "pending_deletions": cracker.pending.deletion_count,
+        "stochastic_cuts": cracker.stochastic_cuts,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent-side handles.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardReply:
+    """One decoded worker reply: the keys (if any) plus timing/path meta."""
+
+    keys: np.ndarray | None
+    meta: dict
+    recovered: bool = False
+    dispatch_seconds: float = 0.0
+
+
+class _ShardWorker:
+    """Parent-side handle of one shard worker: process, pipe, tape, buffer."""
+
+    def __init__(
+        self,
+        pool: "ProcessShardPool",
+        index: int,
+        lo: float,
+        hi: float,
+        base: SharedBAT,
+    ) -> None:
+        self.pool = pool
+        self.index = index
+        self.lo = lo  # inclusive lower value bound (-inf for the first shard)
+        self.hi = hi  # exclusive upper value bound (+inf for the last shard)
+        self.base = base
+        self.rows = len(base)
+        # Max rows any future select can return: initial rows plus every
+        # routed insertion (deletions only shrink).  Governs result sizing.
+        self.capacity = max(1, self.rows)
+        self.result = SharedArray.zeros(self.capacity, np.int64)
+        #: The shard's mutation tape: every acknowledged state-mutating
+        #: command, in dispatch order.  Replaying it over a fresh worker
+        #: reproduces the cracked state exactly (same seeded RNG).
+        self.tape: list[tuple] = []
+        self.mutex = Mutex(f"procworker[{pool.table}.{pool.attr}#{index}]")
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.conn = None
+        self.respawns = 0
+        self.commands = 0
+        self.closed = False
+        self._spawn()
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def _spec(self) -> dict:
+        return {
+            "base": self.base.meta(),
+            "result": self.result.meta,
+            "table": self.pool.table,
+            "attr": self.pool.attr,
+            "index": self.index,
+            "seed": self.pool.crack_seed,
+            "policy": self.pool.policy_name,
+            "budget": self.pool.budget,
+        }
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self.pool.context.Pipe(duplex=True)
+        process = self.pool.context.Process(
+            target=_shard_worker_main,
+            args=(self._spec(), child_conn),
+            name=f"repro-shard-{self.pool.table}.{self.pool.attr}#{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.process = process
+        self.conn = parent_conn
+
+    def _kill(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+        if self.conn is not None:
+            self.conn.close()
+        self.conn = None
+
+    def _respawn_and_replay(self) -> None:
+        """Deterministic recovery: fresh process, same segments, same tape."""
+        self._kill()
+        self.respawns += 1
+        self._spawn()
+        if self.tape:
+            reply = self._roundtrip(("replay", list(self.tape)), None)
+            if reply[0] != "ok":
+                raise ServerError(
+                    f"shard {self.index} replay failed after respawn: "
+                    f"{reply[1]}: {reply[2]}"
+                )
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _roundtrip(self, command: tuple, deadline: float | None) -> tuple:
+        """One raw send/recv (caller holds ``self.mutex``).  Raises
+        ``ConnectionError``-family on a dead worker, ``QueryTimeout`` on a
+        missed deadline (after killing the straggler so its late reply can
+        never corrupt the next request/response pairing).
+
+        The deadline is a wall-clock budget measured from before the send:
+        a reply that lands after the budget elapsed is still an expiry,
+        even if it is sitting in the pipe by the time we look.  Anything
+        weaker would make tiny deadlines depend on scheduler timing.
+        """
+        expires_at = (
+            None if deadline is None else time.perf_counter() + deadline
+        )
+        self.conn.send(command)
+        try:
+            fault_hook("procpool.worker")
+        except InjectedFault as exc:
+            # The armed worker-death failpoint: SIGKILL the worker
+            # mid-command and surface the crash the way an organic death
+            # would, so the ordinary respawn-and-replay path recovers.
+            self._kill()
+            raise BrokenPipeError("injected shard-worker death") from exc
+        if expires_at is not None:
+            remaining = expires_at - time.perf_counter()
+            if not self.conn.poll(max(0.0, remaining)) \
+                    or time.perf_counter() > expires_at:
+                self._respawn_and_replay()
+                raise QueryTimeout(
+                    f"shard worker {self.pool.table}.{self.pool.attr}#"
+                    f"{self.index} missed its deadline",
+                    seconds=deadline,
+                )
+        return self.conn.recv()
+
+    def dispatch(self, command: tuple, deadline: float | None) -> ShardReply:
+        """Send one command; handle crash recovery, deadlines, and the tape.
+
+        Serialized per worker under ``self.mutex`` so concurrent queries
+        can never interleave one worker's request/response pairs.
+        """
+        mutating = command[0] in ("update", "apply_pending")
+        started = time.perf_counter()
+        with self.mutex:
+            if self.closed:
+                raise ServerError("shard worker pool is closed")
+            self.commands += 1
+            recovered = False
+            try:
+                reply = self._roundtrip(command, deadline)
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                # Worker death (organic or injected): rebuild and retry the
+                # in-flight command exactly once.
+                self._respawn_and_replay()
+                try:
+                    reply = self._roundtrip(command, deadline)
+                except (EOFError, BrokenPipeError, ConnectionResetError,
+                        OSError) as exc:
+                    # The respawned worker died on the same command: a
+                    # deterministic crash, not a transient fault.
+                    raise ServerError(
+                        f"shard worker {self.index} died twice running "
+                        f"{command[0]!r}; giving up after one respawn"
+                    ) from exc
+                recovered = True
+            if reply[0] == "err":
+                raise ServerError(
+                    f"shard worker {self.index} failed {command[0]!r}: "
+                    f"{reply[1]}: {reply[2]}"
+                )
+            _, rows, meta = reply
+            if mutating or meta.get("path") == "crack":
+                self.tape.append(command)
+            keys = None
+            if command[0] in ("select", "crack", "probe") and rows >= 0:
+                keys = np.array(self.result.view[:rows])
+            return ShardReply(
+                keys=keys,
+                meta=meta,
+                recovered=recovered,
+                dispatch_seconds=time.perf_counter() - started,
+            )
+
+    def grow_result(self, extra_rows: int) -> dict | None:
+        """Reserve result capacity for routed insertions.
+
+        Returns the remap descriptor to ship with the update command when
+        the buffer had to grow (the old segment is unlinked once the worker
+        acknowledges the update), else ``None``.  Caller holds the mutex
+        via :meth:`dispatch`'s update path.
+        """
+        self.capacity += extra_rows
+        if self.capacity <= len(self.result):
+            return None
+        grown = SharedArray.zeros(
+            max(self.capacity, int(len(self.result) * 1.5) + 1), np.int64
+        )
+        self._stale_result = self.result
+        self.result = grown
+        return grown.meta
+
+    def finish_grow(self) -> None:
+        stale = getattr(self, "_stale_result", None)
+        if stale is not None:
+            stale.close()
+            self._stale_result = None
+
+    def close(self) -> None:
+        with self.mutex:
+            if self.closed:
+                return
+            self.closed = True
+            try:
+                if self.conn is not None and self.process is not None \
+                        and self.process.is_alive():
+                    self.conn.send(("shutdown",))
+                    self.conn.poll(2.0)
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass
+            self._kill()
+            self.result.close()
+            self.finish_grow()
+
+
+class ProcessShardPool:
+    """Range-partitioned shards, each owned by one worker process.
+
+    The process backend of the executor's partition path: same quantile
+    layout, same per-shard seeding, and the same prune → per-shard select →
+    gather shape as :class:`~repro.server.partition.PartitionedColumn`, but
+    every shard's probe/crack runs on its own core.  The executor calls
+    :meth:`select` while holding the table's *read* lock and routes updates
+    under the table's *write* lock — identical serialization to threads.
+    """
+
+    def __init__(
+        self,
+        base: BAT,
+        partitions: int,
+        table: str,
+        attr: str,
+        recorder: StatsRecorder | None = None,
+        budget: object = None,
+        policy: object = None,
+        crack_seed: int = 42,
+    ) -> None:
+        self.table = table
+        self.attr = attr
+        self._recorder = recorder or global_recorder()
+        self.crack_seed = crack_seed
+        # Workers rebuild policy/budget from specs: policy objects carry
+        # per-structure state that must live worker-side, so only the name
+        # crosses the process boundary.
+        policy = resolve_policy(policy)
+        self.policy_name = None if policy is None else policy.name
+        self.budget = budget
+        self.context = _mp_context()
+        values = base.values
+        n = len(values)
+        edges, order, spans = partition_layout(values, partitions)
+        self._recorder.sequential(2 * n)
+        self._recorder.write(2 * n)
+        self.edges = edges
+        self.workers: list[_ShardWorker] = []
+        self._closed = False
+        self._stats_mutex = Mutex(f"procpool[{table}.{attr}].stats")
+        self.dispatch_seconds = 0.0
+        self.worker_seconds = 0.0
+        self.gather_seconds = 0.0
+        self.selects = 0
+        self.probe_hits = 0
+        self.recoveries = 0
+        spawned = False
+        try:
+            for i, (start, end) in enumerate(spans):
+                shard_bat = base.gather(order[start:end])
+                shared = SharedBAT.from_bat(shard_bat)
+                self.workers.append(
+                    _ShardWorker(self, i, edges[i], edges[i + 1], shared)
+                )
+            spawned = True
+        finally:
+            # A mid-construction failure must not leak the segments (or
+            # the worker processes) of the shards already built.
+            if not spawned:
+                self.close()
+
+    def __len__(self) -> int:
+        return sum(w.rows for w in self.workers)
+
+    @property
+    def partition_bounds(self) -> list[float]:
+        return list(self.edges)
+
+    # -- querying ------------------------------------------------------------
+
+    def relevant_workers(self, interval: Interval) -> list[_ShardWorker]:
+        """The scatter half: workers whose value range can intersect."""
+        lo = interval.lower_bound()
+        hi = interval.upper_bound()
+        out = []
+        for worker in self.workers:
+            if lo is not None and worker.hi != np.inf and lo.value >= worker.hi:
+                continue
+            if hi is not None and worker.lo != -np.inf and hi.value < worker.lo:
+                continue
+            out.append(worker)
+        return out
+
+    def select(
+        self,
+        interval: Interval,
+        deadline: float | None = DEFAULT_DEADLINE,
+        pool=None,
+    ) -> tuple[np.ndarray, bool]:
+        """Scatter-gather one interval across the worker processes.
+
+        ``pool`` (a thread pool) overlaps the dispatches so all workers
+        compute concurrently — the dispatching threads merely block on pipe
+        I/O with the GIL released.  Returns ``(keys, fault_recovered)``.
+        """
+        if self._closed:
+            raise ServerError("shard worker pool is closed")
+        relevant = self.relevant_workers(interval)
+        pruned = len(self.workers) - len(relevant)
+        if pruned:
+            self._recorder.event("index_lookups", pruned)
+        if not relevant:
+            return np.empty(0, dtype=np.int64), False
+        command = ("select", interval)
+        if pool is not None and len(relevant) > 1:
+            futures = [
+                pool.submit(worker.dispatch, command, deadline)
+                for worker in relevant[1:]
+            ]
+            replies = [relevant[0].dispatch(command, deadline)]
+            replies += [f.result() for f in futures]
+        else:
+            replies = [worker.dispatch(command, deadline) for worker in relevant]
+        gather_started = time.perf_counter()
+        parts = [r.keys for r in replies if r.keys is not None]
+        keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        self._note_replies(replies, time.perf_counter() - gather_started)
+        return keys, any(r.recovered for r in replies)
+
+    def _note_replies(self, replies: list[ShardReply], gather: float) -> None:
+        with self._stats_mutex:
+            self.selects += 1
+            self.gather_seconds += gather
+            for r in replies:
+                self.dispatch_seconds += r.dispatch_seconds
+                self.worker_seconds += r.meta.get("seconds", 0.0)
+                if r.meta.get("path") == "probe":
+                    self.probe_hits += 1
+                if r.recovered:
+                    self.recoveries += 1
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add_insertions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        """Route new rows to their shards (caller holds the table write lock)."""
+        self._route_update(values, keys, insert=True)
+
+    def add_deletions(self, values: np.ndarray, keys: np.ndarray) -> None:
+        self._route_update(values, keys, insert=False)
+
+    def _route_update(
+        self, values: np.ndarray, keys: np.ndarray, insert: bool
+    ) -> None:
+        values = np.asarray(values)
+        keys = np.asarray(keys, dtype=np.int64)
+        empty_v = values[:0]
+        empty_k = keys[:0]
+        for worker, mask in zip(self.workers, route_masks(values, self.edges)):
+            if not mask.any():
+                continue
+            shard_values, shard_keys = values[mask], keys[mask]
+            remap = worker.grow_result(len(shard_values)) if insert else None
+            if insert:
+                command = ("update", shard_values, shard_keys,
+                           empty_v, empty_k, remap)
+            else:
+                command = ("update", empty_v, empty_k,
+                           shard_values, shard_keys, remap)
+            worker.dispatch(command, DEFAULT_DEADLINE)
+            worker.finish_grow()
+
+    def apply_pending_all(self) -> None:
+        for worker in self.workers:
+            worker.dispatch(("apply_pending",), DEFAULT_DEADLINE)
+
+    def snapshot(self) -> list[dict]:
+        """Per-shard state fingerprints (tests compare across respawns)."""
+        out = []
+        for worker in self.workers:
+            meta = dict(worker.dispatch(("snapshot",), DEFAULT_DEADLINE).meta)
+            meta.pop("seconds", None)  # wall time is not part of the state
+            out.append(meta)
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut workers down and unlink every shared segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            worker.close()
+        for worker in self.workers:
+            worker.base.release()
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, object]:
+        with self._stats_mutex:
+            timings = {
+                "selects": self.selects,
+                "probe_hits": self.probe_hits,
+                "recoveries": self.recoveries,
+                "dispatch_seconds": self.dispatch_seconds,
+                "worker_seconds": self.worker_seconds,
+                "gather_seconds": self.gather_seconds,
+            }
+        return {
+            "table": self.table,
+            "attr": self.attr,
+            "engine": "process",
+            "partitions": len(self.workers),
+            "rows": len(self),
+            "shard_rows": [w.rows for w in self.workers],
+            "respawns": [w.respawns for w in self.workers],
+            "commands": [w.commands for w in self.workers],
+            "tape_lengths": [len(w.tape) for w in self.workers],
+            **timings,
+        }

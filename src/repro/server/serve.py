@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 
 from repro.engine.database import Database
 from repro.errors import QueryTimeout, ReproError, ServerError
@@ -54,9 +55,15 @@ class ServerHandle:
         engine=None,
         cache: bool = True,
         partition_attrs: "tuple[tuple[str, str], ...] | list" = (),
+        processes: int = 0,
+        cache_bytes: "int | None" = None,
     ) -> None:
+        from repro.server.executor import DEFAULT_CACHE_BYTES
+
         self.executor = ServerExecutor(
-            db, engine=engine, workers=workers, partitions=partitions, cache=cache
+            db, engine=engine, workers=workers, partitions=partitions,
+            cache=cache, processes=processes,
+            cache_bytes=DEFAULT_CACHE_BYTES if cache_bytes is None else cache_bytes,
         )
         for table, attr in partition_attrs:
             self.executor.partition(table, attr)
@@ -236,21 +243,55 @@ def run_server(
     partitions: int = 0,
     partition_attrs: "tuple[tuple[str, str], ...] | list" = (),
     ready_callback=None,
+    processes: int = 0,
+    cache_bytes: "int | None" = None,
 ) -> None:
-    """Blocking entry point for ``repro serve``: run until interrupted."""
+    """Blocking entry point for ``repro serve``: run until interrupted.
+
+    SIGTERM and SIGINT both trigger a graceful shutdown: the listener
+    closes, then ``ServerHandle.close()`` runs — which matters in process
+    mode, where skipping it would strand shard worker processes and leak
+    their ``/dev/shm`` segments (the kernel never reclaims those on
+    process death; only an explicit unlink does).
+    """
 
     async def _main() -> None:
         handle = ServerHandle(
             db, workers=workers, partitions=partitions,
             partition_attrs=partition_attrs,
+            processes=processes, cache_bytes=cache_bytes,
         )
         server = CrackServer(handle, host, port)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        hooked = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stopping.set)
+                hooked.append(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        # Handlers are armed before readiness is announced: a supervisor
+        # that stops the service the instant it reports its port must
+        # still get the graceful (segment-unlinking) shutdown.
         bound_host, bound_port = await server.start()
         if ready_callback is not None:
             ready_callback(bound_host, bound_port)
+        forever = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stopping.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {forever, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
+            for task in (forever, waiter):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, ConnectionError):
+                    pass
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
             await server.stop()
             handle.close()
 

@@ -11,6 +11,15 @@ database.
 from repro.storage.bat import BAT
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
+from repro.storage.shared import SharedArray, SharedBAT
 from repro.storage.types import ColumnType, coerce_column
 
-__all__ = ["BAT", "Catalog", "Relation", "ColumnType", "coerce_column"]
+__all__ = [
+    "BAT",
+    "Catalog",
+    "Relation",
+    "SharedArray",
+    "SharedBAT",
+    "ColumnType",
+    "coerce_column",
+]

@@ -1,0 +1,355 @@
+"""Shared-memory column payloads for process-parallel serving.
+
+A :class:`SharedArray` places one NumPy array in a
+``multiprocessing.shared_memory`` segment; a :class:`SharedBAT` mirrors a
+:class:`~repro.storage.bat.BAT` (values plus materialized keys) across such
+segments.  Both sides see **zero-copy views**: the creating process writes
+the payload once, worker processes attach by segment name and map the same
+physical pages — no pickling of column payloads ever crosses the process
+boundary (Rozenberg's analytic-column-store model: columnar payloads live
+in flat, process-shareable buffers).
+
+Lifecycle discipline (the part ``/dev/shm`` makes unforgiving):
+
+* every segment has exactly one **owner** — the process that created it.
+  ``close()`` on the owner both unmaps *and unlinks* the segment
+  (unlink-on-close), so a closed owner can never leak a name;
+* attachments (worker-side maps of an existing name) ``close()`` their
+  mapping only; the owner's unlink reclaims the memory once the last map
+  drops (POSIX shm semantics — a SIGKILLed attacher cannot leak either);
+* :class:`SharedBAT` adds an explicit refcount (:meth:`SharedBAT.retain` /
+  :meth:`SharedBAT.release`) for owners shared by several structures;
+* every create/attach is recorded in a process-local registry;
+  :func:`live_segment_names` backs the test suite's leak-check fixture and
+  :func:`leaked_system_segments` sweeps ``/dev/shm`` for names this process
+  created but never unlinked.
+
+Attachments bypass ``multiprocessing.resource_tracker`` registration: on
+Python < 3.13 an attach registers the name with the *attaching* process's
+tracker, whose exit-time cleanup would unlink a segment the owner still
+serves (the well-known double-unlink hazard).  Ownership here is explicit,
+so the tracker must not second-guess it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import SchemaError, ServerError
+from repro.server.locks import Mutex
+from repro.storage.bat import BAT
+from repro.storage.types import ColumnType
+
+#: Segment names are prefixed with the creating PID so concurrent test runs
+#: never collide and the leak sweep can attribute every name it finds.
+SEGMENT_PREFIX = "repro_shm"
+
+_counter = itertools.count()
+_registry_mutex = Mutex("shm.registry")
+#: name -> "owner" | "attached"; the process-local accounting behind the
+#: suite's leak-check fixture.
+_live: dict[str, str] = {}
+
+
+def _next_name() -> str:
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_counter)}"
+
+
+def live_segment_names() -> frozenset[str]:
+    """Names of segments this process created or attached and has not closed."""
+    with _registry_mutex:
+        return frozenset(_live)
+
+
+def leaked_system_segments() -> list[str]:
+    """Names under ``/dev/shm`` that this process created but never unlinked.
+
+    Empty on platforms without a ``/dev/shm`` (the in-process registry still
+    covers those).  Segments created by *other* processes (including other
+    test runs) are ignored via the PID prefix.
+    """
+    root = "/dev/shm"
+    mine = f"{SEGMENT_PREFIX}_{os.getpid()}_"
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(mine))
+
+
+def _register(name: str, role: str) -> None:
+    with _registry_mutex:
+        _live[name] = role
+
+
+def _unregister(name: str) -> None:
+    with _registry_mutex:
+        _live.pop(name, None)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without resource-tracker registration.
+
+    Only the owner may unlink; but on Python < 3.13 every
+    ``SharedMemory(name=...)`` attach registers the name with the resource
+    tracker, whose exit-time cleanup would unlink a segment the owner still
+    serves.  Worse, fork-started workers *share* the parent's tracker
+    process, so a worker-side ``unregister`` after the fact would delete the
+    owner's legitimate entry (double-unlink hazard inverted).  Suppressing
+    registration during the attach sidesteps both: attachments simply never
+    enter the tracker's books.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+    except (ImportError, AttributeError):
+        return shared_memory.SharedMemory(name=name)
+    with _registry_mutex:
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedArray:
+    """One NumPy array in one shared-memory segment, with explicit ownership.
+
+    ``owner=True`` instances created the segment and unlink it on
+    :meth:`close`; ``owner=False`` instances (worker-side attaches) only
+    unmap.  ``view`` is the zero-copy ndarray over the segment's pages.
+    """
+
+    __slots__ = ("shm", "view", "shape", "dtype", "owner", "closed")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self.shm = shm
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self.closed = False
+        self.view = np.ndarray(shape, dtype=self.dtype, buffer=shm.buf)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, values: np.ndarray) -> "SharedArray":
+        """Place a copy of ``values`` into a fresh owned segment."""
+        values = np.ascontiguousarray(values)
+        out = cls.zeros(values.shape, values.dtype)
+        out.view[...] = values
+        return out
+
+    @classmethod
+    def zeros(
+        cls, shape: "tuple[int, ...] | int", dtype: object = np.int64
+    ) -> "SharedArray":
+        """A fresh owned segment of zeroed ``shape`` x ``dtype``."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(
+            name=_next_name(), create=True, size=nbytes
+        )
+        _register(shm.name, "owner")
+        arr = cls(shm, tuple(shape), dtype, owner=True)
+        arr.view[...] = 0
+        return arr
+
+    @property
+    def meta(self) -> tuple[str, str, tuple[int, ...]]:
+        """A picklable descriptor another process can :meth:`attach` with."""
+        return (self.shm.name, self.dtype.str, self.shape)
+
+    @classmethod
+    def attach(cls, meta: tuple[str, str, tuple[int, ...]]) -> "SharedArray":
+        """Map an existing segment by descriptor (non-owning)."""
+        name, dtype, shape = meta
+        shm = _attach_untracked(name)
+        _register(name, "attached")
+        return cls(shm, tuple(shape), np.dtype(dtype), owner=False)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap; owners also unlink.  Idempotent.
+
+        A still-exported view (a caller holding an uncopied slice) keeps the
+        mapping alive until it drops, but the owner's *unlink* always runs —
+        the name can never leak past an owner close.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        name = self.shm.name
+        self.view = None  # type: ignore[assignment]  # release our buffer export
+        try:
+            self.shm.close()
+        except BufferError:
+            # An outstanding external view pins the mapping; the pages free
+            # when it drops.  Unlink below still removes the name.
+            pass
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+        _unregister(name)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return int(self.shape[0]) if self.shape else 0
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "attached"
+        return (
+            f"<SharedArray {self.shm.name} {self.dtype}{list(self.shape)} "
+            f"{role}{' closed' if self.closed else ''}>"
+        )
+
+
+#: Column types a shared segment can carry: fixed-width numerics only.
+#: Dictionary-encoded columns carry a Python-object code table that cannot
+#: live in flat shared pages; the serving layer shards numeric attributes.
+_SHAREABLE = (ColumnType.INT, ColumnType.FLOAT)
+
+
+class SharedBAT:
+    """A BAT whose value and key payloads live in shared-memory segments.
+
+    Mirrors the owning side of one shard: ``values`` (and materialized
+    ``keys``) are :class:`SharedArray` segments; :meth:`as_bat` yields a
+    zero-copy :class:`~repro.storage.bat.BAT` over the mapped pages, and
+    :meth:`meta` a picklable descriptor workers :meth:`attach` with.
+
+    Owners are refcounted: each logical holder calls :meth:`retain` and
+    :meth:`release`; the segments unlink when the count reaches zero (or on
+    an explicit :meth:`close`, which overrides outstanding holds — the
+    executor's shutdown path must never leak on an unbalanced holder).
+    """
+
+    def __init__(
+        self,
+        values: SharedArray,
+        keys: SharedArray | None,
+        ctype: ColumnType,
+    ) -> None:
+        self._values = values
+        self._keys = keys
+        self.ctype = ctype
+        self._refs = 1
+        self._mutex = Mutex("shm.bat")
+        self.closed = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_bat(cls, bat: BAT) -> "SharedBAT":
+        """Copy one BAT's payloads into fresh owned segments."""
+        if bat.ctype not in _SHAREABLE:
+            raise SchemaError(
+                f"cannot share a {bat.ctype.name} column; shared shards are "
+                "fixed-width numeric only"
+            )
+        values = SharedArray.create(bat.values)
+        keys = SharedArray.create(bat.materialized_keys())
+        return cls(values, keys, bat.ctype)
+
+    def meta(self) -> dict[str, object]:
+        """Picklable attach descriptor (segment names, dtypes, shapes)."""
+        return {
+            "values": self._values.meta,
+            "keys": None if self._keys is None else self._keys.meta,
+            "ctype": self.ctype.name,
+        }
+
+    @classmethod
+    def attach(cls, meta: dict[str, object]) -> "SharedBAT":
+        """Map another process's segments (non-owning)."""
+        values = SharedArray.attach(meta["values"])  # type: ignore[arg-type]
+        keys_meta = meta["keys"]
+        keys = None if keys_meta is None else SharedArray.attach(keys_meta)  # type: ignore[arg-type]
+        return cls(values, keys, ColumnType[str(meta["ctype"])])
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.view
+
+    @property
+    def keys(self) -> np.ndarray | None:
+        return None if self._keys is None else self._keys.view
+
+    def as_bat(self) -> BAT:
+        """A zero-copy BAT over the mapped segments."""
+        if self.closed:
+            raise ServerError("SharedBAT used after close")
+        return BAT(self.values, self.ctype, self.keys, None)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def nbytes(self) -> int:
+        total = int(np.prod(self._values.shape)) * self._values.dtype.itemsize
+        if self._keys is not None:
+            total += int(np.prod(self._keys.shape)) * self._keys.dtype.itemsize
+        return total
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def retain(self) -> "SharedBAT":
+        with self._mutex:
+            if self.closed:
+                raise ServerError("SharedBAT retained after close")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one hold; the last hold closes (and owners unlink)."""
+        with self._mutex:
+            if self.closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self.closed = True
+        self._close_segments()
+
+    def close(self) -> None:
+        """Unconditional close: unmap/unlink regardless of holds."""
+        with self._mutex:
+            if self.closed:
+                return
+            self.closed = True
+            self._refs = 0
+        self._close_segments()
+
+    def _close_segments(self) -> None:
+        self._values.close()
+        if self._keys is not None:
+            self._keys.close()
+
+    def __enter__(self) -> "SharedBAT":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

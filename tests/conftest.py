@@ -97,6 +97,33 @@ def _faultsan(request: pytest.FixtureRequest):
         uninstall_plan()
 
 
+@pytest.fixture(autouse=True)
+def _shm_leak_check():
+    """Suite-wide shared-memory leak check.
+
+    Every test must balance its shared-memory lifecycle: any
+    :class:`~repro.storage.shared.SharedArray` / ``SharedBAT`` created or
+    attached during the test must be closed by the end of it, and no
+    segment this process created may survive in ``/dev/shm``.  A leaked
+    name here means an ownership bug (a pool that forgot a shard, an
+    executor close path that skipped a buffer), not harmless garbage —
+    ``/dev/shm`` is a finite, machine-wide resource.
+    """
+    from repro.storage.shared import leaked_system_segments, live_segment_names
+
+    before = live_segment_names()
+    yield
+    after = live_segment_names()
+    leaked_registry = sorted(after - before)
+    leaked_system = leaked_system_segments()
+    assert not leaked_registry, (
+        f"test leaked shared-memory handles (never closed): {leaked_registry}"
+    )
+    assert not leaked_system, (
+        f"test leaked /dev/shm segments (never unlinked): {leaked_system}"
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -247,10 +247,10 @@ def test_racesan_redetects_unlocked_version_capture(monkeypatch):
     with the failing lockset and both stacks."""
     original = ServerExecutor._execute
 
-    def racy_execute(self, query):
+    def racy_execute(self, query, *args, **kwargs):
         # The reverted discipline: sample the version with no lock held.
         self._capture_version(query.table)
-        return original(self, query)
+        return original(self, query, *args, **kwargs)
 
     monkeypatch.setattr(ServerExecutor, "_execute", racy_execute)
     db = _serving_db()

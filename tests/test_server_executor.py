@@ -293,3 +293,83 @@ def test_stats_report(executor):
     assert stats["paths"]["partition"] == 1
     assert stats["latency_p99"] >= stats["latency_p50"] >= 0.0
     assert "R.A" in stats["partitioned"]
+
+
+# -- bytes-budgeted LRU result cache ----------------------------------------
+
+
+def _result_of_bytes(nbytes: int) -> "ServedResult":
+    from repro.server.executor import ServedResult
+
+    rows = max(1, nbytes // 8)
+    return ServedResult(columns={"A": np.zeros(rows, dtype=np.int64)})
+
+
+def test_lru_cache_admits_and_counts():
+    from repro.server.executor import ResultCacheLRU
+
+    cache = ResultCacheLRU(1 << 20)
+    result = _result_of_bytes(1024)
+    assert cache.put(("k",), result)
+    assert cache.get(("k",)) is result
+    assert cache.get(("missing",)) is None
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["admissions"] == 1
+    assert stats["evictions"] == 0
+    assert stats["bytes"] == ResultCacheLRU.cost_of(result)
+
+
+def test_lru_cache_evicts_least_recently_served():
+    from repro.server.executor import ResultCacheLRU
+
+    entry = ResultCacheLRU.cost_of(_result_of_bytes(4096))
+    cache = ResultCacheLRU(3 * entry)
+    for key in ("a", "b", "c"):
+        cache.put((key,), _result_of_bytes(4096))
+    assert cache.get(("a",)) is not None  # refresh "a": "b" is now LRU
+    cache.put(("d",), _result_of_bytes(4096))
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) is not None
+    assert cache.stats()["evictions"] == 1
+    assert cache.bytes <= cache.capacity_bytes
+
+
+def test_lru_cache_refuses_oversized_entries():
+    from repro.server.executor import ResultCacheLRU
+
+    cache = ResultCacheLRU(1024)
+    assert not cache.put(("big",), _result_of_bytes(1 << 20))
+    assert len(cache) == 0
+    assert cache.stats()["rejections"] == 1
+
+
+def test_lru_cache_replaces_existing_key_without_double_count():
+    from repro.server.executor import ResultCacheLRU
+
+    cache = ResultCacheLRU(1 << 20)
+    cache.put(("k",), _result_of_bytes(1024))
+    cache.put(("k",), _result_of_bytes(2048))
+    assert len(cache) == 1
+    assert cache.bytes == ResultCacheLRU.cost_of(_result_of_bytes(2048))
+
+
+def test_executor_cache_bytes_budget_evicts(db):
+    """A tiny --cache-bytes budget forces evictions under serving load."""
+    with ServerExecutor(db, workers=1, cache_bytes=8 * 1024) as executor:
+        for i in range(12):
+            executor.run(_span(i * 1_000, (i + 5) * 1_000, projections=("A", "B")))
+        stats = executor.stats()["cache"]
+        assert stats["capacity_bytes"] == 8 * 1024
+        assert stats["bytes"] <= 8 * 1024
+        assert stats["admissions"] + stats["rejections"] == 12
+        assert stats["evictions"] > 0 or stats["rejections"] > 0
+
+
+def test_executor_cache_bytes_zero_disables_cache(db):
+    with ServerExecutor(db, workers=1, cache_bytes=0) as executor:
+        query = _span(2_000, 30_000)
+        executor.run(query)
+        repeat = executor.run(query)
+        assert not repeat.cached
+        assert executor.stats()["cache"]["admissions"] == 0

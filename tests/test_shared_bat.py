@@ -1,0 +1,160 @@
+"""SharedArray/SharedBAT: zero-copy views, ownership, unlink accounting."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, ServerError
+from repro.storage.bat import BAT
+from repro.storage.shared import (
+    SEGMENT_PREFIX,
+    SharedArray,
+    SharedBAT,
+    leaked_system_segments,
+    live_segment_names,
+)
+from repro.storage.types import ColumnType
+
+
+def test_shared_array_roundtrip(rng):
+    values = rng.integers(0, 1000, size=500).astype(np.int64)
+    arr = SharedArray.create(values)
+    try:
+        assert np.array_equal(arr.view, values)
+        assert arr.owner
+        assert len(arr) == 500
+        assert arr.shm.name.startswith(f"{SEGMENT_PREFIX}_{os.getpid()}_")
+    finally:
+        arr.close()
+
+
+def test_shared_array_attach_sees_owner_writes(rng):
+    owner = SharedArray.zeros(64, np.int64)
+    try:
+        attached = SharedArray.attach(owner.meta)
+        try:
+            owner.view[:] = np.arange(64)
+            assert np.array_equal(attached.view, np.arange(64))
+            assert not attached.owner
+        finally:
+            attached.close()
+        # The owner's segment survives an attachment close.
+        assert np.array_equal(owner.view, np.arange(64))
+    finally:
+        owner.close()
+
+
+def test_close_is_idempotent_and_unlinks():
+    arr = SharedArray.zeros(8)
+    name = arr.shm.name
+    assert name in live_segment_names()
+    arr.close()
+    arr.close()
+    assert name not in live_segment_names()
+    assert not leaked_system_segments()
+
+
+def test_registry_tracks_attachments():
+    owner = SharedArray.zeros(8)
+    attached = SharedArray.attach(owner.meta)
+    assert owner.shm.name in live_segment_names()
+    attached.close()
+    owner.close()
+    assert owner.shm.name not in live_segment_names()
+
+
+def test_shared_bat_roundtrip(rng):
+    values = rng.integers(0, 1000, size=300).astype(np.int64)
+    bat = BAT(values, ColumnType.INT, None, None)
+    shared = SharedBAT.from_bat(bat)
+    try:
+        view = shared.as_bat()
+        assert np.array_equal(view.values, values)
+        assert np.array_equal(view.materialized_keys(), np.arange(300))
+        assert shared.nbytes == 2 * 300 * 8
+    finally:
+        shared.close()
+
+
+def test_shared_bat_rejects_dict_columns():
+    codes = np.array([0, 1, 0], dtype=np.int32)
+    bat = BAT(codes, ColumnType.DICT, None, ["x", "y"])
+    with pytest.raises(SchemaError):
+        SharedBAT.from_bat(bat)
+
+
+def test_shared_bat_refcount():
+    values = np.arange(10, dtype=np.int64)
+    shared = SharedBAT.from_bat(BAT(values, ColumnType.INT, None, None))
+    shared.retain()
+    shared.release()
+    assert not shared.closed
+    shared.release()  # last hold
+    assert shared.closed
+    with pytest.raises(ServerError):
+        shared.as_bat()
+    with pytest.raises(ServerError):
+        shared.retain()
+    shared.close()  # idempotent after release-to-zero
+    assert not leaked_system_segments()
+
+
+def test_shared_bat_unconditional_close_overrides_holds():
+    values = np.arange(10, dtype=np.int64)
+    shared = SharedBAT.from_bat(BAT(values, ColumnType.INT, None, None))
+    shared.retain()
+    shared.close()
+    assert shared.closed
+    assert not leaked_system_segments()
+
+
+def _child_sum(meta, queue):
+    attached = SharedBAT.attach(meta)
+    try:
+        queue.put(int(attached.as_bat().values.sum()))
+    finally:
+        attached.close()
+
+
+def test_cross_process_attach_is_zero_copy_consistent(rng):
+    values = rng.integers(0, 100, size=1000).astype(np.int64)
+    shared = SharedBAT.from_bat(BAT(values, ColumnType.INT, None, None))
+    try:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_child_sum, args=(shared.meta(), queue))
+        proc.start()
+        got = queue.get(timeout=30)
+        proc.join(timeout=30)
+        assert got == int(values.sum())
+    finally:
+        shared.close()
+    assert not leaked_system_segments()
+
+
+def test_owner_unlink_survives_killed_attacher(rng):
+    """A SIGKILLed attaching process cannot leak the owner's segment."""
+    shared = SharedArray.zeros(128, np.int64)
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+
+    proc = ctx.Process(target=_attach_and_hang, args=(shared.meta,))
+    proc.start()
+    proc.kill()
+    proc.join(timeout=30)
+    shared.close()
+    assert not leaked_system_segments()
+
+
+def _attach_and_hang(meta):
+    import time
+
+    attached = SharedArray.attach(meta)
+    time.sleep(60)
+    attached.close()
