@@ -40,6 +40,8 @@ EXPERIMENTS = {
               "Concurrent serving throughput + bit-identity vs serial"),
     "exp18": ("exp18_multicore",
               "Process-parallel shard workers vs threads vs serial"),
+    "exp19": ("exp19_overload",
+              "Overload: admission control, breakers, degraded serving"),
 }
 
 ABLATIONS = ("partial_alignment", "head_dropping", "mapset_choice",
@@ -185,6 +187,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         partitions=args.partitions, partition_attrs=partition_attrs,
         ready_callback=ready,
         processes=args.processes, cache_bytes=args.cache_bytes,
+        max_queue=args.max_queue, max_inflight=args.max_inflight,
+        shed_policy=args.shed_policy,
     )
     return 0
 
@@ -245,6 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-bytes", type=int, default=None,
                        help="result-cache LRU budget in bytes "
                             "(default 64 MiB; 0 disables caching)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound on queued (not yet executing) requests; "
+                            "overflow is shed per --shed-policy")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="bound on queued + executing requests")
+    serve.add_argument("--shed-policy", default="reject-newest",
+                       choices=("reject-newest", "reject-oldest",
+                                "deadline-aware"),
+                       help="which request a full admission queue drops")
     serve.add_argument("--partition-attr", action="append", metavar="TABLE.ATTR",
                        help="range-partition this attribute into --partitions "
                             "independently-cracked shards (repeatable)")

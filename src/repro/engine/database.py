@@ -103,6 +103,10 @@ class Database:
         # memory segments never outlive (or leak past) the owning Database.
         self._closeables: list = []
         self._closed = False
+        # close() serializes on its own (non-reentrant) mutex so concurrent
+        # closers both block until teardown is fully done — a second caller
+        # must never return while the first is still unlinking segments.
+        self._close_mutex = Mutex("db.close")
 
     @property
     def data_version(self) -> int:
@@ -116,23 +120,28 @@ class Database:
             self._closeables.append(resource)
 
     def close(self) -> None:
-        """Release everything registered against this database.  Idempotent.
+        """Release everything registered against this database.  Idempotent
+        and safe under concurrent callers: every closer serializes on the
+        close mutex, so whichever thread loses the race blocks until the
+        winner finished tearing everything down — nobody returns to a
+        half-closed database.
 
         The serving layer registers its executors here, so closing the
         database shuts worker processes down and unlinks every shared-
         memory segment they mapped — no ``/dev/shm`` entry survives a
         closed database.
         """
-        with self._meta_lock:
-            if self._closed:
-                return
-            self._closed = True
-            resources = list(self._closeables)
-            self._closeables.clear()
-        # Close outside the meta lock: an executor's close() joins worker
-        # threads that may still need database reads to finish.
-        for resource in reversed(resources):
-            resource.close()
+        with self._close_mutex:
+            with self._meta_lock:
+                if self._closed:
+                    return
+                self._closed = True
+                resources = list(self._closeables)
+                self._closeables.clear()
+            # Close outside the meta lock: an executor's close() joins
+            # worker threads that may still need database reads to finish.
+            for resource in reversed(resources):
+                resource.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -234,12 +234,33 @@ class ServerError(ReproError):
     """
 
 
+class ServerOverloaded(ServerError):
+    """The executor shed this request under admission control.
+
+    Raised when the bounded admission queue is full (``max_queue`` /
+    ``max_inflight``) and the configured shed policy decided this request
+    is the one to drop — at submission for ``reject-newest``, or while
+    waiting for a future that a later admission cancelled
+    (``reject-oldest`` / ``deadline-aware``).  A typed wire error: clients
+    see ``kind: "ServerOverloaded"`` and should back off, not retry hot.
+    """
+
+    def __init__(self, message: str, *, policy: str | None = None) -> None:
+        if policy is not None:
+            message = f"{message} (policy={policy})"
+        super().__init__(message)
+        self.policy = policy
+
+
 class QueryTimeout(ServerError):
     """A served query did not finish within its deadline.
 
-    The worker thread may still complete the query in the background; the
-    timeout bounds the *client's* wait, not the work (there is no safe way
-    to preempt a cracker mid-partition, and rollback is FaultSan's job).
+    The timeout bounds the *client's* wait, not the work (there is no safe
+    way to preempt a cracker mid-partition, and rollback is FaultSan's
+    job) — but an abandoned request is marked *cancelled*: the worker
+    checks the flag at scatter/probe boundaries and stops early instead of
+    burning shard workers, and a result computed anyway is never admitted
+    to the result cache.
     """
 
     def __init__(self, message: str, *, seconds: float | None = None) -> None:

@@ -50,6 +50,7 @@ SITES: tuple[str, ...] = (
     "kernels.crack_two",
     "kernels.crack_three",
     "kernels.sort_piece",
+    "kernels.progressive_step",
     "crack.crack_bound",
     "arena.alloc",
     "tape.append",
@@ -63,6 +64,8 @@ SITES: tuple[str, ...] = (
     "persist.save",
     "persist.load",
     "procpool.worker",
+    "procpool.retry",
+    "procpool.breaker",
 )
 
 KINDS: tuple[str, ...] = ("error", "oom", "corrupt")
@@ -73,6 +76,7 @@ PAYLOAD_SITES: frozenset[str] = frozenset(
         "kernels.crack_two",
         "kernels.crack_three",
         "kernels.sort_piece",
+        "kernels.progressive_step",
         "mapset.align",
         "partial.align",
         "chunkmap.fetch",

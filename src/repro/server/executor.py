@@ -62,6 +62,7 @@ from __future__ import annotations
 import hashlib
 import time
 from collections import OrderedDict
+from concurrent.futures import CancelledError as FutureCancelled
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
@@ -69,21 +70,35 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis import racesan
+from repro.cracking.progressive import ProgressiveBudget
 from repro.engine.base import Engine
 from repro.engine.database import Database
 from repro.engine.operators import random_gather
 from repro.engine.query import Query, QueryResult, compute_aggregates
 from repro.engine.selection_cracking import SelectionCrackingEngine
-from repro.errors import QueryTimeout, ServerError
+from repro.errors import QueryTimeout, ServerError, ServerOverloaded
 from repro.server.locks import LockRegistry, Mutex
 from repro.server.partition import PartitionedColumn
 from repro.server.procpool import ProcessShardPool
+from repro.server.resilience import Deadline, ResilienceConfig
 
 #: Default per-query deadline (seconds) for the blocking entry points.
 DEFAULT_TIMEOUT = 30.0
 
 #: Default result-cache budget: 64 MiB of canonical result payloads.
 DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Admission shed policies (the ``--shed-policy`` CLI knob).
+SHED_POLICIES = ("reject-newest", "reject-oldest", "deadline-aware")
+
+#: A request whose remaining budget falls under half its full budget takes
+#: a trimmed :class:`~repro.cracking.progressive.ProgressiveBudget` on the
+#: engine path — answer via hole-carrying resolve now, finish cracking on
+#: some later, less-pressed query.
+BUDGET_TRIM_FRACTION = 0.5
+
+#: The trimmed per-query crack allowance (elements).
+BUDGET_TRIM_ELEMENTS = 4096
 
 
 class ResultCacheLRU:
@@ -213,6 +228,9 @@ class ServedResult:
     queue_seconds: float = 0.0
     data_version: int = 0
     fault_recovered: bool = False
+    #: The answer is exact but a sick shard's range was served by the
+    #: breaker's scan fallback instead of its cracker.  Never cached.
+    degraded: bool = False
     _digest: str | None = field(default=None, repr=False)
 
     def digest(self) -> str:
@@ -231,6 +249,8 @@ class ServedResult:
             "path": self.path,
             "cached": self.cached,
             "elapsed_seconds": self.elapsed_seconds,
+            "fault_recovered": self.fault_recovered,
+            "degraded": self.degraded,
             "digest": self.digest(),
         }
 
@@ -247,6 +267,22 @@ def _cache_key(query: Query) -> tuple:
         query.table, preds, query.projections, query.aggregates,
         query.conjunctive, query.group_by,
     )
+
+
+@dataclass
+class _Request:
+    """One admitted request: the query, its deadline, and its future.
+
+    ``ticket`` orders requests for the reject-oldest shed policy;
+    ``deadline`` is the single budget every layer (wait, scatter, procpool
+    dispatch, crack budget) measures against, anchored at enqueue.
+    """
+
+    served: ServedQuery
+    deadline: Deadline
+    enqueued: float
+    ticket: int = 0
+    future: object = None
 
 
 class ServerExecutor:
@@ -276,6 +312,21 @@ class ServerExecutor:
     cache_bytes:
         The result cache's LRU budget in bytes (``--cache-bytes``);
         ``0`` disables caching like ``cache=False``.
+    max_queue:
+        Bound on *waiting* (admitted but not yet executing) requests
+        (``--max-queue``); ``None`` leaves admission unbounded.
+    max_inflight:
+        Bound on waiting + executing requests (``--max-inflight``).
+    shed_policy:
+        Which request the full admission queue drops: ``reject-newest``
+        (refuse the newcomer), ``reject-oldest`` (cancel the
+        longest-waiting queued request to make room), or
+        ``deadline-aware`` (shed queued requests whose remaining budget
+        cannot cover the observed p50 service time — they were going to
+        time out anyway — before falling back to reject-newest).
+    resilience:
+        Retry/breaker knobs handed to process-mode shard pools
+        (:class:`~repro.server.resilience.ResilienceConfig`).
     """
 
     def __init__(
@@ -288,11 +339,24 @@ class ServerExecutor:
         default_timeout: float | None = DEFAULT_TIMEOUT,
         processes: int = 0,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        max_queue: int | None = None,
+        max_inflight: int | None = None,
+        shed_policy: str = "reject-newest",
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ServerError(f"worker count {workers} must be >= 1")
         if processes < 0:
             raise ServerError(f"process count {processes} must be >= 0")
+        if max_queue is not None and max_queue < 0:
+            raise ServerError(f"max_queue {max_queue} must be >= 0")
+        if max_inflight is not None and max_inflight < 1:
+            raise ServerError(f"max_inflight {max_inflight} must be >= 1")
+        if shed_policy not in SHED_POLICIES:
+            raise ServerError(
+                f"unknown shed policy {shed_policy!r}; pick one of "
+                f"{', '.join(SHED_POLICIES)}"
+            )
         self.db = db
         self.engine = engine if engine is not None else SelectionCrackingEngine(db)
         self.workers = workers
@@ -324,6 +388,22 @@ class ServerExecutor:
         self._cache_mutex = Mutex("executor.cache")
         self._stats_mutex = Mutex("executor.stats")
         self._closed = False
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self.shed_policy = shed_policy
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        # Admission state: waiting requests (ticket -> record, insertion
+        # ordered) and the executing count, all under one leaf mutex.
+        self._admission_mutex = Mutex("executor.admission")
+        self._close_mutex = Mutex("executor.close")
+        self._queued: "OrderedDict[int, _Request]" = OrderedDict()
+        self._inflight = 0
+        self._request_seq = 0
+        self._draining = False
+        self.shed = 0
+        self.abandoned = 0
+        self.degraded_served = 0
+        self.budget_trims = 0
         self.queries_served = 0
         self.cache_hits = 0
         self.path_counts: dict[str, int] = {}
@@ -339,22 +419,41 @@ class ServerExecutor:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self._pool.shutdown(wait=True)
-        if self._shard_pool is not None:
-            self._shard_pool.shutdown(wait=True)
-        # Process pools last: their workers may still be draining commands
-        # submitted by in-flight queries above.  Closing unlinks every
-        # shared-memory segment the pools own.
-        with self._partition_mutex:
-            pools = [
-                column for column in self._partitioned.values()
-                if isinstance(column, ProcessShardPool)
-            ]
-        for pool in pools:
-            pool.close()
+        """Graceful drain, then teardown.  Idempotent, and safe under
+        concurrent callers: everyone serializes on the close mutex, so a
+        second closer blocks until the first finished instead of racing
+        the pool shutdowns, and every caller returns to a fully-closed
+        executor.
+
+        Drain order: stop admitting, shed what is still queued (those
+        waiters see :class:`~repro.errors.ServerOverloaded`), let
+        in-flight queries finish, then close the shard pools and unlink
+        their shared-memory segments.
+        """
+        with self._close_mutex:
+            if self._closed:
+                return
+            with self._admission_mutex:
+                self._draining = True
+                for record in list(self._queued.values()):
+                    if record.future is not None and record.future.cancel():
+                        self._queued.pop(record.ticket, None)
+                        record.deadline.cancel()
+                        self.shed += 1
+            self._pool.shutdown(wait=True)
+            if self._shard_pool is not None:
+                self._shard_pool.shutdown(wait=True)
+            # Process pools last: their workers may still be draining
+            # commands submitted by in-flight queries above.  Closing
+            # unlinks every shared-memory segment the pools own.
+            with self._partition_mutex:
+                pools = [
+                    column for column in self._partitioned.values()
+                    if isinstance(column, ProcessShardPool)
+                ]
+            for pool in pools:
+                pool.close()
+            self._closed = True
 
     def __enter__(self) -> "ServerExecutor":
         return self
@@ -404,6 +503,7 @@ class ServerExecutor:
                     table, attr, self.db.recorder,
                     budget=self.db.crack_budget, policy=self.db.crack_policy,
                     crack_seed=self.db.crack_seed,
+                    resilience=self.resilience,
                 )
             else:
                 column = PartitionedColumn(
@@ -428,55 +528,164 @@ class ServerExecutor:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, request: "ServedQuery | Query | str"):
-        """Enqueue one query; returns a ``concurrent.futures.Future``."""
-        if self._closed:
-            raise ServerError("executor is closed")
+    def _budget_of(self, served: ServedQuery, timeout: float | None = None) -> float | None:
+        if timeout is not None:
+            return timeout
+        if served.timeout is not None:
+            return served.timeout
+        return self.default_timeout
+
+    def admit(
+        self,
+        request: "ServedQuery | Query | str",
+        timeout: float | None = None,
+        enqueued: float | None = None,
+    ) -> _Request:
+        """Admission control: queue one request or shed under pressure.
+
+        Builds the request's :class:`~repro.server.resilience.Deadline`
+        anchored at ``enqueued`` (so batch members share one clock and
+        queue wait counts against the budget), applies the shed policy
+        when the bounded queue is full, and submits to the worker pool —
+        all under the admission mutex, so a request can never be half
+        queued.  Raises :class:`~repro.errors.ServerOverloaded` when this
+        request is the one shed.
+        """
         served = self._coerce(request)
-        enqueued = time.perf_counter()
-        return self._pool.submit(self._serve, served, enqueued)
+        now = time.perf_counter()
+        deadline = Deadline(
+            self._budget_of(served, timeout),
+            now if enqueued is None else enqueued,
+        )
+        with self._admission_mutex:
+            if self._closed or self._draining:
+                raise ServerError("executor is closed")
+            self._maybe_shed(deadline)
+            self._request_seq += 1
+            record = _Request(
+                served=served, deadline=deadline,
+                enqueued=now, ticket=self._request_seq,
+            )
+            self._queued[record.ticket] = record
+            # Submit while holding the mutex: _serve pops the record under
+            # the same mutex, so a queued entry always has a live future
+            # (shed policies rely on future.cancel() deciding ownership).
+            record.future = self._pool.submit(self._serve, record)
+        return record
+
+    def _maybe_shed(self, incoming: Deadline) -> None:
+        """Apply the shed policy (caller holds the admission mutex)."""
+        while True:
+            over_queue = (
+                self.max_queue is not None and len(self._queued) >= self.max_queue
+            )
+            over_inflight = (
+                self.max_inflight is not None
+                and len(self._queued) + self._inflight >= self.max_inflight
+            )
+            if not over_queue and not over_inflight:
+                return
+            victim = self._pick_victim(incoming)
+            if victim is None:
+                self.shed += 1
+                raise ServerOverloaded(
+                    "admission queue is full", policy=self.shed_policy
+                )
+            # A queued record whose future we managed to cancel never runs;
+            # its waiter sees CancelledError -> ServerOverloaded.
+            self._queued.pop(victim.ticket, None)
+            victim.deadline.cancel()
+            self.shed += 1
+
+    def _pick_victim(self, incoming: Deadline) -> "_Request | None":
+        """Choose a *queued* request to shed, or ``None`` to refuse the
+        newcomer.  Only requests whose future cancels cleanly count — one
+        that already started executing is not shed-able."""
+        if self.shed_policy == "reject-newest":
+            return None
+        if self.shed_policy == "reject-oldest":
+            for record in self._queued.values():
+                if record.future is not None and record.future.cancel():
+                    return record
+            return None
+        # deadline-aware: first shed queued requests that cannot finish in
+        # time anyway (remaining budget < observed p50 service time);
+        # if everyone still has headroom, refuse the newcomer — and refuse
+        # it outright when *it* is the hopeless one.
+        p50 = self._observed_p50()
+        for record in self._queued.values():
+            remaining = record.deadline.remaining()
+            if remaining is not None and remaining < p50 \
+                    and record.future is not None and record.future.cancel():
+                return record
+        return None
+
+    def _observed_p50(self) -> float:
+        with self._stats_mutex:
+            if not self.latencies:
+                return 0.0
+            ordered = sorted(self.latencies)
+            return ordered[len(ordered) // 2]
+
+    def submit(self, request: "ServedQuery | Query | str"):
+        """Enqueue one query; returns a ``concurrent.futures.Future``.
+
+        May raise :class:`~repro.errors.ServerOverloaded` at submission
+        when admission control sheds the newcomer.
+        """
+        return self.admit(request).future
+
+    def _await(self, record: _Request) -> ServedResult:
+        """Wait out one admitted request, mapping the future's failure
+        modes to the wire errors: a cancelled future was shed by a later
+        admission (ServerOverloaded); a wait that exceeds the request's
+        deadline abandons it (cancel the deadline so workers stop at the
+        next boundary, never cache) and raises QueryTimeout."""
+        try:
+            return record.future.result(timeout=record.deadline.remaining())
+        except FutureCancelled:
+            raise ServerOverloaded(
+                f"query on {record.served.query.table!r} was shed while "
+                "queued", policy=self.shed_policy,
+            ) from None
+        except FutureTimeout:
+            self._abandon(record)
+            raise QueryTimeout(
+                f"query on {record.served.query.table!r} missed its deadline",
+                seconds=record.deadline.budget,
+            ) from None
+
+    def _abandon(self, record: _Request) -> None:
+        """A waiter gave up: flag cooperative cancellation so the pool
+        thread stops at its next scatter/probe boundary and its (stale)
+        result is never admitted to the cache."""
+        record.deadline.cancel()
+        with self._stats_mutex:
+            self.abandoned += 1
 
     def run(
         self, request: "ServedQuery | Query | str", timeout: float | None = None
     ) -> ServedResult:
         """Serve one query, blocking up to ``timeout`` seconds."""
-        served = self._coerce(request)
-        deadline = timeout if timeout is not None else (
-            served.timeout if served.timeout is not None else self.default_timeout
-        )
-        future = self.submit(served)
-        try:
-            return future.result(timeout=deadline)
-        except FutureTimeout:
-            raise QueryTimeout(
-                f"query on {served.query.table!r} missed its deadline",
-                seconds=deadline,
-            ) from None
+        return self._await(self.admit(request, timeout=timeout))
 
     def run_batch(self, requests) -> list[ServedResult]:
         """Batched admission: serve many queries, deduplicating repeats.
 
         Identical queries in one batch are executed once and fanned out —
         the serving-side amortization a template-heavy workload earns.
-        Results come back in request order.
+        Results come back in request order.  Every deadline is anchored at
+        one shared enqueue timestamp (taken before the first admission),
+        so a request's position in the batch does not grant extra budget.
         """
         served = [self._coerce(r) for r in requests]
-        futures: dict[tuple, object] = {}
+        batch_enqueued = time.perf_counter()
+        records: dict[tuple, _Request] = {}
         for s in served:
             key = _cache_key(s.query)
-            if key not in futures:
-                futures[key] = self.submit(s)
-        results = []
-        for s in served:
-            deadline = s.timeout if s.timeout is not None else self.default_timeout
-            try:
-                results.append(futures[_cache_key(s.query)].result(timeout=deadline))
-            except FutureTimeout:
-                raise QueryTimeout(
-                    f"query on {s.query.table!r} missed its deadline",
-                    seconds=deadline,
-                ) from None
-        return results
+            if key not in records:
+                records[key] = self.admit(s, enqueued=batch_enqueued)
+        return [self._await(records[_cache_key(s.query)]) for s in served]
 
     def _coerce(self, request: "ServedQuery | Query | str") -> ServedQuery:
         if isinstance(request, ServedQuery):
@@ -489,8 +698,30 @@ class ServerExecutor:
 
     # -- the worker body -------------------------------------------------------
 
-    def _serve(self, served: ServedQuery, enqueued: float) -> ServedResult:
+    def _serve(self, record: _Request) -> ServedResult:
         started = time.perf_counter()
+        # Leaving the queue: from here on the request counts as in-flight
+        # and is no longer shed-able (future.cancel() would fail anyway).
+        with self._admission_mutex:
+            self._queued.pop(record.ticket, None)
+            self._inflight += 1
+        try:
+            return self._serve_admitted(record, started)
+        finally:
+            with self._admission_mutex:
+                self._inflight -= 1
+
+    def _serve_admitted(self, record: _Request, started: float) -> ServedResult:
+        served = record.served
+        enqueued = record.enqueued
+        deadline = record.deadline
+        if deadline.cancelled or deadline.expired():
+            # The waiter already gave up (or the queue wait ate the whole
+            # budget): stop before touching any structure.
+            raise QueryTimeout(
+                f"query on {served.query.table!r} overran its budget while "
+                "queued", seconds=deadline.budget,
+            )
         query = served.query
         base_key = _cache_key(query) if self._cache_enabled else None
         if base_key is not None:
@@ -517,13 +748,18 @@ class ServerExecutor:
                 )
                 self._note(result)
                 return result
-        deadline = (
-            served.timeout if served.timeout is not None else self.default_timeout
-        )
         result = self._execute(query, deadline)
         result.queue_seconds = started - enqueued
         result.elapsed_seconds = time.perf_counter() - started
-        if base_key is not None and not result.fault_recovered:
+        cacheable = (
+            base_key is not None
+            and not result.fault_recovered
+            and not result.degraded
+            # An abandoned request's answer may predate updates its waiter
+            # never saw ordered; a timed-out future must leave no trace.
+            and not deadline.cancelled
+        )
+        if cacheable:
             # Keyed on the version _execute read under the table lock —
             # never on a pre-execution sample that a racing update could
             # have invalidated before the query ever touched a structure.
@@ -538,40 +774,89 @@ class ServerExecutor:
             self.queries_served += 1
             if result.cached:
                 self.cache_hits += 1
+            if result.degraded:
+                self.degraded_served += 1
             self.path_counts[result.path] = self.path_counts.get(result.path, 0) + 1
             self.latencies.append(result.elapsed_seconds)
 
     # -- execution paths -------------------------------------------------------
 
-    def _execute(self, query: Query, deadline: float | None = None) -> ServedResult:
+    def _execute(
+        self, query: Query, deadline: "Deadline | float | None" = None
+    ) -> ServedResult:
         """Run one query, reading ``data_version`` only *inside* the table
         lock that serializes it against updates — the version a result
         carries (and is cached under) is exactly the version it saw.
-        ``deadline`` bounds process-backed shard dispatches; a worker that
-        misses it surfaces as :class:`~repro.errors.QueryTimeout`."""
+        ``deadline`` (a :class:`~repro.server.resilience.Deadline`, or
+        legacy float seconds) bounds process-backed shard dispatches — a
+        worker that misses it surfaces as
+        :class:`~repro.errors.QueryTimeout` — and trims the progressive
+        crack budget of an engine-path query running low on time."""
+        deadline = Deadline.coerce(deadline)
         table_lock = self.registry.lock_for(query.table)
         with table_lock.read():
             version = self._capture_version(query.table)
             scatter = self._try_partition_keys(query, deadline)
             if scatter is not None:
-                partition_keys, path, recovered = scatter
+                partition_keys, path, recovered, degraded = scatter
                 return self._finish_from_keys(
                     query, partition_keys, path, version,
-                    fault_recovered=recovered,
+                    fault_recovered=recovered, degraded=degraded,
                 )
             if not query.group_by:
                 keys = self._try_read_only_keys(query)
                 if keys is not None:
                     return self._finish_from_keys(query, keys, "read", version)
+        if deadline.cancelled:
+            # Boundary check before the exclusive section: an abandoned
+            # request must not take the table's write lock just to compute
+            # an answer nobody will read.
+            raise QueryTimeout(
+                f"query on {query.table!r} cancelled before the engine path",
+                seconds=deadline.budget,
+            )
         with table_lock.write():
             version = self._capture_version(query.table)
-            # The engine call is sanctioned here: cracking *is* the write
-            # this exclusive section exists for, and the crack budget caps
-            # the hold time.  Everywhere else the rule stands.
-            raw = self.engine.run(query)  # locksan: allow(blocking-under-write-lock)
+            trimmed = self._trim_budget(query.table, deadline)
+            try:
+                # The engine call is sanctioned here: cracking *is* the
+                # write this exclusive section exists for, and the crack
+                # budget caps the hold time.  Everywhere else the rule
+                # stands.
+                raw = self.engine.run(query)  # locksan: allow(blocking-under-write-lock)
+            finally:
+                for cracker, budget in trimmed:
+                    cracker.set_budget(budget)
             self._note_engine_writes(query.table)
             self._bind_table_structures(query.table, table_lock)
         return self._finish_from_result(query, raw, "engine", version)
+
+    def _trim_budget(self, table: str, deadline: Deadline) -> list[tuple]:
+        """Deadline pressure shrinks the progressive crack budget.
+
+        A query that has burned more than ``BUDGET_TRIM_FRACTION`` of its
+        budget takes a small per-query allowance on this table's cracker
+        columns for the duration of its engine call — it answers via
+        hole-carrying resolve now and leaves the remaining partitioning
+        work to later, less-pressed queries.  Only *unbudgeted* crackers
+        are trimmed (an explicit ``--crack-budget`` is already a cap, and
+        raising it here would be wrong).  Returns ``(cracker, previous)``
+        pairs for the caller's finally-restore.  Caller holds the table's
+        write lock.
+        """
+        consumed = deadline.consumed_fraction()
+        if consumed is None or consumed < BUDGET_TRIM_FRACTION:
+            return []
+        trim = ProgressiveBudget(elements=BUDGET_TRIM_ELEMENTS)
+        trimmed = []
+        for (tbl, _attr), cracker in list(self.db._crackers.items()):
+            if tbl == table and cracker.budget is None:
+                cracker.set_budget(trim)
+                trimmed.append((cracker, None))
+        if trimmed:
+            with self._stats_mutex:
+                self.budget_trims += 1
+        return trimmed
 
     def _capture_version(self, table: str) -> int:
         """Read ``data_version`` and tell RaceSan which table's lock guards
@@ -592,17 +877,17 @@ class ServerExecutor:
                 racesan.note_access(f"cracker[{cracker.label}].tape", "write")
 
     def _try_partition_keys(
-        self, query: Query, deadline: float | None = None
-    ) -> "tuple[np.ndarray, str, bool] | None":
+        self, query: Query, deadline: "Deadline | None" = None
+    ) -> "tuple[np.ndarray, str, bool, bool] | None":
         """Scatter-gather path: single-predicate query on a partitioned attr.
 
-        Returns ``(keys, path, fault_recovered)`` — path ``"partition"``
-        for in-process thread shards, ``"process"`` for the shared-memory
-        worker-process backend — or ``None`` when the query is not
-        scatter-shaped.  Caller holds the table's read lock, so the scatter
-        cannot overlap an :meth:`insert`/:meth:`delete` routing pending
-        rows (those hold the table's write lock); shard locks (and worker
-        pipes) nest strictly inside.
+        Returns ``(keys, path, fault_recovered, degraded)`` — path
+        ``"partition"`` for in-process thread shards, ``"process"`` for
+        the shared-memory worker-process backend — or ``None`` when the
+        query is not scatter-shaped.  Caller holds the table's read lock,
+        so the scatter cannot overlap an :meth:`insert`/:meth:`delete`
+        routing pending rows (those hold the table's write lock); shard
+        locks (and worker pipes) nest strictly inside.
         """
         if query.group_by or len(query.predicates) != 1:
             return None
@@ -611,11 +896,18 @@ class ServerExecutor:
             column = self._partitioned.get((query.table, pred.attr))
         if column is None:
             return None
+        if deadline is not None and deadline.cancelled:
+            # Scatter boundary: a cancelled request stops here instead of
+            # fanning work out to every shard.
+            raise QueryTimeout(
+                f"query on {query.table!r} cancelled before the scatter",
+                seconds=deadline.budget,
+            )
         if isinstance(column, ProcessShardPool):
-            keys, recovered = column.select(
+            gathered = column.select(
                 pred.interval, deadline=deadline, pool=self._shard_pool
             )
-            return keys, "process", recovered
+            return gathered.keys, "process", gathered.recovered, gathered.degraded
         shards = column.relevant_shards(pred.interval)
         if len(shards) > 1 and self._shard_pool is not None:
             # Scatter onto the shard pool (each task takes one shard lock)...
@@ -631,10 +923,10 @@ class ServerExecutor:
         if pruned:
             self.db.recorder.event("index_lookups", pruned)
         if not parts:
-            return np.empty(0, dtype=np.int64), "partition", False
+            return np.empty(0, dtype=np.int64), "partition", False, False
         # ... and gather.
         keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        return keys, "partition", False
+        return keys, "partition", False, False
 
     def _try_read_only_keys(self, query: Query) -> np.ndarray | None:
         """Answer the selection with zero reorganization, or give up.
@@ -685,7 +977,7 @@ class ServerExecutor:
 
     def _finish_from_keys(
         self, query: Query, keys: np.ndarray, path: str, version: int,
-        fault_recovered: bool = False,
+        fault_recovered: bool = False, degraded: bool = False,
     ) -> ServedResult:
         """Reconstruct, canonicalize, and aggregate from qualifying keys."""
         relation = self.db.table(query.table)
@@ -704,6 +996,7 @@ class ServerExecutor:
             path=path,
             data_version=version,
             fault_recovered=fault_recovered,
+            degraded=degraded,
         )
 
     def _finish_from_result(
@@ -803,12 +1096,60 @@ class ServerExecutor:
 
     # -- introspection ---------------------------------------------------------
 
+    def health(self) -> dict[str, object]:
+        """Readiness for load balancers and supervisors (the wire
+        ``{"op": "health"}``): admission pressure, breaker states, and
+        shard-worker liveness.  ``ready`` means the executor accepts new
+        requests; ``degraded`` warns that some shard is currently served
+        by its breaker's scan fallback (answers stay exact but slower).
+        """
+        with self._admission_mutex:
+            draining = self._draining or self._closed
+            queue_depth = len(self._queued)
+            inflight = self._inflight
+            shed = self.shed
+        with self._stats_mutex:
+            abandoned = self.abandoned
+        breakers: dict[str, str] = {}
+        workers_alive: dict[str, bool] = {}
+        with self._partition_mutex:
+            partitioned = dict(self._partitioned)
+        for (table, attr), column in partitioned.items():
+            if not isinstance(column, ProcessShardPool):
+                continue
+            for worker in column.workers:
+                name = f"{table}.{attr}#{worker.index}"
+                breakers[name] = worker.breaker.state
+                workers_alive[name] = bool(
+                    worker.process is not None and worker.process.is_alive()
+                )
+        degraded = any(state != "closed" for state in breakers.values()) \
+            or not all(workers_alive.values())
+        return {
+            "ready": not draining,
+            "draining": draining,
+            "degraded": degraded,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "shed": shed,
+            "abandoned": abandoned,
+            "breakers": breakers,
+            "workers_alive": workers_alive,
+        }
+
     def stats(self) -> dict[str, object]:
         with self._stats_mutex:
             latencies = sorted(self.latencies)
             served = self.queries_served
             hits = self.cache_hits
             paths = dict(self.path_counts)
+            abandoned = self.abandoned
+            degraded = self.degraded_served
+            budget_trims = self.budget_trims
+        with self._admission_mutex:
+            shed = self.shed
+            queue_depth = len(self._queued)
+            inflight = self._inflight
 
         def pct(p: float) -> float:
             if not latencies:
@@ -833,6 +1174,17 @@ class ServerExecutor:
             "cache_hit_rate": (hits / served) if served else 0.0,
             "cache": cache_stats,
             "paths": paths,
+            "shed": shed,
+            "abandoned": abandoned,
+            "degraded": degraded,
+            "budget_trims": budget_trims,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "admission": {
+                "max_queue": self.max_queue,
+                "max_inflight": self.max_inflight,
+                "shed_policy": self.shed_policy,
+            },
             "latency_p50": pct(0.50),
             "latency_p99": pct(0.99),
             "locks": lock_stats,

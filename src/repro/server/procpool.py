@@ -29,7 +29,19 @@ scatter-gather:
   ``procpool.worker`` FaultSan failpoint — the parent spawns a fresh
   process over the same shared segments, replays the tape (deterministic:
   same seeded RNG, same command order), retries the in-flight command once,
-  and marks the result ``fault_recovered``.
+  and marks the result ``fault_recovered``;
+* **retry with backoff + per-shard circuit breakers**: when even the
+  respawn-retried dispatch fails, :meth:`ProcessShardPool.select` retries
+  the whole dispatch under the request's remaining
+  :class:`~repro.server.resilience.Deadline` budget, pausing with seeded,
+  tape-recorded decorrelated jitter.  Each shard worker carries a
+  :class:`~repro.server.resilience.CircuitBreaker`; once it opens, the
+  parent stops dispatching and serves the shard's range itself from the
+  *pristine shared base segment* (``CrackerColumn`` copies its inputs, so
+  the segment is never cracked in place) merged with a parent-side mirror
+  of routed updates — an exact answer, marked ``degraded`` because it
+  scanned instead of cracking.  A half-open probe after the cooldown
+  recloses the breaker when the shard recovers.
 
 Lock discipline: the parent serializes each worker's request/response pairs
 under a per-worker leaf :class:`~repro.server.locks.Mutex`; the executor
@@ -61,6 +73,15 @@ from repro.errors import (
 from repro.faults.plan import fault_hook
 from repro.server.locks import Mutex
 from repro.server.partition import partition_layout, route_masks
+from repro.server.resilience import (
+    DISPATCH,
+    PROBE,
+    SHED,
+    CircuitBreaker,
+    Deadline,
+    DecorrelatedJitter,
+    ResilienceConfig,
+)
 from repro.stats.counters import StatsRecorder, global_recorder
 from repro.storage.bat import BAT
 from repro.storage.shared import SharedArray, SharedBAT
@@ -269,12 +290,35 @@ def _snapshot(cracker: CrackerColumn) -> dict:
 
 @dataclass
 class ShardReply:
-    """One decoded worker reply: the keys (if any) plus timing/path meta."""
+    """One decoded worker reply: the keys (if any) plus timing/path meta.
+
+    ``degraded`` marks a reply the parent synthesized from the scan
+    fallback because the shard's circuit breaker was open (or its retries
+    were exhausted) — exact keys, but served without cracking.
+    """
 
     keys: np.ndarray | None
     meta: dict
     recovered: bool = False
+    degraded: bool = False
     dispatch_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """What one scatter-gather :meth:`ProcessShardPool.select` produced.
+
+    ``recovered`` — at least one shard died and was respawn-and-replayed;
+    ``degraded`` — at least one shard's range was answered by the parent's
+    scan fallback (breaker open / retries exhausted).  Either flag keeps
+    the result out of the executor's cache; ``degraded`` additionally
+    surfaces in the wire payload so clients know the answer skipped the
+    cracking path.
+    """
+
+    keys: np.ndarray
+    recovered: bool = False
+    degraded: bool = False
 
 
 class _ShardWorker:
@@ -308,6 +352,28 @@ class _ShardWorker:
         self.respawns = 0
         self.commands = 0
         self.closed = False
+        config = pool.resilience
+        self.breaker = CircuitBreaker.from_config(
+            f"{pool.table}.{pool.attr}#{index}", config
+        )
+        # Retry pauses come from a generator seeded exactly like the
+        # shard's cracker RNG family, so a chaos run's backoff schedule
+        # replays bit for bit under the same crack seed.
+        self.backoff = DecorrelatedJitter(
+            policy_rng(pool.crack_seed, "retry", pool.table, pool.attr, index),
+            base=config.backoff_base,
+            cap=config.backoff_cap,
+        )
+        self.retries = 0
+        self.degraded_serves = 0
+        # Parent-side mirror of routed updates.  The shared base segment is
+        # never mutated (the worker's CrackerColumn copies it), so base +
+        # mirrored insertions - mirrored deletions is an exact picture of
+        # the shard — the data the scan fallback answers from when the
+        # breaker routes around a sick worker.
+        self.mirror_ins_values: list[np.ndarray] = []
+        self.mirror_ins_keys: list[np.ndarray] = []
+        self.mirror_del_keys: list[np.ndarray] = []
         self._spawn()
 
     # -- process lifecycle ---------------------------------------------------
@@ -376,14 +442,20 @@ class _ShardWorker:
             None if deadline is None else time.perf_counter() + deadline
         )
         self.conn.send(command)
-        try:
-            fault_hook("procpool.worker")
-        except InjectedFault as exc:
-            # The armed worker-death failpoint: SIGKILL the worker
-            # mid-command and surface the crash the way an organic death
-            # would, so the ordinary respawn-and-replay path recovers.
-            self._kill()
-            raise BrokenPipeError("injected shard-worker death") from exc
+        if command[0] != "replay":
+            # The internal recovery replay is exempt: shots must count
+            # client-visible dispatches only, or a multi-shot plan's hit
+            # arithmetic would depend on tape length (and an injected
+            # death mid-replay would escape the recovery path itself).
+            try:
+                fault_hook("procpool.worker")
+            except InjectedFault as exc:
+                # The armed worker-death failpoint: SIGKILL the worker
+                # mid-command and surface the crash the way an organic
+                # death would, so the ordinary respawn-and-replay path
+                # recovers.
+                self._kill()
+                raise BrokenPipeError("injected shard-worker death") from exc
         if expires_at is not None:
             remaining = expires_at - time.perf_counter()
             if not self.conn.poll(max(0.0, remaining)) \
@@ -410,6 +482,12 @@ class _ShardWorker:
             self.commands += 1
             recovered = False
             try:
+                if self.conn is None:
+                    # A prior dispatch killed the worker and gave up (the
+                    # "died twice" path below): revive it before sending so
+                    # a caller-level retry reaches a live worker.
+                    self._respawn_and_replay()
+                    recovered = True
                 reply = self._roundtrip(command, deadline)
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
                 # Worker death (organic or injected): rebuild and retry the
@@ -506,11 +584,13 @@ class ProcessShardPool:
         budget: object = None,
         policy: object = None,
         crack_seed: int = 42,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.table = table
         self.attr = attr
         self._recorder = recorder or global_recorder()
         self.crack_seed = crack_seed
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         # Workers rebuild policy/budget from specs: policy objects carry
         # per-structure state that must live worker-side, so only the name
         # crosses the process boundary.
@@ -533,6 +613,7 @@ class ProcessShardPool:
         self.selects = 0
         self.probe_hits = 0
         self.recoveries = 0
+        self.degraded = 0
         spawned = False
         try:
             for i, (start, end) in enumerate(spans):
@@ -573,38 +654,130 @@ class ProcessShardPool:
     def select(
         self,
         interval: Interval,
-        deadline: float | None = DEFAULT_DEADLINE,
+        deadline: "Deadline | float | None" = DEFAULT_DEADLINE,
         pool=None,
-    ) -> tuple[np.ndarray, bool]:
+    ) -> GatherResult:
         """Scatter-gather one interval across the worker processes.
 
         ``pool`` (a thread pool) overlaps the dispatches so all workers
         compute concurrently — the dispatching threads merely block on pipe
-        I/O with the GIL released.  Returns ``(keys, fault_recovered)``.
+        I/O with the GIL released.  ``deadline`` may be a
+        :class:`~repro.server.resilience.Deadline` (the executor threads
+        the per-request budget through) or legacy float seconds.
         """
         if self._closed:
             raise ServerError("shard worker pool is closed")
+        deadline = Deadline.coerce(deadline)
         relevant = self.relevant_workers(interval)
         pruned = len(self.workers) - len(relevant)
         if pruned:
             self._recorder.event("index_lookups", pruned)
         if not relevant:
-            return np.empty(0, dtype=np.int64), False
-        command = ("select", interval)
+            return GatherResult(np.empty(0, dtype=np.int64))
         if pool is not None and len(relevant) > 1:
             futures = [
-                pool.submit(worker.dispatch, command, deadline)
+                pool.submit(self._worker_select, worker, interval, deadline)
                 for worker in relevant[1:]
             ]
-            replies = [relevant[0].dispatch(command, deadline)]
+            replies = [self._worker_select(relevant[0], interval, deadline)]
             replies += [f.result() for f in futures]
         else:
-            replies = [worker.dispatch(command, deadline) for worker in relevant]
+            replies = [
+                self._worker_select(worker, interval, deadline)
+                for worker in relevant
+            ]
         gather_started = time.perf_counter()
         parts = [r.keys for r in replies if r.keys is not None]
         keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
         self._note_replies(replies, time.perf_counter() - gather_started)
-        return keys, any(r.recovered for r in replies)
+        return GatherResult(
+            keys,
+            recovered=any(r.recovered for r in replies),
+            degraded=any(r.degraded for r in replies),
+        )
+
+    def _worker_select(
+        self, worker: _ShardWorker, interval: Interval, deadline: Deadline
+    ) -> ShardReply:
+        """One shard's select under the full resilience machinery.
+
+        The inner ``dispatch`` already absorbs a *single* worker death via
+        respawn-and-replay; this loop handles everything beyond that —
+        a worker that died twice (``ServerError``), an injected fault from
+        the retry/breaker failpoints — by retrying under the remaining
+        deadline budget with decorrelated-jitter pauses, and by consulting
+        the shard's circuit breaker before every dispatch.  When the
+        breaker says shed (or retries are exhausted), the shard's range is
+        answered by :meth:`_fallback_scan` and marked ``degraded``.
+        """
+        command = ("select", interval)
+        config = self.resilience
+        attempts = 0
+        while True:
+            if deadline.cancelled:
+                raise QueryTimeout(
+                    f"request cancelled before shard "
+                    f"{self.table}.{self.attr}#{worker.index} dispatched"
+                )
+            gate = worker.breaker.admit()
+            if gate == SHED:
+                return self._fallback_scan(worker, interval)
+            try:
+                if attempts:
+                    # Armed in chaos plans to fail the retry itself.
+                    fault_hook("procpool.retry")
+                if gate == PROBE:
+                    # Armed in chaos plans to fail the half-open probe.
+                    fault_hook("procpool.breaker")
+                reply = worker.dispatch(command, deadline.remaining())
+            except QueryTimeout:
+                worker.breaker.record_failure()
+                raise
+            except (ServerError, InjectedFault, MemoryError, EOFError, OSError):
+                worker.breaker.record_failure()
+                attempts += 1
+                if attempts > config.retry_attempts:
+                    return self._fallback_scan(worker, interval)
+                pause = worker.backoff.next_pause()
+                remaining = deadline.remaining()
+                if remaining is not None and pause >= remaining:
+                    return self._fallback_scan(worker, interval)
+                worker.retries += 1
+                time.sleep(pause)
+                continue
+            worker.breaker.record_success()
+            worker.backoff.reset()
+            return reply
+
+    def _fallback_scan(
+        self, worker: _ShardWorker, interval: Interval
+    ) -> ShardReply:
+        """Answer one shard's range without its worker: scan the pristine
+        shared base segment, merge the parent's update mirror.
+
+        Exact — the worker's ``CrackerColumn`` copies the segment at
+        startup and every routed update is mirrored parent-side — but
+        *degraded*: it scanned O(shard) instead of cracking, and it must
+        never be cached (a recovered worker would then serve stale hits).
+        """
+        started = time.perf_counter()
+        with worker.mutex:
+            bat = worker.base.as_bat()
+            keys = bat.materialized_keys()[interval.mask(bat.values)]
+            if worker.mirror_ins_values:
+                ins_values = np.concatenate(worker.mirror_ins_values)
+                ins_keys = np.concatenate(worker.mirror_ins_keys)
+                keys = np.concatenate([keys, ins_keys[interval.mask(ins_values)]])
+            if worker.mirror_del_keys:
+                deleted = np.concatenate(worker.mirror_del_keys)
+                keys = keys[~np.isin(keys, deleted)]
+            worker.degraded_serves += 1
+        return ShardReply(
+            keys=keys,
+            meta={"path": "fallback"},
+            degraded=True,
+            dispatch_seconds=time.perf_counter() - started,
+        )
 
     def _note_replies(self, replies: list[ShardReply], gather: float) -> None:
         with self._stats_mutex:
@@ -617,6 +790,8 @@ class ProcessShardPool:
                     self.probe_hits += 1
                 if r.recovered:
                     self.recoveries += 1
+                if r.degraded:
+                    self.degraded += 1
 
     # -- maintenance ----------------------------------------------------------
 
@@ -647,6 +822,13 @@ class ProcessShardPool:
                            shard_values, shard_keys, remap)
             worker.dispatch(command, DEFAULT_DEADLINE)
             worker.finish_grow()
+            # Mirror the acknowledged update parent-side so the breaker's
+            # scan fallback stays exact (base segment + mirror = shard).
+            if insert:
+                worker.mirror_ins_values.append(np.array(shard_values))
+                worker.mirror_ins_keys.append(np.array(shard_keys))
+            else:
+                worker.mirror_del_keys.append(np.array(shard_keys))
 
     def apply_pending_all(self) -> None:
         for worker in self.workers:
@@ -685,6 +867,7 @@ class ProcessShardPool:
                 "selects": self.selects,
                 "probe_hits": self.probe_hits,
                 "recoveries": self.recoveries,
+                "degraded": self.degraded,
                 "dispatch_seconds": self.dispatch_seconds,
                 "worker_seconds": self.worker_seconds,
                 "gather_seconds": self.gather_seconds,
@@ -699,5 +882,12 @@ class ProcessShardPool:
             "respawns": [w.respawns for w in self.workers],
             "commands": [w.commands for w in self.workers],
             "tape_lengths": [len(w.tape) for w in self.workers],
+            "retries": [w.retries for w in self.workers],
+            "degraded_serves": [w.degraded_serves for w in self.workers],
+            "breakers": {
+                f"{self.table}.{self.attr}#{w.index}": w.breaker.stats()
+                for w in self.workers
+            },
+            "jitter_tapes": [list(w.backoff.tape) for w in self.workers],
             **timings,
         }

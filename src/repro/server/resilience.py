@@ -1,0 +1,276 @@
+"""Overload-resilience primitives for the serving layer.
+
+Three small, composable pieces used by :mod:`repro.server.executor` and
+:mod:`repro.server.procpool`:
+
+:class:`Deadline`
+    A per-request wall-clock budget with a cooperative cancellation flag.
+    Created once at admission, threaded through ``_serve`` / ``_execute`` /
+    scatter-gather into procpool dispatch, so every layer measures the
+    *same* budget from the *same* enqueue instant (no per-hop skew).  A
+    client that gives up calls :meth:`Deadline.cancel`; workers check the
+    flag at scatter/probe boundaries and stop early instead of burning
+    shard workers on an answer nobody is waiting for.
+
+:class:`DecorrelatedJitter`
+    Retry backoff, AWS decorrelated-jitter style:
+    ``pause_{k+1} = min(cap, U(base, 3 * pause_k))``.  The generator is a
+    *seeded* ``numpy`` Generator (repo contract: no unseeded randomness)
+    and every drawn pause is appended to a tape, so a chaos run's retry
+    timing is reproducible and reportable bit for bit.
+
+:class:`CircuitBreaker`
+    A per-shard-worker breaker: *closed* (dispatch normally) → *open* on a
+    failure-rate threshold over a sliding window (route around the sick
+    shard) → *half-open* after a cooldown (exactly one probe dispatch; a
+    success recloses, a failure reopens).  While a breaker is open the
+    executor serves the shard's range via the parent-side scan fallback
+    and marks the result ``degraded`` — honest, never cached.
+
+All three are deliberately free of table/shard locks: the breaker guards
+its window with a leaf :class:`~repro.server.locks.Mutex`, the deadline's
+cancellation flag is a one-way boolean (atomic under the GIL; readers that
+observe it a beat late merely cancel one check later).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServerError
+from repro.server.locks import Mutex
+
+#: Breaker states (:attr:`CircuitBreaker.state`).
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+#: What :meth:`CircuitBreaker.admit` tells a dispatcher to do.
+DISPATCH, PROBE, SHED = "dispatch", "probe", "shed"
+
+
+class Deadline:
+    """A wall-clock budget measured from one fixed enqueue instant.
+
+    ``budget`` is seconds (``None`` = unbounded); ``started`` defaults to
+    *now* but admission passes the enqueue timestamp so queue wait counts
+    against the budget.  :meth:`cancel` flips the one-way cooperative
+    cancellation flag.
+    """
+
+    __slots__ = ("budget", "started", "_cancelled")
+
+    def __init__(self, budget: float | None, started: float | None = None) -> None:
+        self.budget = None if budget is None else float(budget)
+        self.started = time.perf_counter() if started is None else started
+        self._cancelled = False
+
+    @classmethod
+    def coerce(cls, value: "Deadline | float | None") -> "Deadline":
+        """Accept the legacy float-seconds deadline (or ``None``) anywhere a
+        :class:`Deadline` is now threaded; floats start their budget now."""
+        if isinstance(value, Deadline):
+            return value
+        return cls(value)
+
+    def remaining(self) -> float | None:
+        """Seconds of budget left (may be negative), or ``None`` if unbounded."""
+        if self.budget is None:
+            return None
+        return self.budget - (time.perf_counter() - self.started)
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def cancel(self) -> None:
+        """Cooperative cancellation: workers poll :attr:`cancelled` at
+        scatter/probe boundaries and abandon the request early."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def consumed_fraction(self) -> float | None:
+        """Fraction of the budget already spent, or ``None`` if unbounded."""
+        if self.budget is None:
+            return None
+        if self.budget <= 0.0:
+            return 1.0
+        return (time.perf_counter() - self.started) / self.budget
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else f"remaining={self.remaining()}"
+        return f"Deadline(budget={self.budget}, {state})"
+
+
+class DecorrelatedJitter:
+    """Seeded, tape-recorded decorrelated-jitter backoff.
+
+    Each :meth:`next_pause` draws ``min(cap, U(base, 3 * previous))`` from
+    the supplied seeded generator and appends it to :attr:`tape`; two
+    backoffs built over identically-seeded generators replay the exact
+    same pause sequence (the exp19 determinism contract).
+    """
+
+    __slots__ = ("base", "cap", "tape", "_rng", "_prev")
+
+    def __init__(
+        self, rng: np.random.Generator, base: float = 0.002, cap: float = 0.050
+    ) -> None:
+        if base <= 0.0 or cap < base:
+            raise ServerError(
+                f"backoff wants 0 < base <= cap, got base={base} cap={cap}"
+            )
+        self.base = base
+        self.cap = cap
+        self.tape: list[float] = []
+        self._rng = rng
+        self._prev = base
+
+    def next_pause(self) -> float:
+        high = max(self.base, self._prev * 3.0)
+        pause = min(self.cap, float(self._rng.uniform(self.base, high)))
+        self._prev = pause
+        self.tape.append(pause)
+        return pause
+
+    def reset(self) -> None:
+        """A success ends the incident: the next pause starts small again."""
+        self._prev = self.base
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the procpool retry/breaker machinery (one bundle so the
+    executor, CLI, and benchmarks pass a single object through)."""
+
+    #: Re-dispatches after the first failed attempt (0 disables retries).
+    retry_attempts: int = 2
+    backoff_base: float = 0.002
+    backoff_cap: float = 0.050
+    #: Sliding failure window: breaker opens once ``min_calls`` outcomes
+    #: are in the window and the failure fraction reaches ``threshold``.
+    breaker_window: int = 8
+    breaker_min_calls: int = 3
+    breaker_threshold: float = 0.5
+    #: Seconds an open breaker waits before allowing a half-open probe.
+    breaker_cooldown: float = 0.25
+
+
+class CircuitBreaker:
+    """closed → open (failure rate) → half-open (single probe) → closed.
+
+    Callers ask :meth:`admit` before dispatching: ``"dispatch"`` means the
+    breaker is closed, ``"probe"`` means this caller owns the one
+    half-open probe, ``"shed"`` means route around the shard (serve its
+    range degraded).  Every dispatch outcome is reported back through
+    :meth:`record_success` / :meth:`record_failure`.  ``clock`` is
+    injectable so tests drive the cooldown without sleeping.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 8,
+        min_calls: int = 3,
+        threshold: float = 0.5,
+        cooldown: float = 0.25,
+        clock=time.perf_counter,
+    ) -> None:
+        if window < 1 or min_calls < 1:
+            raise ServerError(
+                f"breaker wants window >= 1 and min_calls >= 1, got "
+                f"window={window} min_calls={min_calls}"
+            )
+        if not 0.0 < threshold <= 1.0:
+            raise ServerError(f"breaker threshold {threshold} must be in (0, 1]")
+        self.name = name
+        self.min_calls = min_calls
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._mutex = Mutex(f"breaker[{name}]")
+        self._window: deque[bool] = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+        self.opens = 0
+        self.probes = 0
+        self.failures = 0
+        self.successes = 0
+
+    @classmethod
+    def from_config(cls, name: str, config: ResilienceConfig,
+                    clock=time.perf_counter) -> "CircuitBreaker":
+        return cls(
+            name,
+            window=config.breaker_window,
+            min_calls=config.breaker_min_calls,
+            threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+            clock=clock,
+        )
+
+    @property
+    def state(self) -> str:
+        with self._mutex:
+            return self._state
+
+    def admit(self) -> str:
+        """What should a dispatcher do right now? (see class docstring)"""
+        with self._mutex:
+            if self._state == CLOSED:
+                return DISPATCH
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = HALF_OPEN
+                    self._probing = True
+                    self.probes += 1
+                    return PROBE
+                return SHED
+            # half-open: exactly one probe is in flight; everyone else
+            # keeps routing around until it reports back.
+            return SHED
+
+    def record_success(self) -> None:
+        with self._mutex:
+            self.successes += 1
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probing = False
+                self._window.clear()
+                return
+            self._window.append(True)
+
+    def record_failure(self) -> None:
+        with self._mutex:
+            self.failures += 1
+            if self._state == HALF_OPEN:
+                # The probe found the shard still sick: reopen, restart
+                # the cooldown from this failure.
+                self._state = OPEN
+                self._probing = False
+                self._opened_at = self._clock()
+                return
+            self._window.append(False)
+            if self._state == CLOSED and len(self._window) >= self.min_calls:
+                failed = sum(1 for ok in self._window if not ok)
+                if failed / len(self._window) >= self.threshold:
+                    self._state = OPEN
+                    self._opened_at = self._clock()
+                    self.opens += 1
+
+    def stats(self) -> dict[str, object]:
+        with self._mutex:
+            return {
+                "state": self._state,
+                "opens": self.opens,
+                "probes": self.probes,
+                "failures": self.failures,
+                "successes": self.successes,
+                "window": list(self._window),
+            }

@@ -8,6 +8,14 @@ The wire protocol is one JSON object per line, both ways.  Requests:
     The executor's serving statistics (latencies, cache hits, lock stats).
 ``{"op": "ping"}``
     Liveness probe.
+``{"op": "health"}``
+    Readiness probe: admission pressure, circuit-breaker states, and
+    shard-worker liveness (see ``ServerExecutor.health``).
+
+Overload surfaces as a typed error frame: a shed request answers
+``{"ok": false, "kind": "ServerOverloaded", ...}`` so clients back off
+instead of retrying hot; a query served around a sick shard carries
+``"degraded": true`` in its result payload.
 
 Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false, "error":
 "...", "kind": "<exception class>"}``.  One connection may pipeline many
@@ -27,7 +35,7 @@ import json
 import signal
 
 from repro.engine.database import Database
-from repro.errors import QueryTimeout, ReproError, ServerError
+from repro.errors import QueryTimeout, ReproError, ServerError, ServerOverloaded
 from repro.server.executor import ServedQuery, ServedResult, ServerExecutor
 
 #: Refuse absurd frames instead of buffering them (a malformed client
@@ -57,6 +65,10 @@ class ServerHandle:
         partition_attrs: "tuple[tuple[str, str], ...] | list" = (),
         processes: int = 0,
         cache_bytes: "int | None" = None,
+        max_queue: "int | None" = None,
+        max_inflight: "int | None" = None,
+        shed_policy: str = "reject-newest",
+        resilience=None,
     ) -> None:
         from repro.server.executor import DEFAULT_CACHE_BYTES
 
@@ -64,6 +76,8 @@ class ServerHandle:
             db, engine=engine, workers=workers, partitions=partitions,
             cache=cache, processes=processes,
             cache_bytes=DEFAULT_CACHE_BYTES if cache_bytes is None else cache_bytes,
+            max_queue=max_queue, max_inflight=max_inflight,
+            shed_policy=shed_policy, resilience=resilience,
         )
         for table, attr in partition_attrs:
             self.executor.partition(table, attr)
@@ -79,6 +93,8 @@ class ServerHandle:
                 return {"ok": True, "result": "pong"}
             if op == "stats":
                 return {"ok": True, "result": self.executor.stats()}
+            if op == "health":
+                return {"ok": True, "result": self.executor.health()}
             if op == "query":
                 sql = message.get("sql")
                 if not isinstance(sql, str):
@@ -192,6 +208,8 @@ class CrackServer:
                 return {"ok": True, "result": "pong"}
             if op == "stats":
                 return {"ok": True, "result": executor.stats()}
+            if op == "health":
+                return {"ok": True, "result": executor.health()}
             if op != "query":
                 raise ServerError(f"unknown op {op!r}")
             sql = message.get("sql")
@@ -201,7 +219,10 @@ class CrackServer:
             if timeout is not None and not isinstance(timeout, (int, float)):
                 raise ServerError("'timeout' must be a number of seconds")
             deadline = timeout if timeout is not None else executor.default_timeout
-            served = ServedQuery.from_sql(sql, executor.db)
+            # The timeout rides inside the request too, so the executor's
+            # admission deadline matches the wait below (one budget,
+            # measured from one clock — not two racing timers).
+            served = ServedQuery.from_sql(sql, executor.db, timeout=timeout)
             future = asyncio.wrap_future(executor.submit(served))
             try:
                 result = await asyncio.wait_for(future, deadline)
@@ -210,6 +231,16 @@ class CrackServer:
                     f"query on {served.query.table!r} missed its deadline",
                     seconds=deadline,
                 ) from None
+            except asyncio.CancelledError:
+                # A later admission shed this queued request (its future
+                # was cancelled under the admission mutex).  A cancellation
+                # of *this coroutine* must keep propagating, though.
+                if future.cancelled():
+                    raise ServerOverloaded(
+                        f"query on {served.query.table!r} was shed while "
+                        "queued", policy=executor.shed_policy,
+                    ) from None
+                raise
             return {"ok": True, "result": result.as_payload()}
         except ReproError as exc:
             return _error_payload(exc)
@@ -245,6 +276,9 @@ def run_server(
     ready_callback=None,
     processes: int = 0,
     cache_bytes: "int | None" = None,
+    max_queue: "int | None" = None,
+    max_inflight: "int | None" = None,
+    shed_policy: str = "reject-newest",
 ) -> None:
     """Blocking entry point for ``repro serve``: run until interrupted.
 
@@ -260,6 +294,8 @@ def run_server(
             db, workers=workers, partitions=partitions,
             partition_attrs=partition_attrs,
             processes=processes, cache_bytes=cache_bytes,
+            max_queue=max_queue, max_inflight=max_inflight,
+            shed_policy=shed_policy,
         )
         server = CrackServer(handle, host, port)
         loop = asyncio.get_running_loop()

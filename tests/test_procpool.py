@@ -46,17 +46,17 @@ def test_select_matches_ground_truth(pool, base_bat):
         Interval.at_most(100),
         Interval.at_least(9_000),
     ):
-        keys, recovered = pool.select(interval)
-        assert not recovered
+        got = pool.select(interval)
+        assert not got.recovered and not got.degraded
         assert np.array_equal(
-            np.sort(keys), _expected(base_bat.values, interval)
+            np.sort(got.keys), _expected(base_bat.values, interval)
         )
 
 
 def test_pruning_skips_irrelevant_workers(pool, base_bat):
     narrow = Interval(0, 50)
     assert len(pool.relevant_workers(narrow)) < len(pool.workers)
-    keys, _ = pool.select(narrow)
+    keys = pool.select(narrow).keys
     assert np.array_equal(np.sort(keys), _expected(base_bat.values, narrow))
 
 
@@ -71,7 +71,7 @@ def test_updates_route_and_apply(pool, base_bat):
     pool.add_deletions(
         np.array([2_000], dtype=np.int64), np.array([n], dtype=np.int64)
     )
-    keys, _ = pool.select(interval)
+    keys = pool.select(interval).keys
     expected = np.sort(np.concatenate([
         _expected(base_bat.values, interval), [n + 2]
     ]))
@@ -84,7 +84,7 @@ def test_result_buffer_grows_for_bulk_inserts(pool, base_bat):
     bulk = np.full(30_000, 42, dtype=np.int64)  # all route to one shard
     pool.add_insertions(bulk, np.arange(n, n + len(bulk), dtype=np.int64))
     interval = Interval.closed(42, 42)
-    keys, _ = pool.select(interval)
+    keys = pool.select(interval).keys
     expected = np.sort(np.concatenate([
         _expected(base_bat.values, interval),
         np.arange(n, n + len(bulk)),
@@ -97,14 +97,14 @@ def test_result_buffer_grows_for_bulk_inserts(pool, base_bat):
 
 def test_worker_crash_respawns_and_replays(pool, base_bat):
     interval = Interval(2_000, 8_000)
-    before, _ = pool.select(interval)
+    before = pool.select(interval).keys
     snap_before = pool.snapshot()
     for worker in pool.workers:
         worker.process.kill()
         worker.process.join()
-    after, recovered = pool.select(interval)
-    assert recovered
-    assert np.array_equal(np.sort(after), np.sort(before))
+    after = pool.select(interval)
+    assert after.recovered and not after.degraded
+    assert np.array_equal(np.sort(after.keys), np.sort(before))
     # Replay is deterministic: the rebuilt shards reach the same cracked
     # state (piece counts, payload CRCs, RNG-driven cut counts).
     assert pool.snapshot() == snap_before
@@ -115,11 +115,11 @@ def test_failpoint_kills_worker_mid_command(pool, base_bat):
     interval = Interval(1_000, 9_000)
     install_plan(FaultPlan.parse("procpool.worker@1=error", seed=7))
     try:
-        keys, recovered = pool.select(interval)
+        got = pool.select(interval)
     finally:
         uninstall_plan()
-    assert recovered
-    assert np.array_equal(np.sort(keys), _expected(base_bat.values, interval))
+    assert got.recovered and not got.degraded
+    assert np.array_equal(np.sort(got.keys), _expected(base_bat.values, interval))
     assert sum(w.respawns for w in pool.workers) == 1
     assert pool.stats()["recoveries"] == 1
 
@@ -130,7 +130,7 @@ def test_deadline_expiry_raises_query_timeout(base_bat):
         with pytest.raises(QueryTimeout):
             pool.select(Interval(1_000, 9_000), deadline=1e-7)
         # The straggler was killed and replayed; the pool still answers.
-        keys, _ = pool.select(Interval(1_000, 9_000))
+        keys = pool.select(Interval(1_000, 9_000)).keys
         assert np.array_equal(
             np.sort(keys), _expected(base_bat.values, Interval(1_000, 9_000))
         )
@@ -335,3 +335,168 @@ def test_process_mode_stats_shape(db):
         assert len(column["respawns"]) == len(column["shard_rows"])
         assert {"dispatch_seconds", "worker_seconds", "gather_seconds"} \
             <= set(column)
+
+
+# -- resilience: retries, breakers, degraded fallback ------------------------
+
+
+def _aggressive_resilience(**overrides):
+    """Open the breaker on the very first failed dispatch."""
+    from repro.server.resilience import ResilienceConfig
+
+    kwargs = dict(
+        retry_attempts=0, backoff_base=1e-4, backoff_cap=1e-3,
+        breaker_window=1, breaker_min_calls=1, breaker_threshold=1.0,
+        breaker_cooldown=0.2,
+    )
+    kwargs.update(overrides)
+    return ResilienceConfig(**kwargs)
+
+
+def test_spawn_start_method_respawn_replays(monkeypatch, base_bat):
+    """Respawn-and-replay must also work under the portable ``spawn``
+    start method, where the replacement worker imports from scratch."""
+    monkeypatch.setenv("REPRO_PROCPOOL_START", "spawn")
+    pool = ProcessShardPool(base_bat, 2, "t", "A")
+    try:
+        interval = Interval(1_000, 9_000)
+        warm = pool.select(interval, deadline=60.0)
+        assert not warm.recovered
+        install_plan(FaultPlan.parse("procpool.worker@1=error", seed=11))
+        try:
+            got = pool.select(interval, deadline=60.0)
+        finally:
+            uninstall_plan()
+        assert got.recovered and not got.degraded
+        assert np.array_equal(
+            np.sort(got.keys), _expected(base_bat.values, interval)
+        )
+        assert sum(w.respawns for w in pool.workers) == 1
+    finally:
+        pool.close()
+
+
+def test_breaker_opens_and_scan_fallback_is_exact(base_bat):
+    """A shard whose worker keeps dying is served by the parent-side scan
+    fallback: breaker open, result degraded, keys exact — including
+    updates mirrored before the chaos — and the breaker's half-open probe
+    recovers the shard once the faults stop."""
+    import time
+
+    config = _aggressive_resilience()
+    pool = ProcessShardPool(base_bat, 4, "t", "A", resilience=config)
+    try:
+        # Confine the query to shard 0 so exactly one breaker is exercised.
+        edge = max(2, int(pool.workers[0].hi // 2))
+        interval = Interval.half_open(0, edge)
+        n = len(base_bat)
+        pool.add_insertions(
+            np.array([1, edge - 1, edge + 1], dtype=np.int64),
+            np.arange(n, n + 3, dtype=np.int64),
+        )
+        pool.add_deletions(
+            np.array([1], dtype=np.int64), np.array([n], dtype=np.int64)
+        )
+        expected = np.sort(np.concatenate([
+            _expected(base_bat.values, interval), [n + 1]
+        ]))
+        # One failed resilient dispatch burns two shots: the initial kill
+        # plus the kill of the respawn-and-replay retry.
+        install_plan(FaultPlan.parse("procpool.worker@1..2=error", seed=5))
+        try:
+            got = pool.select(interval, deadline=60.0)
+        finally:
+            uninstall_plan()
+        assert got.degraded
+        assert np.array_equal(np.sort(got.keys), expected)
+        stats = pool.stats()
+        assert stats["degraded_serves"][0] == 1
+        assert stats["breakers"]["t.A#0"]["state"] == "open"
+        assert stats["breakers"]["t.A#0"]["opens"] == 1
+        # Faults are gone: after the cooldown the half-open probe finds a
+        # healthy (revived) worker and the breaker recloses.
+        time.sleep(config.breaker_cooldown + 0.05)
+        after = pool.select(interval, deadline=60.0)
+        assert not after.degraded
+        assert np.array_equal(np.sort(after.keys), expected)
+        assert pool.stats()["breakers"]["t.A#0"]["state"] == "closed"
+    finally:
+        pool.close()
+
+
+def test_executor_degraded_result_is_honest_and_never_cached(db):
+    import time
+
+    config = _aggressive_resilience(breaker_cooldown=0.5)
+    with ServerExecutor(db, workers=2, processes=2, resilience=config) as executor:
+        executor.partition("R", "A")
+        query = _span(1_000, 50_000)
+        assert not executor.run(query).degraded
+        executor.insert("R", {c: [1] for c in "ABCD"})  # invalidate cache
+        install_plan(FaultPlan.parse("procpool.worker@1..2=error", seed=9))
+        try:
+            degraded = executor.run(query)
+        finally:
+            uninstall_plan()
+        assert degraded.degraded
+        assert degraded.as_payload()["degraded"] is True
+        assert executor.health()["degraded"] is True
+        # Still inside the cooldown: the fallback serves again, and the
+        # earlier degraded answer was never admitted to the cache (a hit
+        # here would replay it with cached=True).
+        again = executor.run(query)
+        assert not again.cached and again.degraded
+        # Past the cooldown the half-open probe recovers the shard; the
+        # clean answer must match what the fallback served: degraded
+        # means slower, never wrong.
+        time.sleep(config.breaker_cooldown + 0.1)
+        truth = executor.run(query)
+        assert not truth.degraded
+        assert truth.digest() == degraded.digest() == again.digest()
+        stats = executor.stats()
+        assert stats["degraded"] >= 2
+        assert executor.health()["degraded"] is False
+
+
+# -- concurrent shutdown -----------------------------------------------------
+
+
+def _hammer_close(close, threads=4):
+    import threading
+
+    errors = []
+
+    def closer():
+        try:
+            close()
+        except Exception as exc:  # noqa: BLE001 - the test asserts none
+            errors.append(exc)
+
+    workers = [threading.Thread(target=closer) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(timeout=60)
+    return errors
+
+
+def test_executor_close_is_concurrent_safe(db):
+    executor = ServerExecutor(db, workers=2, processes=2)
+    executor.partition("R", "A")
+    executor.run(_span(1_000, 50_000))
+    assert _hammer_close(executor.close) == []
+    assert executor._closed
+    assert not live_segment_names()
+    assert not leaked_system_segments()
+
+
+def test_database_close_is_concurrent_safe(small_arrays):
+    db = Database()
+    db.create_table("R", dict(small_arrays))
+    executor = ServerExecutor(db, workers=2, processes=2)
+    executor.partition("R", "A")
+    executor.run(_span(1_000, 50_000))
+    assert _hammer_close(db.close) == []
+    assert executor._closed
+    assert not live_segment_names()
+    assert not leaked_system_segments()

@@ -373,3 +373,94 @@ def test_executor_cache_bytes_zero_disables_cache(db):
         repeat = executor.run(query)
         assert not repeat.cached
         assert executor.stats()["cache"]["admissions"] == 0
+
+
+# -- abandonment and batch deadline skew (overload regressions) --------------
+
+
+def _stuck_query(lo=0, hi=1):
+    return Query("R", (
+        Predicate("C", Interval.half_open(lo, hi)),
+        Predicate("D", Interval.half_open(lo, hi)),
+    ))
+
+
+def test_abandoned_timeout_result_never_cached(executor):
+    """A waiter that times out abandons the request; the worker's late
+    result must not be admitted to the cache (it would otherwise serve a
+    stale answer to the next client as a hit)."""
+    lock = executor.registry.lock_for("R")
+    query = _stuck_query()
+    acquired = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with lock.write():
+            acquired.set()
+            release.wait(timeout=10)
+
+    t = threading.Thread(target=holder)
+    t.start()
+    acquired.wait(timeout=5)
+    try:
+        with pytest.raises(QueryTimeout):
+            executor.run(query, timeout=0.1)
+        assert executor.stats()["abandoned"] == 1
+    finally:
+        release.set()
+        t.join(timeout=10)
+    # Let the abandoned worker finish computing its (uncacheable) answer.
+    deadline = time.perf_counter() + 10
+    while time.perf_counter() < deadline:
+        stats = executor.stats()
+        if stats["inflight"] == 0 and stats["queue_depth"] == 0:
+            break
+        time.sleep(0.01)
+    fresh = executor.run(query)
+    assert not fresh.cached
+
+
+def test_run_batch_anchors_every_deadline_at_one_enqueue_instant(executor):
+    """Batch members must share one enqueue timestamp: a request's
+    position in the batch grants no extra budget."""
+    seen = []
+    original = executor.admit
+
+    def spy(request, timeout=None, enqueued=None):
+        seen.append(enqueued)
+        return original(request, timeout=timeout, enqueued=enqueued)
+
+    executor.admit = spy
+    try:
+        executor.run_batch([_span(0, 10), _span(10, 20), _span(20, 30)])
+    finally:
+        executor.admit = original
+    assert len(seen) == 3
+    assert all(e is not None for e in seen)
+    assert len(set(seen)) == 1
+
+
+def test_run_batch_budget_covers_queue_wait(db):
+    """A batch member whose budget elapses while it waits behind an
+    earlier member must time out — the old per-admission clock silently
+    granted later members extra budget."""
+    with ServerExecutor(db, workers=1, cache=False) as executor:
+        lock = executor.registry.lock_for("R")
+        acquired = threading.Event()
+
+        def holder():
+            with lock.write():
+                acquired.set()
+                time.sleep(0.4)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        acquired.wait(timeout=5)
+        try:
+            with pytest.raises(QueryTimeout):
+                executor.run_batch([
+                    ServedQuery(_stuck_query()),
+                    ServedQuery(_stuck_query(1, 2), timeout=0.2),
+                ])
+        finally:
+            t.join(timeout=10)

@@ -148,3 +148,67 @@ def test_tcp_concurrent_clients_agree(db):
         assert len(digests) == 1  # every client sees the same canonical bytes
 
     _with_server(db, scenario)
+
+
+def test_handle_health_op(handle):
+    reply = handle.request({"op": "health"})
+    assert reply["ok"]
+    health = reply["result"]
+    assert health["ready"] is True
+    assert health["draining"] is False
+    assert {"degraded", "queue_depth", "inflight", "shed", "abandoned",
+            "breakers", "workers_alive"} <= set(health)
+
+
+def test_tcp_overload_sheds_with_typed_error(db):
+    """A shed request answers a typed ``ServerOverloaded`` frame (clients
+    back off) while the admitted request still completes."""
+    import threading
+
+    async def main():
+        with ServerHandle(db, workers=1, max_inflight=1,
+                          shed_policy="reject-newest") as handle:
+            server = CrackServer(handle, port=0)
+            host, port = await server.start()
+            task = asyncio.create_task(server.serve_forever())
+            lock = handle.executor.registry.lock_for("R")
+            acquired = threading.Event()
+            release = threading.Event()
+
+            def holder():
+                with lock.write():
+                    acquired.set()
+                    release.wait(timeout=30)
+
+            t = threading.Thread(target=holder)
+            t.start()
+            acquired.wait(timeout=5)
+            try:
+                blocked = asyncio.create_task(client_request(
+                    host, port, {"sql": "select A from R where A < 20000"}
+                ))
+                for _ in range(1_000):  # until the request is in flight
+                    if handle.executor.stats()["inflight"] >= 1:
+                        break
+                    await asyncio.sleep(0.005)
+                else:
+                    pytest.fail("blocked query never started executing")
+                shed = await client_request(
+                    host, port, {"sql": "select B from R where B < 100"}
+                )
+                assert not shed["ok"]
+                assert shed["kind"] == "ServerOverloaded"
+                assert "reject-newest" in shed["error"]
+            finally:
+                release.set()
+                t.join(timeout=10)
+            first = await blocked
+            assert first["ok"] and first["result"]["row_count"] > 0
+            health = await client_request(host, port, {"op": "health"})
+            assert health["result"]["shed"] == 1
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+            await server.stop()
+
+    asyncio.run(main())
