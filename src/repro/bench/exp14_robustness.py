@@ -21,32 +21,19 @@ import json
 
 import numpy as np
 
+from repro.bench.harness import default_scale
+from repro.bench.registry.components import make_engine, uniform_table
 from repro.bench.report import format_table
 from repro.cracking import stochastic
 from repro.cracking.stochastic import POLICY_NAMES, resolve_policy
 from repro.engine.database import Database
 from repro.engine.query import Predicate, Query
-from repro.engine.scan import PlainEngine
-from repro.engine.selection_cracking import SelectionCrackingEngine
-from repro.engine.sideways_engine import SidewaysEngine
 from repro.stats.counters import StatsRecorder
 from repro.stats.memory_model import DEFAULT_MODEL
 from repro.workloads.synthetic import ADVERSARIAL_PATTERNS, adversarial_intervals
 
 HEADLINE_PATTERN = "sequential"
 ENGINE_GRID = ("selection_cracking", "sideways", "partial_sideways")
-
-
-def _make_engine(name: str, db: Database):
-    if name == "monetdb":
-        return PlainEngine(db)
-    if name == "selection_cracking":
-        return SelectionCrackingEngine(db)
-    if name == "sideways":
-        return SidewaysEngine(db, partial=False)
-    if name == "partial_sideways":
-        return SidewaysEngine(db, partial=True)
-    raise ValueError(f"unknown engine {name!r}")
 
 
 def _digest(values: np.ndarray) -> str:
@@ -64,7 +51,7 @@ def _run_sequence(
     policy = resolve_policy(policy_name)
     db = Database(recorder=recorder, crack_policy=policy, crack_seed=seed)
     db.create_table("R", {k: v.copy() for k, v in arrays.items()})
-    engine = _make_engine(engine_name, db)
+    engine = make_engine(engine_name, db)
     digests = []
     for interval in intervals:
         result = engine.run(
@@ -84,17 +71,13 @@ def run(
     crack_policy: str | None = None,
     json_path: str | None = None,
 ) -> dict:
-    scale = 1.0 if scale is None else scale
+    scale = default_scale() if scale is None else scale
     rows = max(2_000, int(rows * scale))
     queries = max(40, int(queries * scale))
     domain = 10 * rows
     policies = [crack_policy] if crack_policy else list(POLICY_NAMES)
 
-    rng = np.random.default_rng(seed)
-    arrays = {
-        "A": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-        "B": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-    }
+    arrays = uniform_table(rows, domain, seed)
 
     grid: dict[str, dict[str, dict]] = {}
     checks_flag = stochastic.REPLAY_BOUNDARY_CHECKS
@@ -126,11 +109,7 @@ def run(
         small_rows = min(rows, 20_000)
         small_queries = min(queries, 60)
         small_domain = 10 * small_rows
-        small_rng = np.random.default_rng(seed + 1)
-        small_arrays = {
-            "A": small_rng.integers(1, small_domain + 1, size=small_rows).astype(np.int64),
-            "B": small_rng.integers(1, small_domain + 1, size=small_rows).astype(np.int64),
-        }
+        small_arrays = uniform_table(small_rows, small_domain, seed + 1)
         engines_ok = True
         engine_failures: list[str] = []
         for pattern in ADVERSARIAL_PATTERNS:

@@ -24,13 +24,13 @@ import time
 
 import numpy as np
 
+from repro.bench.harness import default_scale
+from repro.bench.registry.components import make_engine, uniform_table
 from repro.bench.report import format_table
 from repro.cracking.bounds import Interval
 from repro.engine.database import Database
 from repro.engine.query import Predicate, Query
 from repro.engine.scan import PlainEngine
-from repro.engine.selection_cracking import SelectionCrackingEngine
-from repro.engine.sideways_engine import SidewaysEngine
 from repro.faults import guard
 
 #: (site to fault, engine that exercises it) for the recovery measurements.
@@ -42,11 +42,7 @@ RECOVERY_CELLS = (
 
 
 def _make_engine(name: str, db: Database):
-    if name == "selection_cracking":
-        return SelectionCrackingEngine(db)
-    if name == "sideways":
-        return SidewaysEngine(db, partial=False)
-    return SidewaysEngine(db, partial=True)
+    return make_engine(name, db)
 
 
 def _make_db(arrays: dict[str, np.ndarray], seed: int, faults: str | None = None):
@@ -88,17 +84,12 @@ def run(
     seed: int = 42,
     json_path: str | None = None,
 ) -> dict:
-    scale = 1.0 if scale is None else scale
+    scale = default_scale() if scale is None else scale
     rows = max(2_000, int(rows * scale))
     queries = max(8, int(queries * scale))
     domain = 10 * rows
 
-    rng = np.random.default_rng(seed)
-    arrays = {
-        "A": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-        "B": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-        "C": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-    }
+    arrays = uniform_table(rows, domain, seed, attrs=("A", "B", "C"))
     workload = _workload(domain, queries, selectivity, seed)
 
     # 1+2: the same workload disarmed vs journal-forced.

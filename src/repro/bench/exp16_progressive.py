@@ -34,6 +34,8 @@ import json
 
 import numpy as np
 
+from repro.bench.harness import default_scale
+from repro.bench.registry.components import uniform_table
 from repro.bench.report import format_table
 from repro.cracking import stochastic
 from repro.cracking.progressive import parse_budget
@@ -157,7 +159,7 @@ def run(
     crack_budget: "str | float | None" = None,
     json_path: str | None = "BENCH_exp16_progressive.json",
 ) -> dict:
-    scale = 1.0 if scale is None else scale
+    scale = default_scale() if scale is None else scale
     rows = max(2_000, int(rows * scale))
     queries = max(40, int(queries * scale))
     domain = 10 * rows
@@ -165,11 +167,7 @@ def run(
                           else DEFAULT_BUDGET)
     budget_elements = budget.per_query(rows)
 
-    rng = np.random.default_rng(seed)
-    arrays = {
-        "A": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-        "B": rng.integers(1, domain + 1, size=rows).astype(np.int64),
-    }
+    arrays = uniform_table(rows, domain, seed)
 
     grid: dict[str, dict[str, dict]] = {}
     mismatches: list[str] = []

@@ -50,6 +50,8 @@ import time
 import numpy as np
 
 from repro.bench.exp17_concurrency import build_templates
+from repro.bench.harness import default_scale
+from repro.bench.registry.components import uniform_table
 from repro.bench.report import format_table
 from repro.cracking.bounds import Interval
 from repro.engine.database import Database
@@ -325,7 +327,7 @@ def run(
     seed: int = 42,
     json_path: str | None = "BENCH_exp19_overload.json",
 ) -> dict:
-    scale = 1.0 if scale is None else scale
+    scale = default_scale() if scale is None else scale
     rows = max(10_000, int(rows * scale))
     queries = max(40, int(queries * scale))
     templates = max(12, int(templates * scale))
@@ -333,11 +335,8 @@ def run(
     requests_per_client = max(6, int(requests_per_client * scale))
     domain = 10 * rows
 
-    rng = np.random.default_rng(seed)
-    arrays = {
-        attr: rng.integers(0, domain, size=rows).astype(np.int64)
-        for attr in ("A", "B", "C", "D")
-    }
+    arrays = uniform_table(rows, domain, seed, attrs=("A", "B", "C", "D"),
+                           low=0, high=domain)
     template_list = build_templates(templates, domain, seed)
     order_rng = np.random.default_rng((seed, 2))
     order = [

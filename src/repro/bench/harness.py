@@ -38,7 +38,10 @@ def time_callable(
     ``setup`` runs untimed before every invocation (warmups included) — the
     kernel benchmarks use it to restore the input arrays so each repeat
     partitions identical data.  Returns the median plus interquartile range
-    so ``bench.micro`` can report variance alongside the point estimate.
+    so ``bench.micro`` can report variance alongside the point estimate, and
+    the raw per-repeat samples (``samples_s``, in measurement order) so
+    stored artifacts support honest significance checks downstream — a trend
+    report can rank-test two sample sets instead of comparing two medians.
     """
     for _ in range(warmup):
         if setup is not None:
@@ -58,6 +61,7 @@ def time_callable(
         "max_s": float(ordered[-1]),
         "iqr_s": float(np.percentile(ordered, 75) - np.percentile(ordered, 25)),
         "repeats": float(repeats),
+        "samples_s": [float(s) for s in samples],
     }
 
 

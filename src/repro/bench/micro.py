@@ -97,6 +97,9 @@ def _case_record(name: str, rows: int, timings: dict, identical: bool) -> dict:
         "identical": identical,
         "reference_iqr_ms": timings["reference"]["iqr_s"] * 1e3,
         "fused_iqr_ms": timings["fused"]["iqr_s"] * 1e3,
+        # Raw repeats, so artifact consumers can run real significance tests.
+        "reference_samples_s": timings["reference"]["samples_s"],
+        "fused_samples_s": timings["fused"]["samples_s"],
     }
 
 
@@ -233,6 +236,8 @@ def _bench_gang(rows: int, n_maps: int, seed: int) -> dict:
         "speedup": ind_ms / gang_ms if gang_ms > 0 else float("inf"),
         "identical": identical,
         "n_maps": n_maps,
+        "reference_samples_s": t_individual["samples_s"],
+        "fused_samples_s": t_gang["samples_s"],
     }
 
 

@@ -95,6 +95,11 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("extensions (paper future work):")
     for name in EXTENSIONS:
         print(f"  ext:{name}")
+    from repro.bench.registry import EXPERIMENTS as REGISTRY_EXPERIMENTS
+
+    print("registry experiments (python -m repro.bench run/smoke/gate/report):")
+    for name, spec in sorted(REGISTRY_EXPERIMENTS.items()):
+        print(f"  {name:<8} {spec.description}")
     return 0
 
 
